@@ -1,0 +1,66 @@
+//! Ablation (DESIGN.md §4.1): closed-world enum dispatch ([`AnyList`]) vs
+//! boxed trait objects for the swappable-collection mechanism.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_collections::{AnyList, ArrayList, ListKind, ListOps};
+
+/// The trait-object alternative the enum design replaced.
+fn boxed_list() -> Box<dyn ListOps<i64>> {
+    Box::new(ArrayList::new())
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+
+    group.bench_function("enum_push_contains", |b| {
+        b.iter(|| {
+            let mut l: AnyList<i64> = AnyList::new(ListKind::Array);
+            for v in 0..256 {
+                ListOps::push(&mut l, v);
+            }
+            let mut hits = 0;
+            for v in 0..256 {
+                hits += usize::from(ListOps::contains(&l, &v));
+            }
+            std::hint::black_box(hits)
+        })
+    });
+
+    group.bench_function("boxed_dyn_push_contains", |b| {
+        b.iter(|| {
+            let mut l = boxed_list();
+            for v in 0..256 {
+                l.push(v);
+            }
+            let mut hits = 0;
+            for v in 0..256 {
+                hits += usize::from(l.contains(&v));
+            }
+            std::hint::black_box(hits)
+        })
+    });
+
+    group.bench_function("direct_push_contains", |b| {
+        b.iter(|| {
+            let mut l: ArrayList<i64> = ArrayList::new();
+            for v in 0..256 {
+                l.push(v);
+            }
+            let mut hits = 0;
+            for v in 0..256 {
+                hits += usize::from(l.contains(&v));
+            }
+            std::hint::black_box(hits)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

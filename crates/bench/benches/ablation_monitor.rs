@@ -1,0 +1,86 @@
+//! Ablation (DESIGN.md §4.2): the cost of the monitoring layer — a
+//! monitored switch handle vs an unmonitored one vs the raw variant.
+//!
+//! The paper's "very low overhead" claim rests on only a window-sized sample
+//! of instances carrying a recorder; this bench quantifies both sides.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_collections::{AnyList, ListKind, ListOps};
+use cs_core::Switch;
+use cs_profile::WindowConfig;
+
+fn workload<L>(mut push: impl FnMut(&mut L, i64), mut contains: impl FnMut(&mut L, i64) -> bool, l: &mut L) -> usize {
+    for v in 0..128 {
+        push(l, v);
+    }
+    let mut hits = 0;
+    for v in 0..128 {
+        hits += usize::from(contains(l, v));
+    }
+    hits
+}
+
+fn bench_monitoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitoring");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+
+    group.bench_function("raw_any_list", |b| {
+        b.iter(|| {
+            let mut l: AnyList<i64> = AnyList::new(ListKind::Array);
+            std::hint::black_box(workload(
+                |l, v| ListOps::push(l, v),
+                |l, v| ListOps::contains(l, &v),
+                &mut l,
+            ))
+        })
+    });
+
+    // Window of usize::MAX: every instance is monitored.
+    let engine_all = Switch::builder()
+        .window(WindowConfig {
+            window_size: usize::MAX,
+            ..WindowConfig::default()
+        })
+        .build();
+    let ctx_all = engine_all.list_context::<i64>(ListKind::Array);
+    group.bench_function("monitored_handle", |b| {
+        b.iter(|| {
+            let mut l = ctx_all.create_list();
+            assert!(l.is_monitored());
+            std::hint::black_box(workload(
+                |l, v| l.push(v),
+                |l, v| l.contains(&v),
+                &mut l,
+            ))
+        })
+    });
+
+    // Window of 0: no instance is monitored — the steady-state fast path.
+    let engine_none = Switch::builder()
+        .window(WindowConfig {
+            window_size: 0,
+            ..WindowConfig::default()
+        })
+        .build();
+    let ctx_none = engine_none.list_context::<i64>(ListKind::Array);
+    group.bench_function("unmonitored_handle", |b| {
+        b.iter(|| {
+            let mut l = ctx_none.create_list();
+            assert!(!l.is_monitored());
+            std::hint::black_box(workload(
+                |l, v| l.push(v),
+                |l, v| l.contains(&v),
+                &mut l,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitoring);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmark behind paper Fig. 7: the cost of one analysis
+//! pass over a context's collected metrics, by window size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_collections::ListKind;
+use cs_core::{select_variant, SelectionRule};
+use cs_model::default_models;
+use cs_profile::{OpCounters, OpKind, ProfileHistogram, WorkloadProfile};
+
+fn histogram_of(window: usize) -> ProfileHistogram {
+    let mut h = ProfileHistogram::new();
+    for i in 0..window {
+        let mut c = OpCounters::new();
+        c.add(OpKind::Populate, 50);
+        c.add(OpKind::Contains, 120);
+        c.add(OpKind::Iterate, 2);
+        h.add(&WorkloadProfile::new(c, 10 + (i % 700)));
+    }
+    h
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_cost_by_window");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for window in [100usize, 1_000, 10_000, 100_000] {
+        let hist = histogram_of(window);
+        let model = default_models::list_model();
+        let rule = SelectionRule::r_time();
+        group.bench_with_input(BenchmarkId::from_parameter(window), &hist, |b, hist| {
+            b.iter(|| {
+                std::hint::black_box(select_variant(model, &rule, ListKind::Array, hist))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_profile_fold(c: &mut Criterion) {
+    // The per-instance cost of folding one finished profile into the
+    // histogram — the other half of the monitoring price.
+    let mut c2 = OpCounters::new();
+    c2.add(OpKind::Contains, 10);
+    let profile = WorkloadProfile::new(c2, 333);
+    c.bench_function("histogram_fold_one_profile", |b| {
+        let mut h = ProfileHistogram::new();
+        b.iter(|| h.add(std::hint::black_box(&profile)));
+    });
+}
+
+criterion_group!(benches, bench_analysis, bench_profile_fold);
+criterion_main!(benches);

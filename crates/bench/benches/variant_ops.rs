@@ -1,0 +1,88 @@
+//! Criterion benchmarks of the critical operations across variants — the
+//! measurement core behind the paper's Table 3 factorial plan, exposed for
+//! direct inspection.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_collections::{AnyList, AnyMap, AnySet, ListKind, ListOps, MapKind, MapOps, SetKind, SetOps};
+
+const SIZES: [usize; 3] = [10, 100, 1000];
+
+fn bench_list_contains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_contains");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for kind in ListKind::ALL {
+        for size in SIZES {
+            let mut list: AnyList<i64> = AnyList::new(kind);
+            for v in 0..size as i64 {
+                ListOps::push(&mut list, v);
+            }
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), size),
+                &list,
+                |b, list| {
+                    let mut key = 0i64;
+                    b.iter(|| {
+                        key = (key + 7) % size as i64;
+                        std::hint::black_box(ListOps::contains(list, &key))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_set_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_populate");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for kind in SetKind::ALL {
+        for size in SIZES {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        let mut set: AnySet<i64> = AnySet::new(kind);
+                        for v in 0..size as i64 {
+                            SetOps::insert(&mut set, v);
+                        }
+                        std::hint::black_box(SetOps::len(&set))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_map_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_get");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(800));
+    for kind in MapKind::ALL {
+        for size in SIZES {
+            let mut map: AnyMap<i64, i64> = AnyMap::new(kind);
+            for v in 0..size as i64 {
+                MapOps::map_insert(&mut map, v, v);
+            }
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), size), &map, |b, map| {
+                let mut key = 0i64;
+                b.iter(|| {
+                    key = (key + 13) % size as i64;
+                    std::hint::black_box(MapOps::map_get(map, &key))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_list_contains, bench_set_insert, bench_map_get);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Regenerates paper Fig. 6 (multi-phase list scenario).
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin fig6_multi_phase [instances_per_iter]
+//! ```
+//!
+//! The dominant operation changes every five iterations (contains → index →
+//! iteration → search-and-remove → contains). Four series are printed:
+//! fixed ArrayList, fixed HashArrayList, fixed LinkedList, and
+//! CollectionSwitch under `R_time` (with the variant it holds at each
+//! iteration — including the paper's expected mis-selection during the
+//! *search and remove* phase, where the model cannot distinguish
+//! HashArrayList's slower remove-by-index from ArrayList's).
+
+use std::rc::Rc;
+
+use cs_bench::scale_arg;
+use cs_collections::{AnyList, ListKind};
+use cs_core::{SelectionRule, Switch};
+use cs_workloads::phases::{run_phased, PhasedConfig, PhasedSample};
+
+/// Reference-typed element emulating the JVM's boxed `Integer`: comparisons
+/// chase a pointer and copies are reference counts, which restores the
+/// array-vs-hash crossover the paper measures on Java collections.
+type JInt = Rc<i64>;
+
+fn main() {
+    let cfg = PhasedConfig {
+        instances_per_iter: scale_arg(60),
+        size: 400,
+        ops_per_instance: 100,
+        iters_per_phase: 5,
+        seed: 0xF16,
+    };
+    println!(
+        "# Fig. 6: multi-phase scenario ({} instances/iter, size {}, {} ops/instance)",
+        cfg.instances_per_iter, cfg.size, cfg.ops_per_instance
+    );
+
+    let arraylist = run_phased::<JInt, _>(&cfg, || AnyList::new(ListKind::Array), |_| {});
+    let hasharray = run_phased::<JInt, _>(&cfg, || AnyList::new(ListKind::HashArray), |_| {});
+    let linked = run_phased::<JInt, _>(&cfg, || AnyList::new(ListKind::Linked), |_| {});
+
+    let engine = Switch::builder().rule(SelectionRule::r_time()).build();
+    let ctx = engine.list_context::<JInt>(ListKind::Array);
+    let mut kinds = Vec::new();
+    let cs = run_phased::<JInt, _>(
+        &cfg,
+        || ctx.create_list(),
+        |_| {
+            engine.analyze_now();
+            kinds.push(ctx.current_kind().to_string());
+        },
+    );
+
+    println!(
+        "iter\tphase            \tarraylist_ms\thasharray_ms\tlinked_ms\tcollectionswitch_ms\tcs_variant"
+    );
+    for i in 0..cs.len() {
+        let ms = |s: &PhasedSample| s.elapsed.as_secs_f64() * 1e3;
+        println!(
+            "{}\t{:17}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{}",
+            i,
+            cs[i].op.to_string(),
+            ms(&arraylist[i]),
+            ms(&hasharray[i]),
+            ms(&linked[i]),
+            ms(&cs[i]),
+            kinds[i],
+        );
+    }
+
+    println!();
+    println!("# transitions performed by CollectionSwitch:");
+    for t in engine.transition_log() {
+        println!("#   {t}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Runs the paper's model-building benchmark (§4.1, Table 3) on this
+//! machine and saves the calibrated performance models.
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin model_builder [--paper] [out_dir]
+//! ```
+//!
+//! By default runs the quick plan (seconds); `--paper` runs the full
+//! factorial plan with the paper's steady-state protocol (15 warm-up + 30
+//! measured iterations per cell; minutes). Models are written in the
+//! `cs-model` text format to `out_dir` (default `target/models`).
+
+use std::path::PathBuf;
+
+use cs_model::builder::{build_list_model, build_map_model, build_set_model, BuilderConfig};
+use cs_model::persist;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let out_dir: PathBuf = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/models"));
+
+    let cfg = if paper {
+        BuilderConfig::paper()
+    } else {
+        BuilderConfig::quick()
+    };
+    println!(
+        "# Table 3 factorial calibration: {} sizes x 4 scenarios x all variants ({} warm-up + {} measured iters)",
+        cfg.sizes.len(),
+        cfg.warmup_iters,
+        cfg.measured_iters
+    );
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let started = std::time::Instant::now();
+    let lists = build_list_model(&cfg);
+    println!("# lists calibrated ({:?})", started.elapsed());
+    let sets = build_set_model(&cfg);
+    println!("# sets calibrated ({:?})", started.elapsed());
+    let maps = build_map_model(&cfg);
+    println!("# maps calibrated ({:?})", started.elapsed());
+
+    for (name, text) in [
+        ("lists.model", persist::to_text(&lists)),
+        ("sets.model", persist::to_text(&sets)),
+        ("maps.model", persist::to_text(&maps)),
+    ] {
+        let path = out_dir.join(name);
+        std::fs::write(&path, text).expect("write model file");
+        println!("# wrote {}", path.display());
+    }
+
+    // Spot-print the headline crossover the models encode: measured cost of
+    // one `contains` per variant at small vs large sizes.
+    use cs_model::CostDimension;
+    use cs_profile::OpKind;
+    println!();
+    println!("# measured contains cost (ns) by list variant");
+    println!("variant   \t@size10\t@size1000");
+    for kind in cs_collections::ListKind::ALL {
+        let v = lists.variant(kind).expect("calibrated");
+        println!(
+            "{:10}\t{:.1}\t{:.1}",
+            kind.to_string(),
+            v.op_cost(CostDimension::Time, OpKind::Contains, 10.0),
+            v.op_cost(CostDimension::Time, OpKind::Contains, 1000.0)
+        );
+    }
+}

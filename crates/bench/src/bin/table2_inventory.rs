@@ -1,0 +1,104 @@
+//! Companion to paper Table 2: the implemented variant inventory, with
+//! *measured* per-variant memory at representative sizes (from the real
+//! structures' byte accounting, not models).
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin table2_inventory
+//! ```
+
+use cs_collections::{
+    AnyList, AnyMap, AnySet, HeapSize, ListKind, ListOps, MapKind, MapOps, SetKind, SetOps,
+};
+
+const SIZES: [usize; 3] = [10, 100, 1000];
+
+fn main() {
+    println!("# Table 2 companion: implemented variants and measured footprint (bytes)");
+    println!();
+    println!("## Lists (i64 elements)");
+    println!("variant     \t@10\t@100\t@1000\talloc@1000");
+    for kind in ListKind::ALL {
+        let cells: Vec<String> = SIZES
+            .iter()
+            .map(|&n| {
+                let mut l: AnyList<i64> = AnyList::new(kind);
+                for v in 0..n as i64 {
+                    ListOps::push(&mut l, v);
+                }
+                l.heap_bytes().to_string()
+            })
+            .collect();
+        let mut l: AnyList<i64> = AnyList::new(kind);
+        for v in 0..1000 {
+            ListOps::push(&mut l, v);
+        }
+        println!(
+            "{:12}\t{}\t{}\t{}\t{}",
+            kind.to_string(),
+            cells[0],
+            cells[1],
+            cells[2],
+            l.allocated_bytes()
+        );
+    }
+
+    println!();
+    println!("## Sets (i64 elements)");
+    println!("variant       \t@10\t@100\t@1000\talloc@1000");
+    for kind in SetKind::ALL {
+        let cells: Vec<String> = SIZES
+            .iter()
+            .map(|&n| {
+                let mut s: AnySet<i64> = AnySet::new(kind);
+                for v in 0..n as i64 {
+                    SetOps::insert(&mut s, v);
+                }
+                s.heap_bytes().to_string()
+            })
+            .collect();
+        let mut s: AnySet<i64> = AnySet::new(kind);
+        for v in 0..1000 {
+            SetOps::insert(&mut s, v);
+        }
+        println!(
+            "{:14}\t{}\t{}\t{}\t{}",
+            kind.to_string(),
+            cells[0],
+            cells[1],
+            cells[2],
+            s.allocated_bytes()
+        );
+    }
+
+    println!();
+    println!("## Maps (i64 -> i64)");
+    println!("variant       \t@10\t@100\t@1000\talloc@1000");
+    for kind in MapKind::ALL {
+        let cells: Vec<String> = SIZES
+            .iter()
+            .map(|&n| {
+                let mut m: AnyMap<i64, i64> = AnyMap::new(kind);
+                for v in 0..n as i64 {
+                    MapOps::map_insert(&mut m, v, v);
+                }
+                m.heap_bytes().to_string()
+            })
+            .collect();
+        let mut m: AnyMap<i64, i64> = AnyMap::new(kind);
+        for v in 0..1000 {
+            MapOps::map_insert(&mut m, v, v);
+        }
+        println!(
+            "{:14}\t{}\t{}\t{}\t{}",
+            kind.to_string(),
+            cells[0],
+            cells[1],
+            cells[2],
+            m.allocated_bytes()
+        );
+    }
+
+    println!();
+    println!("# paper reference points: array variants smallest at small sizes;");
+    println!("# fastutil < eclipse < koloboke among open hashes; chained/linked heaviest");
+}

@@ -1,0 +1,56 @@
+//! Regenerates paper Table 6 (most commonly performed transitions per
+//! application and selection rule).
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin table6_transitions [scale]
+//! ```
+
+use std::collections::HashMap;
+
+use cs_bench::scale_arg;
+use cs_core::SelectionRule;
+use cs_workloads::{
+    apps,
+    runner::{run_app, Mode},
+    AppSpec,
+};
+
+/// Transition edges of one run, ordered by frequency (most common first).
+fn transition_counts(app: &AppSpec, rule: SelectionRule) -> Vec<(String, usize)> {
+    let r = run_app(app, Mode::FullAdap(rule), 42);
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for t in &r.transitions {
+        *counts.entry(format!("{} {}", t.abstraction, t.edge())).or_insert(0) += 1;
+    }
+    let mut edges: Vec<(String, usize)> = counts.into_iter().collect();
+    edges.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    edges
+}
+
+fn main() {
+    let scale = scale_arg(2);
+    println!("# Table 6: most commonly performed transitions (scale {scale})");
+    println!("bench     | R_time                                | R_alloc");
+    for app in apps::all_apps(scale) {
+        let rt = transition_counts(&app, SelectionRule::r_time());
+        let ra = transition_counts(&app, SelectionRule::r_alloc());
+        let fmt = |v: &[(String, usize)]| {
+            v.first()
+                .map(|(e, n)| format!("{e} (x{n})"))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!("{:9} | {:37} | {}", app.name, fmt(&rt), fmt(&ra));
+    }
+    println!();
+    println!("# full transition lists:");
+    for app in apps::all_apps(scale) {
+        for (rule_name, rule) in [
+            ("R_time", SelectionRule::r_time()),
+            ("R_alloc", SelectionRule::r_alloc()),
+        ] {
+            for (edge, n) in transition_counts(&app, rule) {
+                println!("#   {:9} {:7} {edge} x{n}", app.name, rule_name);
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # cs-bench
+//!
+//! Benchmark harnesses that regenerate every table and figure of the
+//! CollectionSwitch paper's evaluation (§5). Each `[[bin]]` target prints
+//! the rows/series of one paper artifact; the Criterion benches measure the
+//! micro costs behind Fig. 7 and the ablations called out in DESIGN.md.
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig3_threshold` | Fig. 3 benefit curve + Table 1 thresholds |
+//! | `model_builder` | Table 3 factorial calibration run |
+//! | `fig5_single_phase` | Fig. 5a–e single-phase comparisons |
+//! | `fig6_multi_phase` | Fig. 6 multi-phase scenario |
+//! | `table5_dacapo` | Table 5 (plus the §5.3 overhead configuration) |
+//! | `table6_transitions` | Table 6 most-common transitions |
+//! | `fig7_overhead` | Fig. 7 analysis cost by window size |
+//! | bench `analysis_overhead` | Fig. 7 micro measurement |
+//! | bench `variant_ops` | per-variant critical-op costs (Table 2/3 scope) |
+//! | bench `ablation_dispatch` | enum dispatch vs boxed trait objects |
+//! | bench `ablation_monitor` | monitored vs raw handle overhead |
+//!
+//! Scale knobs: most binaries accept a scale argument; the `CS_BENCH_SCALE`
+//! environment variable overrides the default for the table binaries.
+
+/// Parses the common scale argument (first CLI arg, then `CS_BENCH_SCALE`,
+/// then the given default).
+pub fn scale_arg(default: usize) -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .or_else(|| {
+            std::env::var("CS_BENCH_SCALE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(default)
+}
+
+/// Formats a byte count as mebibytes with two decimals.
+pub fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Signed percentage improvement of `new` over `base` (positive = better,
+/// i.e. smaller).
+pub fn improvement_pct(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (1.0 - new / base) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_sign_convention() {
+        assert!(improvement_pct(10.0, 8.0) > 0.0);
+        assert!(improvement_pct(10.0, 12.0) < 0.0);
+        assert_eq!(improvement_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn mib_converts() {
+        assert!((mib(1024 * 1024) - 1.0).abs() < 1e-12);
+    }
+}

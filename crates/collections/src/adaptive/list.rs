@@ -1,0 +1,379 @@
+//! Size-adaptive list: plain array below the threshold, hash-indexed above.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::list::{ArrayList, HashArrayList};
+use crate::traits::{HeapSize, ListOps};
+
+use super::LIST_THRESHOLD;
+
+#[derive(Debug, Clone)]
+enum Repr<T: Eq + Hash + Clone> {
+    Array(ArrayList<T>),
+    Hash(HashArrayList<T>),
+}
+
+/// A list that starts as a plain array and transitions to a hash-indexed
+/// array once it outgrows its threshold — the paper's `AdaptiveList`
+/// (JDK `ArrayList` → `HashArrayList`, threshold 80).
+///
+/// Below the threshold, `contains` is a short linear scan that beats hashing
+/// on locality; above it, the hash index makes lookups O(1) at the cost of
+/// extra memory and per-mutation hash maintenance.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::AdaptiveList;
+///
+/// let mut l = AdaptiveList::new();
+/// for v in 0..100 {
+///     l.push(v);
+/// }
+/// assert!(!l.is_array_backed()); // crossed the default threshold of 80
+/// assert!(l.contains(&99));
+/// ```
+pub struct AdaptiveList<T: Eq + Hash + Clone> {
+    repr: Repr<T>,
+    threshold: usize,
+    transitions: u32,
+}
+
+impl<T: Eq + Hash + Clone> AdaptiveList<T> {
+    /// Creates an empty list with the paper's default threshold (80).
+    pub fn new() -> Self {
+        Self::with_threshold(LIST_THRESHOLD)
+    }
+
+    /// Creates an empty list that transitions when its length exceeds
+    /// `threshold`.
+    pub fn with_threshold(threshold: usize) -> Self {
+        AdaptiveList {
+            repr: Repr::Array(ArrayList::new()),
+            threshold,
+            transitions: 0,
+        }
+    }
+
+    /// The length above which the list switches to the hash-indexed
+    /// representation.
+    #[inline]
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of representation transitions performed so far.
+    #[inline]
+    pub fn transitions(&self) -> u32 {
+        self.transitions
+    }
+
+    /// Returns `true` while the list still uses the plain array
+    /// representation.
+    #[inline]
+    pub fn is_array_backed(&self) -> bool {
+        matches!(self.repr, Repr::Array(_))
+    }
+
+    /// Number of elements in the list.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Array(l) => l.len(),
+            Repr::Hash(l) => l.len(),
+        }
+    }
+
+    /// Returns `true` if the list holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn maybe_transition(&mut self) {
+        let crossed = matches!(&self.repr, Repr::Array(l) if l.len() > self.threshold);
+        if crossed {
+            let old = std::mem::replace(&mut self.repr, Repr::Hash(HashArrayList::new()));
+            if let (Repr::Array(array), Repr::Hash(hash)) = (old, &mut self.repr) {
+                for v in array {
+                    hash.push(v);
+                }
+            }
+            self.transitions += 1;
+        }
+    }
+
+    /// Appends `value` at the end, transitioning if the threshold is crossed.
+    pub fn push(&mut self, value: T) {
+        match &mut self.repr {
+            Repr::Array(l) => l.push(value),
+            Repr::Hash(l) => l.push(value),
+        }
+        self.maybe_transition();
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        match &mut self.repr {
+            Repr::Array(l) => l.pop(),
+            Repr::Hash(l) => l.pop(),
+        }
+    }
+
+    /// Inserts `value` at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len`.
+    pub fn insert(&mut self, index: usize, value: T) {
+        match &mut self.repr {
+            Repr::Array(l) => l.insert(index, value),
+            Repr::Hash(l) => l.insert(index, value),
+        }
+        self.maybe_transition();
+    }
+
+    /// Removes and returns the element at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn remove(&mut self, index: usize) -> T {
+        match &mut self.repr {
+            Repr::Array(l) => l.remove(index),
+            Repr::Hash(l) => l.remove(index),
+        }
+    }
+
+    /// Returns a reference to the element at `index`, if in bounds.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        match &self.repr {
+            Repr::Array(l) => l.get(index),
+            Repr::Hash(l) => l.get(index),
+        }
+    }
+
+    /// Replaces the element at `index`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize, value: T) -> T {
+        match &mut self.repr {
+            Repr::Array(l) => l.set(index, value),
+            Repr::Hash(l) => l.set(index, value),
+        }
+    }
+
+    /// Returns `true` if some element equals `value` — linear below the
+    /// threshold, O(1) above it.
+    pub fn contains(&self, value: &T) -> bool {
+        match &self.repr {
+            Repr::Array(l) => l.contains(value),
+            Repr::Hash(l) => l.contains(value),
+        }
+    }
+
+    /// Returns the elements as a slice (both representations are
+    /// array-backed).
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Array(l) => l.as_slice(),
+            Repr::Hash(l) => l.as_slice(),
+        }
+    }
+
+    /// Removes every element and resets to the array representation.
+    pub fn clear(&mut self) {
+        self.repr = Repr::Array(ArrayList::new());
+    }
+}
+
+impl<T: Eq + Hash + Clone> Default for AdaptiveList<T> {
+    fn default() -> Self {
+        AdaptiveList::new()
+    }
+}
+
+impl<T: Eq + Hash + Clone> Clone for AdaptiveList<T> {
+    fn clone(&self) -> Self {
+        AdaptiveList {
+            repr: self.repr.clone(),
+            threshold: self.threshold,
+            transitions: self.transitions,
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone + fmt::Debug> fmt::Debug for AdaptiveList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Eq + Hash + Clone> PartialEq for AdaptiveList<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq + Hash + Clone> Eq for AdaptiveList<T> {}
+
+impl<T: Eq + Hash + Clone> FromIterator<T> for AdaptiveList<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut list = AdaptiveList::new();
+        for v in iter {
+            list.push(v);
+        }
+        list
+    }
+}
+
+impl<T: Eq + Hash + Clone> Extend<T> for AdaptiveList<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone> HeapSize for AdaptiveList<T> {
+    fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Array(l) => l.heap_bytes(),
+            Repr::Hash(l) => l.heap_bytes(),
+        }
+    }
+
+    fn allocated_bytes(&self) -> u64 {
+        match &self.repr {
+            Repr::Array(l) => l.allocated_bytes(),
+            Repr::Hash(l) => l.allocated_bytes(),
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone> ListOps<T> for AdaptiveList<T> {
+    fn len(&self) -> usize {
+        AdaptiveList::len(self)
+    }
+    fn push(&mut self, value: T) {
+        AdaptiveList::push(self, value);
+    }
+    fn pop(&mut self) -> Option<T> {
+        AdaptiveList::pop(self)
+    }
+    fn list_insert(&mut self, index: usize, value: T) {
+        AdaptiveList::insert(self, index, value);
+    }
+    fn list_remove(&mut self, index: usize) -> T {
+        AdaptiveList::remove(self, index)
+    }
+    fn get(&self, index: usize) -> Option<&T> {
+        AdaptiveList::get(self, index)
+    }
+    fn set(&mut self, index: usize, value: T) -> T {
+        AdaptiveList::set(self, index, value)
+    }
+    fn contains(&self, value: &T) -> bool {
+        AdaptiveList::contains(self, value)
+    }
+    fn for_each_value(&self, f: &mut dyn FnMut(&T)) {
+        for v in self.as_slice() {
+            f(v);
+        }
+    }
+    fn clear(&mut self) {
+        AdaptiveList::clear(self);
+    }
+    fn drain_into(&mut self, sink: &mut dyn FnMut(T)) {
+        match &mut self.repr {
+            Repr::Array(l) => ListOps::drain_into(l, sink),
+            Repr::Hash(l) => ListOps::drain_into(l, sink),
+        }
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threshold_matches_table_1() {
+        let l: AdaptiveList<i64> = AdaptiveList::new();
+        assert_eq!(l.threshold(), 80);
+    }
+
+    #[test]
+    fn transition_preserves_order() {
+        let mut l = AdaptiveList::with_threshold(10);
+        for v in 0..25_i64 {
+            l.push(v);
+        }
+        assert!(!l.is_array_backed());
+        assert_eq!(l.as_slice(), (0..25).collect::<Vec<_>>().as_slice());
+        assert_eq!(l.transitions(), 1);
+    }
+
+    #[test]
+    fn duplicates_count_toward_threshold() {
+        // Unlike sets, list length includes duplicates.
+        let mut l = AdaptiveList::with_threshold(5);
+        for _ in 0..6 {
+            l.push(1_i64);
+        }
+        assert!(!l.is_array_backed());
+    }
+
+    #[test]
+    fn insert_can_trigger_transition() {
+        let mut l = AdaptiveList::with_threshold(3);
+        for v in 0..3_i64 {
+            l.push(v);
+        }
+        assert!(l.is_array_backed());
+        l.insert(1, 9);
+        assert!(!l.is_array_backed());
+        assert_eq!(l.as_slice(), &[0, 9, 1, 2]);
+    }
+
+    #[test]
+    fn contains_in_both_phases() {
+        let mut l = AdaptiveList::with_threshold(4);
+        l.push(1_i64);
+        assert!(l.contains(&1));
+        assert!(!l.contains(&2));
+        for v in 2..20_i64 {
+            l.push(v);
+        }
+        assert!(l.contains(&19));
+        assert!(!l.contains(&99));
+    }
+
+    #[test]
+    fn positional_ops_in_hash_phase() {
+        let mut l: AdaptiveList<i64> = (0..100).collect();
+        assert_eq!(l.remove(0), 0);
+        assert_eq!(l.set(0, 42), 1);
+        assert_eq!(l.get(0), Some(&42));
+        assert_eq!(l.pop(), Some(99));
+        assert!(!l.contains(&99));
+    }
+
+    #[test]
+    fn clear_resets_to_array() {
+        let mut l: AdaptiveList<i64> = (0..100).collect();
+        l.clear();
+        assert!(l.is_array_backed());
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn drain_into_yields_in_order() {
+        let mut l: AdaptiveList<i64> = (0..90).collect();
+        let mut got = Vec::new();
+        ListOps::drain_into(&mut l, &mut |v| got.push(v));
+        assert_eq!(got, (0..90).collect::<Vec<_>>());
+        assert!(l.is_array_backed());
+    }
+}

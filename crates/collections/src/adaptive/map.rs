@@ -1,0 +1,359 @@
+//! Size-adaptive map: array below the threshold, open hash above.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::kind::LibraryProfile;
+use crate::map::{ArrayMap, OpenHashMap};
+use crate::traits::{HeapSize, MapOps};
+
+use super::MAP_THRESHOLD;
+
+#[derive(Debug, Clone)]
+enum Repr<K: Eq + Hash + Clone, V: Clone> {
+    Array(ArrayMap<K, V>),
+    Open(OpenHashMap<K, V>),
+}
+
+/// A map that starts as parallel arrays and transitions to an
+/// open-addressing hash table once it outgrows its threshold — the paper's
+/// `AdaptiveMap` (NLP/Google `ArrayMap` → Koloboke open hash, threshold 50).
+///
+/// See [`AdaptiveSet`](crate::AdaptiveSet) for the transition semantics; the
+/// map version behaves identically with entries in place of elements.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::AdaptiveMap;
+///
+/// let mut m = AdaptiveMap::new();
+/// for k in 0..100 {
+///     m.insert(k, k * 2);
+/// }
+/// assert!(!m.is_array_backed());
+/// assert_eq!(m.get(&99), Some(&198));
+/// ```
+pub struct AdaptiveMap<K: Eq + Hash + Clone, V: Clone> {
+    repr: Repr<K, V>,
+    threshold: usize,
+    transitions: u32,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> AdaptiveMap<K, V> {
+    /// Creates an empty map with the paper's default threshold (50).
+    pub fn new() -> Self {
+        Self::with_threshold(MAP_THRESHOLD)
+    }
+
+    /// Creates an empty map that transitions when its size exceeds
+    /// `threshold`.
+    pub fn with_threshold(threshold: usize) -> Self {
+        AdaptiveMap {
+            repr: Repr::Array(ArrayMap::new()),
+            threshold,
+            transitions: 0,
+        }
+    }
+
+    /// The size above which the map switches to a hash representation.
+    #[inline]
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of representation transitions performed so far.
+    #[inline]
+    pub fn transitions(&self) -> u32 {
+        self.transitions
+    }
+
+    /// Returns `true` while the map still uses the array representation.
+    #[inline]
+    pub fn is_array_backed(&self) -> bool {
+        matches!(self.repr, Repr::Array(_))
+    }
+
+    /// Number of entries in the map.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Array(m) => m.len(),
+            Repr::Open(m) => m.len(),
+        }
+    }
+
+    /// Returns `true` if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn transition_to_hash(&mut self) {
+        let old = std::mem::replace(
+            &mut self.repr,
+            Repr::Open(OpenHashMap::with_profile(LibraryProfile::Koloboke)),
+        );
+        if let (Repr::Array(mut array), Repr::Open(open)) = (old, &mut self.repr) {
+            MapOps::drain_into(&mut array, &mut |k, v| {
+                open.insert(k, v);
+            });
+        }
+        self.transitions += 1;
+    }
+
+    /// Inserts or replaces the value for `key`, returning the previous value.
+    ///
+    /// Triggers the one-time array → openhash transition when the insertion
+    /// pushes the size past the threshold.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (old, crossed) = match &mut self.repr {
+            Repr::Array(m) => {
+                let old = m.insert(key, value);
+                let crossed = old.is_none() && m.len() > self.threshold;
+                (old, crossed)
+            }
+            Repr::Open(m) => (m.insert(key, value), false),
+        };
+        if crossed {
+            self.transition_to_hash();
+        }
+        old
+    }
+
+    /// Returns a reference to the value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        match &self.repr {
+            Repr::Array(m) => m.get(key),
+            Repr::Open(m) => m.get(key),
+        }
+    }
+
+    /// Returns a mutable reference to the value for `key`, if present.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match &mut self.repr {
+            Repr::Array(m) => m.get_mut(key),
+            Repr::Open(m) => m.get_mut(key),
+        }
+    }
+
+    /// Returns `true` if `key` has an entry.
+    pub fn contains_key(&self, key: &K) -> bool {
+        match &self.repr {
+            Repr::Array(m) => m.contains_key(key),
+            Repr::Open(m) => m.contains_key(key),
+        }
+    }
+
+    /// Removes the entry for `key`, returning its value if present.
+    ///
+    /// Shrinking below the threshold does not transition back.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        match &mut self.repr {
+            Repr::Array(m) => m.remove(key),
+            Repr::Open(m) => m.remove(key),
+        }
+    }
+
+    /// Visits every entry.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        match &self.repr {
+            Repr::Array(m) => {
+                for (k, v) in m.iter() {
+                    f(k, v);
+                }
+            }
+            Repr::Open(m) => {
+                for (k, v) in m.iter() {
+                    f(k, v);
+                }
+            }
+        }
+    }
+
+    /// Removes every entry and resets to the array representation.
+    pub fn clear(&mut self) {
+        self.repr = Repr::Array(ArrayMap::new());
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for AdaptiveMap<K, V> {
+    fn default() -> Self {
+        AdaptiveMap::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Clone for AdaptiveMap<K, V> {
+    fn clone(&self) -> Self {
+        AdaptiveMap {
+            repr: self.repr.clone(),
+            threshold: self.threshold,
+            transitions: self.transitions,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone + fmt::Debug, V: Clone + fmt::Debug> fmt::Debug for AdaptiveMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        self.for_each(|k, v| {
+            map.entry(k, v);
+        });
+        map.finish()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> FromIterator<(K, V)> for AdaptiveMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = AdaptiveMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Extend<(K, V)> for AdaptiveMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> HeapSize for AdaptiveMap<K, V> {
+    fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Array(m) => m.heap_bytes(),
+            Repr::Open(m) => m.heap_bytes(),
+        }
+    }
+
+    fn allocated_bytes(&self) -> u64 {
+        match &self.repr {
+            Repr::Array(m) => m.allocated_bytes(),
+            Repr::Open(m) => m.allocated_bytes(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> MapOps<K, V> for AdaptiveMap<K, V> {
+    fn len(&self) -> usize {
+        AdaptiveMap::len(self)
+    }
+    fn map_insert(&mut self, key: K, value: V) -> Option<V> {
+        AdaptiveMap::insert(self, key, value)
+    }
+    fn map_get(&self, key: &K) -> Option<&V> {
+        AdaptiveMap::get(self, key)
+    }
+    fn map_remove(&mut self, key: &K) -> Option<V> {
+        AdaptiveMap::remove(self, key)
+    }
+    fn contains_key(&self, key: &K) -> bool {
+        AdaptiveMap::contains_key(self, key)
+    }
+    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
+        self.for_each(f);
+    }
+    fn clear(&mut self) {
+        AdaptiveMap::clear(self);
+    }
+    fn drain_into(&mut self, sink: &mut dyn FnMut(K, V)) {
+        match &mut self.repr {
+            Repr::Array(m) => MapOps::drain_into(m, sink),
+            Repr::Open(m) => MapOps::drain_into(m, sink),
+        }
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threshold_matches_table_1() {
+        let m: AdaptiveMap<i64, i64> = AdaptiveMap::new();
+        assert_eq!(m.threshold(), 50);
+    }
+
+    #[test]
+    fn transition_preserves_entries() {
+        let mut m = AdaptiveMap::with_threshold(8);
+        for k in 0..30_i64 {
+            m.insert(k, k * 7);
+        }
+        assert!(!m.is_array_backed());
+        assert_eq!(m.transitions(), 1);
+        for k in 0..30_i64 {
+            assert_eq!(m.get(&k), Some(&(k * 7)));
+        }
+    }
+
+    #[test]
+    fn replacement_does_not_count_toward_threshold() {
+        let mut m = AdaptiveMap::with_threshold(3);
+        for _ in 0..50 {
+            m.insert(1_i64, 1_i64);
+        }
+        assert!(m.is_array_backed());
+    }
+
+    #[test]
+    fn insert_returns_previous_value_across_transition() {
+        let mut m = AdaptiveMap::with_threshold(2);
+        m.insert(1, "a");
+        m.insert(2, "b");
+        m.insert(3, "c"); // triggers transition
+        assert!(!m.is_array_backed());
+        assert_eq!(m.insert(1, "z"), Some("a"));
+    }
+
+    #[test]
+    fn small_maps_have_array_footprint() {
+        use crate::map::ChainedHashMap;
+        let mut adaptive = AdaptiveMap::new();
+        let mut chained = ChainedHashMap::new();
+        for k in 0..20_i64 {
+            adaptive.insert(k, k);
+            chained.insert(k, k);
+        }
+        assert!(adaptive.heap_bytes() < chained.heap_bytes());
+    }
+
+    #[test]
+    fn get_mut_works_in_both_phases() {
+        let mut m = AdaptiveMap::with_threshold(2);
+        m.insert(1_i64, 10_i64);
+        *m.get_mut(&1).unwrap() += 1;
+        assert_eq!(m.get(&1), Some(&11));
+        for k in 2..10 {
+            m.insert(k, k);
+        }
+        *m.get_mut(&1).unwrap() += 1;
+        assert_eq!(m.get(&1), Some(&12));
+    }
+
+    #[test]
+    fn remove_works_in_both_phases() {
+        let mut m = AdaptiveMap::with_threshold(5);
+        for k in 0..3_i64 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.remove(&0), Some(0));
+        for k in 3..20_i64 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.remove(&19), Some(19));
+        assert_eq!(m.remove(&0), None);
+    }
+
+    #[test]
+    fn drain_into_resets_to_array() {
+        let mut m: AdaptiveMap<i64, i64> = (0..80).map(|k| (k, k)).collect();
+        assert!(!m.is_array_backed());
+        let mut n = 0;
+        MapOps::drain_into(&mut m, &mut |_, _| n += 1);
+        assert_eq!(n, 80);
+        assert!(m.is_array_backed());
+    }
+}

@@ -1,0 +1,32 @@
+//! Instance-level adaptive collections (paper §3.2, Table 1).
+//!
+//! Each adaptive collection starts on an array representation — the cheapest
+//! footprint and the fastest lookup at small sizes thanks to locality — and
+//! performs a one-time *instant transition* (a full copy) to a hash
+//! representation when its size first exceeds a calibrated threshold.
+//!
+//! The paper's calibrated thresholds (Table 1) are the defaults here:
+//!
+//! | Type | Transition | Threshold |
+//! |---|---|---|
+//! | [`AdaptiveList`] | array → hash | 80 |
+//! | [`AdaptiveSet`]  | array → openhash | 40 |
+//! | [`AdaptiveMap`]  | array → openhash | 50 |
+//!
+//! Custom thresholds (`with_threshold`) support the Fig. 3 sweep that
+//! re-derives these numbers; see `cs-bench`'s `fig3_threshold`.
+
+mod list;
+mod map;
+mod set;
+
+pub use list::AdaptiveList;
+pub use map::AdaptiveMap;
+pub use set::AdaptiveSet;
+
+/// Default array → hash threshold for [`AdaptiveList`] (paper Table 1).
+pub const LIST_THRESHOLD: usize = 80;
+/// Default array → openhash threshold for [`AdaptiveSet`] (paper Table 1).
+pub const SET_THRESHOLD: usize = 40;
+/// Default array → openhash threshold for [`AdaptiveMap`] (paper Table 1).
+pub const MAP_THRESHOLD: usize = 50;

@@ -1,0 +1,185 @@
+//! A fast, non-cryptographic hasher built in-crate.
+//!
+//! The hash-backed variants in this crate all hash through [`FxHasher`], an
+//! FNV/Fx-style multiplicative hasher equivalent in spirit to the hashers the
+//! Java libraries reproduced here use (Koloboke and fastutil both use cheap
+//! multiplicative mixing rather than SipHash). Using one shared cheap hasher
+//! keeps the *relative* cost frontiers of the variants — which is what the
+//! CollectionSwitch selection logic depends on — in line with the paper.
+
+use std::hash::{BuildHasher, Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiplicative hasher (Fx-style, as used by rustc).
+///
+/// Not resistant to hash flooding; do not use for untrusted keys. This is the
+/// same trade-off the Java collection libraries in the paper make.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::hash_one;
+///
+/// let h1 = hash_one(&42_i64);
+/// let h2 = hash_one(&42_i64);
+/// assert_eq!(h1, h2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    /// Creates a hasher with the default (zero) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn add_to_state(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so low bits are usable for power-of-two masking.
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_state(u64::from_le_bytes(word));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_to_state(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_state(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_state(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_state(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_state(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_state(i as u64);
+        self.add_to_state((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_state(i as u64);
+    }
+}
+
+/// [`BuildHasher`] producing [`FxHasher`] instances.
+///
+/// # Examples
+///
+/// ```
+/// use std::hash::BuildHasher;
+/// use cs_collections::FxBuildHasher;
+///
+/// let b = FxBuildHasher::default();
+/// assert_eq!(b.hash_one(7_u32), b.hash_one(7_u32));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::new()
+    }
+}
+
+/// Hashes a single value with the crate-wide hasher.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::hash_one;
+///
+/// assert_ne!(hash_one(&1_i64), hash_one(&2_i64));
+/// ```
+#[inline]
+pub fn hash_one<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(&12345_u64), hash_one(&12345_u64));
+        assert_eq!(hash_one("hello"), hash_one("hello"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_one(&0_u64), hash_one(&1_u64));
+        assert_ne!(hash_one("a"), hash_one("b"));
+    }
+
+    #[test]
+    fn low_bits_spread_for_sequential_keys() {
+        // Power-of-two tables mask the low bits; sequential integers must not
+        // collapse into a handful of buckets.
+        let mask = 63_u64;
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0..64_i64 {
+            buckets.insert(hash_one(&i) & mask);
+        }
+        assert!(buckets.len() > 32, "got only {} buckets", buckets.len());
+    }
+
+    #[test]
+    fn handles_unaligned_byte_tails() {
+        // 9 bytes: one full word plus a 1-byte tail.
+        let a = hash_one(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9][..]);
+        let b = hash_one(&[1u8, 2, 3, 4, 5, 6, 7, 8, 10][..]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn u128_differs_across_halves() {
+        let lo = hash_one(&1_u128);
+        let hi = hash_one(&(1_u128 << 64));
+        assert_ne!(lo, hi);
+    }
+}

@@ -1,0 +1,350 @@
+//! Array list with a hash multiset index — the paper's `HashArrayList`.
+
+use std::fmt;
+use std::hash::Hash;
+use std::mem;
+
+use crate::list::ArrayList;
+use crate::map::OpenHashMap;
+use crate::traits::{HeapSize, ListOps};
+
+/// An array list that additionally maintains a hash multiset of its elements,
+/// trading memory for O(1) `contains`.
+///
+/// This is the paper's `HashArrayList` ("ArrayList + HashBag for faster
+/// lookups", Table 2): positional operations behave like
+/// [`ArrayList`](crate::ArrayList), membership tests are hash lookups, and
+/// every mutation pays an extra hash update — which is exactly why the
+/// paper's multi-phase experiment (Fig. 6) shows it losing to `ArrayList`
+/// during the *search and remove* phase.
+///
+/// Elements must be `Eq + Hash + Clone`: the index stores its own copy of
+/// each distinct element with a multiplicity count.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::HashArrayList;
+///
+/// let mut list = HashArrayList::new();
+/// for v in 0..1000 {
+///     list.push(v);
+/// }
+/// assert!(list.contains(&999)); // hash lookup, not a scan
+/// assert_eq!(list.remove(0), 0);
+/// assert!(!list.contains(&0));
+/// ```
+pub struct HashArrayList<T: Eq + Hash + Clone> {
+    items: ArrayList<T>,
+    index: OpenHashMap<T, u32>,
+}
+
+impl<T: Eq + Hash + Clone> HashArrayList<T> {
+    /// Creates an empty list without allocating.
+    pub fn new() -> Self {
+        HashArrayList {
+            items: ArrayList::new(),
+            index: OpenHashMap::new(),
+        }
+    }
+
+    /// Creates an empty list with room for `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        HashArrayList {
+            items: ArrayList::with_capacity(capacity),
+            index: OpenHashMap::with_capacity_and_profile(
+                capacity,
+                crate::kind::LibraryProfile::Koloboke,
+            ),
+        }
+    }
+
+    /// Number of elements in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the list holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn index_add(&mut self, value: &T) {
+        match self.index.get_mut(value) {
+            Some(n) => *n += 1,
+            None => {
+                self.index.insert(value.clone(), 1);
+            }
+        }
+    }
+
+    fn index_sub(&mut self, value: &T) {
+        let n = self
+            .index
+            .get_mut(value)
+            .expect("index out of sync: removing untracked element");
+        if *n == 1 {
+            self.index.remove(value);
+        } else {
+            *n -= 1;
+        }
+    }
+
+    /// Appends `value` at the end.
+    pub fn push(&mut self, value: T) {
+        self.index_add(&value);
+        self.items.push(value);
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        let value = self.items.pop()?;
+        self.index_sub(&value);
+        Some(value)
+    }
+
+    /// Inserts `value` at `index`, shifting later elements right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len`.
+    pub fn insert(&mut self, index: usize, value: T) {
+        self.index_add(&value);
+        self.items.insert(index, value);
+    }
+
+    /// Removes and returns the element at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn remove(&mut self, index: usize) -> T {
+        let value = self.items.remove(index);
+        self.index_sub(&value);
+        value
+    }
+
+    /// Returns a reference to the element at `index`, if in bounds.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.items.get(index)
+    }
+
+    /// Replaces the element at `index`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize, value: T) -> T {
+        self.index_add(&value);
+        let old = self.items.set(index, value);
+        self.index_sub(&old);
+        old
+    }
+
+    /// Returns `true` if some element equals `value` — an O(1) hash lookup.
+    pub fn contains(&self, value: &T) -> bool {
+        self.index.contains_key(value)
+    }
+
+    /// Returns an iterator over the elements in positional order.
+    pub fn iter(&self) -> crate::list::ArrayListIter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Returns the elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        self.items.as_slice()
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.index.clear();
+    }
+}
+
+impl<T: Eq + Hash + Clone> Default for HashArrayList<T> {
+    fn default() -> Self {
+        HashArrayList::new()
+    }
+}
+
+impl<T: Eq + Hash + Clone> Clone for HashArrayList<T> {
+    fn clone(&self) -> Self {
+        HashArrayList {
+            items: self.items.clone(),
+            index: self.index.clone(),
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone + fmt::Debug> fmt::Debug for HashArrayList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.items.iter()).finish()
+    }
+}
+
+impl<T: Eq + Hash + Clone> PartialEq for HashArrayList<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
+    }
+}
+
+impl<T: Eq + Hash + Clone> Eq for HashArrayList<T> {}
+
+impl<T: Eq + Hash + Clone> FromIterator<T> for HashArrayList<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut list = HashArrayList::new();
+        for v in iter {
+            list.push(v);
+        }
+        list
+    }
+}
+
+impl<T: Eq + Hash + Clone> Extend<T> for HashArrayList<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone> HeapSize for HashArrayList<T> {
+    fn heap_bytes(&self) -> usize {
+        self.items.heap_bytes() + self.index.heap_bytes()
+    }
+
+    fn allocated_bytes(&self) -> u64 {
+        self.items.allocated_bytes() + self.index.allocated_bytes()
+    }
+}
+
+impl<T: Eq + Hash + Clone> ListOps<T> for HashArrayList<T> {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn push(&mut self, value: T) {
+        HashArrayList::push(self, value);
+    }
+    fn pop(&mut self) -> Option<T> {
+        HashArrayList::pop(self)
+    }
+    fn list_insert(&mut self, index: usize, value: T) {
+        HashArrayList::insert(self, index, value);
+    }
+    fn list_remove(&mut self, index: usize) -> T {
+        HashArrayList::remove(self, index)
+    }
+    fn get(&self, index: usize) -> Option<&T> {
+        HashArrayList::get(self, index)
+    }
+    fn set(&mut self, index: usize, value: T) -> T {
+        HashArrayList::set(self, index, value)
+    }
+    fn contains(&self, value: &T) -> bool {
+        HashArrayList::contains(self, value)
+    }
+    fn for_each_value(&self, f: &mut dyn FnMut(&T)) {
+        for v in self.items.iter() {
+            f(v);
+        }
+    }
+    fn clear(&mut self) {
+        HashArrayList::clear(self);
+    }
+    fn drain_into(&mut self, sink: &mut dyn FnMut(T)) {
+        self.index.clear();
+        let items = mem::take(&mut self.items);
+        for v in items {
+            sink(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_tracks_duplicates() {
+        let mut l = HashArrayList::new();
+        l.push(1);
+        l.push(1);
+        assert_eq!(l.remove(0), 1);
+        assert!(l.contains(&1), "one copy of 1 remains");
+        assert_eq!(l.remove(0), 1);
+        assert!(!l.contains(&1));
+    }
+
+    #[test]
+    fn positional_ops_match_array_list() {
+        let mut l = HashArrayList::new();
+        for i in 0..10_i64 {
+            l.push(i);
+        }
+        l.insert(5, 99);
+        assert_eq!(l.get(5), Some(&99));
+        assert_eq!(l.remove(5), 99);
+        assert_eq!(l.as_slice(), (0..10).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn set_updates_index_for_both_values() {
+        let mut l = HashArrayList::new();
+        l.push(1);
+        l.push(2);
+        assert_eq!(l.set(0, 3), 1);
+        assert!(!l.contains(&1));
+        assert!(l.contains(&3));
+        assert!(l.contains(&2));
+    }
+
+    #[test]
+    fn pop_unindexes() {
+        let mut l = HashArrayList::new();
+        l.push(7);
+        assert_eq!(l.pop(), Some(7));
+        assert!(!l.contains(&7));
+        assert_eq!(l.pop(), None);
+    }
+
+    #[test]
+    fn uses_more_memory_than_plain_array_list() {
+        let plain: ArrayList<i64> = (0..100).collect();
+        let hashed: HashArrayList<i64> = (0..100).collect();
+        assert!(hashed.heap_bytes() > plain.heap_bytes());
+    }
+
+    #[test]
+    fn clear_resets_index() {
+        let mut l: HashArrayList<i64> = (0..10).collect();
+        l.clear();
+        assert!(!l.contains(&5));
+        assert!(l.is_empty());
+        l.push(5);
+        assert!(l.contains(&5));
+    }
+
+    #[test]
+    fn drain_into_yields_in_order_and_resets() {
+        let mut l: HashArrayList<i64> = (0..5).collect();
+        let mut got = Vec::new();
+        ListOps::drain_into(&mut l, &mut |v| got.push(v));
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(l.is_empty());
+        assert!(!l.contains(&0));
+    }
+
+    #[test]
+    fn equality_is_positional() {
+        let a: HashArrayList<i64> = (0..5).collect();
+        let b: HashArrayList<i64> = (0..5).collect();
+        let c: HashArrayList<i64> = (0..5).rev().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

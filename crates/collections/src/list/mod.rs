@@ -1,0 +1,12 @@
+//! List variants: [`ArrayList`], [`LinkedList`], [`HashArrayList`].
+//!
+//! The fourth list variant of the paper, `AdaptiveList`, lives in
+//! [`crate::adaptive`] together with the other size-adaptive structures.
+
+mod array_list;
+mod hash_array_list;
+mod linked_list;
+
+pub use array_list::{ArrayList, IntoIter as ArrayListIntoIter, Iter as ArrayListIter};
+pub use hash_array_list::HashArrayList;
+pub use linked_list::{Iter as LinkedListIter, LinkedList};

@@ -1,0 +1,542 @@
+//! Chained hash map mirroring JDK `HashMap`.
+
+use std::fmt;
+use std::hash::Hash;
+use std::mem;
+
+use crate::hash::hash_one;
+use crate::traits::{HeapSize, MapOps};
+
+const DEFAULT_BUCKETS: usize = 16;
+const MAX_LOAD_FACTOR: f64 = 0.75;
+
+struct Node<K, V> {
+    hash: u64,
+    key: K,
+    value: V,
+    next: Option<Box<Node<K, V>>>,
+}
+
+/// A separate-chaining hash map, the reproduction of JDK `HashMap`.
+///
+/// Every entry is an individually heap-allocated node carrying its cached
+/// hash and a chain link — exactly the JDK layout whose per-entry overhead
+/// and allocation pressure make `HashMap` the bloat-prone baseline of the
+/// paper ("the memory overhead of individual collections can be as high as
+/// 90%"). Default capacity 16, load factor 0.75, table doubling.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::ChainedHashMap;
+///
+/// let mut m = ChainedHashMap::new();
+/// m.insert("one", 1);
+/// m.insert("two", 2);
+/// assert_eq!(m.get(&"two"), Some(&2));
+/// assert_eq!(m.len(), 2);
+/// ```
+pub struct ChainedHashMap<K, V> {
+    buckets: Box<[Option<Box<Node<K, V>>>]>,
+    len: usize,
+    allocated: u64,
+}
+
+impl<K: Eq + Hash, V> ChainedHashMap<K, V> {
+    /// Creates an empty map without allocating.
+    pub fn new() -> Self {
+        ChainedHashMap {
+            buckets: Box::new([]),
+            len: 0,
+            allocated: 0,
+        }
+    }
+
+    /// Creates an empty map sized for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut m = ChainedHashMap::new();
+        if capacity > 0 {
+            let buckets = ((capacity as f64 / MAX_LOAD_FACTOR).ceil() as usize)
+                .max(DEFAULT_BUCKETS)
+                .next_power_of_two();
+            m.rebuild_buckets(buckets);
+        }
+        m
+    }
+
+    /// Number of entries in the map.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current bucket count.
+    #[inline]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn rebuild_buckets(&mut self, count: usize) {
+        debug_assert!(count.is_power_of_two());
+        let old = mem::replace(
+            &mut self.buckets,
+            (0..count).map(|_| None).collect(),
+        );
+        self.allocated += (count * mem::size_of::<Option<Box<Node<K, V>>>>()) as u64;
+        let mask = count - 1;
+        for mut chain in old.into_vec() {
+            while let Some(mut node) = chain {
+                chain = node.next.take();
+                let b = (node.hash as usize) & mask;
+                node.next = self.buckets[b].take();
+                self.buckets[b] = Some(node);
+            }
+        }
+    }
+
+    fn maybe_grow(&mut self) {
+        if self.buckets.is_empty() {
+            self.rebuild_buckets(DEFAULT_BUCKETS);
+        } else if (self.len + 1) as f64 > self.buckets.len() as f64 * MAX_LOAD_FACTOR {
+            self.rebuild_buckets(self.buckets.len() * 2);
+        }
+    }
+
+    fn find(&self, key: &K, hash: u64) -> Option<&Node<K, V>> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let mut cur = self.buckets[(hash as usize) & (self.buckets.len() - 1)].as_deref();
+        while let Some(node) = cur {
+            if node.hash == hash && node.key == *key {
+                return Some(node);
+            }
+            cur = node.next.as_deref();
+        }
+        None
+    }
+
+    /// Inserts or replaces the value for `key`, returning the previous value.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let hash = hash_one(&key);
+        if !self.buckets.is_empty() {
+            let b = (hash as usize) & (self.buckets.len() - 1);
+            let mut cur = self.buckets[b].as_deref_mut();
+            while let Some(node) = cur {
+                if node.hash == hash && node.key == key {
+                    return Some(mem::replace(&mut node.value, value));
+                }
+                cur = node.next.as_deref_mut();
+            }
+        }
+        self.maybe_grow();
+        let b = (hash as usize) & (self.buckets.len() - 1);
+        let node = Box::new(Node {
+            hash,
+            key,
+            value,
+            next: self.buckets[b].take(),
+        });
+        self.allocated += mem::size_of::<Node<K, V>>() as u64;
+        self.buckets[b] = Some(node);
+        self.len += 1;
+        None
+    }
+
+    /// Returns a reference to the value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.find(key, hash_one(key)).map(|n| &n.value)
+    }
+
+    /// Returns a mutable reference to the value for `key`, if present.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let hash = hash_one(key);
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let b = (hash as usize) & (self.buckets.len() - 1);
+        let mut cur = self.buckets[b].as_deref_mut();
+        while let Some(node) = cur {
+            if node.hash == hash && node.key == *key {
+                return Some(&mut node.value);
+            }
+            cur = node.next.as_deref_mut();
+        }
+        None
+    }
+
+    /// Returns `true` if `key` has an entry.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find(key, hash_one(key)).is_some()
+    }
+
+    /// Removes the entry for `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let hash = hash_one(key);
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let b = (hash as usize) & (self.buckets.len() - 1);
+        let mut cur = &mut self.buckets[b];
+        loop {
+            let found = match cur.as_deref() {
+                None => return None,
+                Some(n) => n.hash == hash && n.key == *key,
+            };
+            if found {
+                let node = cur.take().expect("checked above");
+                *cur = node.next;
+                self.len -= 1;
+                return Some(node.value);
+            }
+            cur = &mut cur.as_deref_mut().expect("checked above").next;
+        }
+    }
+
+}
+
+impl<K, V> ChainedHashMap<K, V> {
+    /// Returns an iterator over the entries in bucket order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            buckets: &self.buckets,
+            bucket_idx: 0,
+            node: None,
+            remaining: self.len,
+        }
+    }
+
+    /// Removes every entry, keeping the bucket table.
+    pub fn clear(&mut self) {
+        for bucket in self.buckets.iter_mut() {
+            // Pop iteratively so deep chains cannot overflow the stack.
+            let mut chain = bucket.take();
+            while let Some(mut node) = chain {
+                chain = node.next.take();
+            }
+        }
+        self.len = 0;
+    }
+}
+
+impl<K, V> Drop for ChainedHashMap<K, V> {
+    fn drop(&mut self) {
+        for bucket in self.buckets.iter_mut() {
+            let mut chain = bucket.take();
+            while let Some(mut node) = chain {
+                chain = node.next.take();
+            }
+        }
+    }
+}
+
+impl<K: Eq + Hash, V> Default for ChainedHashMap<K, V> {
+    fn default() -> Self {
+        ChainedHashMap::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Clone for ChainedHashMap<K, V> {
+    fn clone(&self) -> Self {
+        let mut out = ChainedHashMap::with_capacity(self.len);
+        for (k, v) in self.iter() {
+            out.insert(k.clone(), v.clone());
+        }
+        out
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for ChainedHashMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Eq + Hash, V: PartialEq> PartialEq for ChainedHashMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl<K: Eq + Hash, V: Eq> Eq for ChainedHashMap<K, V> {}
+
+impl<K: Eq + Hash, V> FromIterator<(K, V)> for ChainedHashMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = ChainedHashMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K: Eq + Hash, V> Extend<(K, V)> for ChainedHashMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+/// Borrowing iterator over a [`ChainedHashMap`].
+pub struct Iter<'a, K, V> {
+    buckets: &'a [Option<Box<Node<K, V>>>],
+    bucket_idx: usize,
+    node: Option<&'a Node<K, V>>,
+    remaining: usize,
+}
+
+impl<K, V> fmt::Debug for Iter<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Iter")
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            if let Some(node) = self.node {
+                self.node = node.next.as_deref();
+                self.remaining -= 1;
+                return Some((&node.key, &node.value));
+            }
+            if self.bucket_idx >= self.buckets.len() {
+                return None;
+            }
+            self.node = self.buckets[self.bucket_idx].as_deref();
+            self.bucket_idx += 1;
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<K, V> ExactSizeIterator for Iter<'_, K, V> {}
+
+impl<'a, K: Eq + Hash, V> IntoIterator for &'a ChainedHashMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+
+    fn into_iter(self) -> Iter<'a, K, V> {
+        self.iter()
+    }
+}
+
+impl<K, V> HeapSize for ChainedHashMap<K, V> {
+    fn heap_bytes(&self) -> usize {
+        self.buckets.len() * mem::size_of::<Option<Box<Node<K, V>>>>()
+            + self.len * mem::size_of::<Node<K, V>>()
+    }
+
+    fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> MapOps<K, V> for ChainedHashMap<K, V> {
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn map_insert(&mut self, key: K, value: V) -> Option<V> {
+        self.insert(key, value)
+    }
+    fn map_get(&self, key: &K) -> Option<&V> {
+        self.get(key)
+    }
+    fn map_remove(&mut self, key: &K) -> Option<V> {
+        self.remove(key)
+    }
+    fn contains_key(&self, key: &K) -> bool {
+        ChainedHashMap::contains_key(self, key)
+    }
+    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+    fn clear(&mut self) {
+        ChainedHashMap::clear(self);
+    }
+    fn drain_into(&mut self, sink: &mut dyn FnMut(K, V)) {
+        let buckets = mem::take(&mut self.buckets);
+        self.len = 0;
+        for mut chain in buckets.into_vec() {
+            while let Some(mut node) = chain {
+                chain = node.next.take();
+                sink(node.key, node.value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as StdMap;
+
+    #[test]
+    fn basic_round_trip() {
+        let mut m = ChainedHashMap::new();
+        for i in 0..500_i64 {
+            assert_eq!(m.insert(i, i * 3), None);
+        }
+        for i in 0..500_i64 {
+            assert_eq!(m.get(&i), Some(&(i * 3)));
+            assert!(m.contains_key(&i));
+        }
+        assert_eq!(m.get(&500), None);
+    }
+
+    #[test]
+    fn buckets_double_under_load() {
+        let mut m = ChainedHashMap::new();
+        for i in 0..13_i64 {
+            m.insert(i, ());
+        }
+        assert_eq!(m.bucket_count(), 32, "16 * 0.75 = 12 entries trigger doubling");
+    }
+
+    #[test]
+    fn remove_from_chain_head_middle_tail() {
+        let mut m = ChainedHashMap::new();
+        for i in 0..64_i64 {
+            m.insert(i, i);
+        }
+        for &i in &[0, 63, 31, 17, 42] {
+            assert_eq!(m.remove(&i), Some(i));
+        }
+        for &i in &[0, 63, 31, 17, 42] {
+            assert_eq!(m.get(&i), None);
+        }
+        assert_eq!(m.len(), 59);
+        for i in 0..64_i64 {
+            if ![0, 63, 31, 17, 42].contains(&i) {
+                assert_eq!(m.get(&i), Some(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_std_hashmap_on_mixed_ops() {
+        let mut ours = ChainedHashMap::new();
+        let mut std = StdMap::new();
+        let mut x = 0xdeadbeef_u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) as i64 % 300;
+            match x % 3 {
+                0 => assert_eq!(ours.insert(key, x), std.insert(key, x)),
+                1 => assert_eq!(ours.remove(&key), std.remove(&key)),
+                _ => assert_eq!(ours.get(&key), std.get(&key)),
+            }
+            assert_eq!(ours.len(), std.len());
+        }
+    }
+
+    #[test]
+    fn per_entry_nodes_make_it_heavier_than_open_hash() {
+        use crate::map::OpenHashMap;
+        use crate::LibraryProfile;
+        let mut chained = ChainedHashMap::new();
+        let mut open = OpenHashMap::with_profile(LibraryProfile::FastUtil);
+        for i in 0..1500_i64 {
+            chained.insert(i, i);
+            open.insert(i, i);
+        }
+        assert!(
+            chained.heap_bytes() > open.heap_bytes(),
+            "chained ({}) must exceed dense open hash ({})",
+            chained.heap_bytes(),
+            open.heap_bytes()
+        );
+    }
+
+    #[test]
+    fn allocation_grows_per_entry() {
+        let mut m = ChainedHashMap::new();
+        m.insert(0_i64, 0_i64);
+        let after_one = m.allocated_bytes();
+        m.insert(1, 1);
+        assert!(
+            m.allocated_bytes() >= after_one + mem::size_of::<Node<i64, i64>>() as u64,
+            "every insert must allocate a node"
+        );
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let mut m = ChainedHashMap::new();
+        for i in 0..100_i64 {
+            m.insert(i, i);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&5), None);
+        m.insert(5, 55);
+        assert_eq!(m.get(&5), Some(&55));
+    }
+
+    #[test]
+    fn iteration_covers_all_entries() {
+        let mut m = ChainedHashMap::new();
+        for i in 0..77_i64 {
+            m.insert(i, i * i);
+        }
+        let mut pairs: Vec<(i64, i64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs.len(), 77);
+        assert!(pairs.iter().all(|(k, v)| v == &(k * k)));
+        assert_eq!(m.iter().len(), 77);
+    }
+
+    #[test]
+    fn drain_into_resets_map() {
+        let mut m = ChainedHashMap::new();
+        for i in 0..10_i64 {
+            m.insert(i, i);
+        }
+        let mut n = 0;
+        MapOps::drain_into(&mut m, &mut |_, _| n += 1);
+        assert_eq!(n, 10);
+        assert!(m.is_empty());
+        m.insert(1, 1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn drop_releases_all_nodes() {
+        use std::rc::Rc;
+        let marker = Rc::new(());
+        {
+            let mut m = ChainedHashMap::new();
+            for i in 0..50_i64 {
+                m.insert(i, Rc::clone(&marker));
+            }
+            assert_eq!(Rc::strong_count(&marker), 51);
+        }
+        assert_eq!(Rc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn long_chain_drop_does_not_overflow() {
+        // All keys in one bucket would be pathological; simulate scale by
+        // just inserting many entries and dropping.
+        let mut m = ChainedHashMap::with_capacity(1 << 14);
+        for i in 0..(1 << 14) as i64 {
+            m.insert(i, i);
+        }
+        drop(m);
+    }
+}

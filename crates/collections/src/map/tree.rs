@@ -1,0 +1,662 @@
+//! Ordered map on an arena-allocated AVL tree, mirroring JDK `TreeMap`.
+//!
+//! The paper's introduction names `TreeMap` alongside `HashMap` as a JDK map
+//! whose asymptotics (logarithmic lookups) can mislead: for small maps a
+//! linear array scan beats it on constants. Including it in the candidate
+//! set lets the framework demonstrate exactly that trade-off, and extends
+//! the reproduction toward the paper's "sorted collections" future work.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::fmt;
+use std::hash::Hash;
+use std::mem;
+
+use crate::traits::{HeapSize, MapOps};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    left: usize,
+    right: usize,
+    height: i32,
+}
+
+#[derive(Debug, Clone)]
+enum Slot<K, V> {
+    Occupied(Node<K, V>),
+    Free { next_free: usize },
+}
+
+/// A sorted map with O(log n) operations and in-order iteration — the
+/// reproduction of JDK `TreeMap`, built as an AVL tree over an index arena
+/// (no `unsafe`, no per-node allocations beyond arena growth).
+///
+/// Keys must be [`Ord`]. Iteration yields entries in ascending key order.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::TreeMap;
+///
+/// let mut m = TreeMap::new();
+/// m.insert(3, "c");
+/// m.insert(1, "a");
+/// m.insert(2, "b");
+/// let keys: Vec<i32> = m.iter().map(|(k, _)| *k).collect();
+/// assert_eq!(keys, [1, 2, 3]); // sorted order
+/// assert_eq!(m.first_key(), Some(&1));
+/// ```
+pub struct TreeMap<K, V> {
+    slots: Vec<Slot<K, V>>,
+    root: usize,
+    free_head: usize,
+    len: usize,
+    allocated: u64,
+}
+
+impl<K: Ord, V> TreeMap<K, V> {
+    /// Creates an empty map without allocating.
+    pub fn new() -> Self {
+        TreeMap {
+            slots: Vec::new(),
+            root: NIL,
+            free_head: NIL,
+            len: 0,
+            allocated: 0,
+        }
+    }
+
+    /// Number of entries in the map.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn node(&self, idx: usize) -> &Node<K, V> {
+        match &self.slots[idx] {
+            Slot::Occupied(n) => n,
+            Slot::Free { .. } => unreachable!("tree walked into a free slot"),
+        }
+    }
+
+    fn node_mut(&mut self, idx: usize) -> &mut Node<K, V> {
+        match &mut self.slots[idx] {
+            Slot::Occupied(n) => n,
+            Slot::Free { .. } => unreachable!("tree walked into a free slot"),
+        }
+    }
+
+    fn height(&self, idx: usize) -> i32 {
+        if idx == NIL {
+            0
+        } else {
+            self.node(idx).height
+        }
+    }
+
+    fn update_height(&mut self, idx: usize) {
+        let h = 1 + self.height(self.node(idx).left).max(self.height(self.node(idx).right));
+        self.node_mut(idx).height = h;
+    }
+
+    fn balance_factor(&self, idx: usize) -> i32 {
+        self.height(self.node(idx).left) - self.height(self.node(idx).right)
+    }
+
+    fn rotate_right(&mut self, y: usize) -> usize {
+        let x = self.node(y).left;
+        let t2 = self.node(x).right;
+        self.node_mut(x).right = y;
+        self.node_mut(y).left = t2;
+        self.update_height(y);
+        self.update_height(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: usize) -> usize {
+        let y = self.node(x).right;
+        let t2 = self.node(y).left;
+        self.node_mut(y).left = x;
+        self.node_mut(x).right = t2;
+        self.update_height(x);
+        self.update_height(y);
+        y
+    }
+
+    /// Restores the AVL invariant at `idx`, returning the new subtree root.
+    fn rebalance(&mut self, idx: usize) -> usize {
+        self.update_height(idx);
+        let bf = self.balance_factor(idx);
+        if bf > 1 {
+            if self.balance_factor(self.node(idx).left) < 0 {
+                let l = self.node(idx).left;
+                let rotated = self.rotate_left(l);
+                self.node_mut(idx).left = rotated;
+            }
+            self.rotate_right(idx)
+        } else if bf < -1 {
+            if self.balance_factor(self.node(idx).right) > 0 {
+                let r = self.node(idx).right;
+                let rotated = self.rotate_right(r);
+                self.node_mut(idx).right = rotated;
+            }
+            self.rotate_left(idx)
+        } else {
+            idx
+        }
+    }
+
+    fn alloc_node(&mut self, key: K, value: V) -> usize {
+        let node = Node {
+            key,
+            value,
+            left: NIL,
+            right: NIL,
+            height: 1,
+        };
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            match self.slots[idx] {
+                Slot::Free { next_free } => self.free_head = next_free,
+                Slot::Occupied(_) => unreachable!(),
+            }
+            self.slots[idx] = Slot::Occupied(node);
+            idx
+        } else {
+            let old_cap = self.slots.capacity();
+            self.slots.push(Slot::Occupied(node));
+            let new_cap = self.slots.capacity();
+            if new_cap != old_cap {
+                self.allocated += ((new_cap - old_cap) * mem::size_of::<Slot<K, V>>()) as u64;
+            }
+            self.slots.len() - 1
+        }
+    }
+
+    fn free_node(&mut self, idx: usize) -> Node<K, V> {
+        let slot = mem::replace(
+            &mut self.slots[idx],
+            Slot::Free {
+                next_free: self.free_head,
+            },
+        );
+        self.free_head = idx;
+        match slot {
+            Slot::Occupied(n) => n,
+            Slot::Free { .. } => unreachable!("double free in tree arena"),
+        }
+    }
+
+    fn insert_at(&mut self, idx: usize, key: K, value: V) -> (usize, Option<V>) {
+        if idx == NIL {
+            self.len += 1;
+            return (self.alloc_node(key, value), None);
+        }
+        let old = match key.cmp(&self.node(idx).key) {
+            CmpOrdering::Less => {
+                let (left, old) = self.insert_at(self.node(idx).left, key, value);
+                self.node_mut(idx).left = left;
+                old
+            }
+            CmpOrdering::Greater => {
+                let (right, old) = self.insert_at(self.node(idx).right, key, value);
+                self.node_mut(idx).right = right;
+                old
+            }
+            CmpOrdering::Equal => {
+                return (idx, Some(mem::replace(&mut self.node_mut(idx).value, value)));
+            }
+        };
+        (self.rebalance(idx), old)
+    }
+
+    /// Inserts or replaces the value for `key`, returning the previous value.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (root, old) = self.insert_at(self.root, key, value);
+        self.root = root;
+        old
+    }
+
+    fn find(&self, key: &K) -> Option<usize> {
+        let mut idx = self.root;
+        while idx != NIL {
+            let node = self.node(idx);
+            match key.cmp(&node.key) {
+                CmpOrdering::Less => idx = node.left,
+                CmpOrdering::Greater => idx = node.right,
+                CmpOrdering::Equal => return Some(idx),
+            }
+        }
+        None
+    }
+
+    /// Returns a reference to the value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.find(key).map(|i| &self.node(i).value)
+    }
+
+    /// Returns a mutable reference to the value for `key`, if present.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.find(key).map(|i| &mut self.node_mut(i).value)
+    }
+
+    /// Returns `true` if `key` has an entry.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Smallest key in the map, if any.
+    pub fn first_key(&self) -> Option<&K> {
+        let mut idx = self.root;
+        if idx == NIL {
+            return None;
+        }
+        while self.node(idx).left != NIL {
+            idx = self.node(idx).left;
+        }
+        Some(&self.node(idx).key)
+    }
+
+    /// Largest key in the map, if any.
+    pub fn last_key(&self) -> Option<&K> {
+        let mut idx = self.root;
+        if idx == NIL {
+            return None;
+        }
+        while self.node(idx).right != NIL {
+            idx = self.node(idx).right;
+        }
+        Some(&self.node(idx).key)
+    }
+
+    fn remove_min(&mut self, idx: usize) -> (usize, usize) {
+        // Returns (new subtree root, detached min node index).
+        if self.node(idx).left == NIL {
+            return (self.node(idx).right, idx);
+        }
+        let (left, min) = self.remove_min(self.node(idx).left);
+        self.node_mut(idx).left = left;
+        (self.rebalance(idx), min)
+    }
+
+    fn remove_at(&mut self, idx: usize, key: &K) -> (usize, Option<Node<K, V>>) {
+        if idx == NIL {
+            return (NIL, None);
+        }
+        let removed = match key.cmp(&self.node(idx).key) {
+            CmpOrdering::Less => {
+                let (left, removed) = self.remove_at(self.node(idx).left, key);
+                self.node_mut(idx).left = left;
+                removed
+            }
+            CmpOrdering::Greater => {
+                let (right, removed) = self.remove_at(self.node(idx).right, key);
+                self.node_mut(idx).right = right;
+                removed
+            }
+            CmpOrdering::Equal => {
+                self.len -= 1;
+                let (left, right) = (self.node(idx).left, self.node(idx).right);
+                if left == NIL || right == NIL {
+                    let child = if left == NIL { right } else { left };
+                    return (child, Some(self.free_node(idx)));
+                }
+                // Two children: splice in the in-order successor.
+                let (new_right, succ) = self.remove_min(right);
+                self.node_mut(succ).left = left;
+                self.node_mut(succ).right = new_right;
+                let removed = self.free_node(idx);
+                return (self.rebalance(succ), Some(removed));
+            }
+        };
+        if removed.is_some() {
+            (self.rebalance(idx), removed)
+        } else {
+            (idx, None)
+        }
+    }
+
+    /// Removes the entry for `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (root, removed) = self.remove_at(self.root, key);
+        self.root = root;
+        removed.map(|n| n.value)
+    }
+
+    /// Returns an iterator over the entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = Vec::new();
+        let mut idx = self.root;
+        while idx != NIL {
+            stack.push(idx);
+            idx = self.node(idx).left;
+        }
+        Iter {
+            map: self,
+            stack,
+            remaining: self.len,
+        }
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.root = NIL;
+        self.free_head = NIL;
+        self.len = 0;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn walk<K: Ord, V>(map: &TreeMap<K, V>, idx: usize, count: &mut usize) -> i32 {
+            if idx == NIL {
+                return 0;
+            }
+            *count += 1;
+            let node = map.node(idx);
+            if node.left != NIL {
+                assert!(map.node(node.left).key < node.key, "left child out of order");
+            }
+            if node.right != NIL {
+                assert!(map.node(node.right).key > node.key, "right child out of order");
+            }
+            let lh = walk(map, node.left, count);
+            let rh = walk(map, node.right, count);
+            assert!((lh - rh).abs() <= 1, "AVL balance violated");
+            assert_eq!(node.height, 1 + lh.max(rh), "stale height");
+            1 + lh.max(rh)
+        }
+        let mut count = 0;
+        walk(self, self.root, &mut count);
+        assert_eq!(count, self.len, "len out of sync with tree");
+    }
+}
+
+impl<K: Ord, V> Default for TreeMap<K, V> {
+    fn default() -> Self {
+        TreeMap::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Clone for TreeMap<K, V> {
+    fn clone(&self) -> Self {
+        let mut out = TreeMap::new();
+        for (k, v) in self.iter() {
+            out.insert(k.clone(), v.clone());
+        }
+        out
+    }
+}
+
+impl<K: Ord + fmt::Debug, V: fmt::Debug> fmt::Debug for TreeMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Ord, V: PartialEq> PartialEq for TreeMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl<K: Ord, V: Eq> Eq for TreeMap<K, V> {}
+
+impl<K: Ord, V> FromIterator<(K, V)> for TreeMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = TreeMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for TreeMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+/// Borrowing in-order iterator over a [`TreeMap`].
+pub struct Iter<'a, K, V> {
+    map: &'a TreeMap<K, V>,
+    stack: Vec<usize>,
+    remaining: usize,
+}
+
+impl<K, V> fmt::Debug for Iter<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Iter")
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        let idx = self.stack.pop()?;
+        let node = self.map.node(idx);
+        let mut succ = node.right;
+        while succ != NIL {
+            self.stack.push(succ);
+            succ = self.map.node(succ).left;
+        }
+        self.remaining -= 1;
+        Some((&node.key, &node.value))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<K: Ord, V> ExactSizeIterator for Iter<'_, K, V> {}
+
+impl<'a, K: Ord, V> IntoIterator for &'a TreeMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+
+    fn into_iter(self) -> Iter<'a, K, V> {
+        self.iter()
+    }
+}
+
+impl<K, V> HeapSize for TreeMap<K, V> {
+    fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * mem::size_of::<Slot<K, V>>()
+    }
+
+    fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+}
+
+impl<K: Ord + Eq + Hash + Clone, V> MapOps<K, V> for TreeMap<K, V> {
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn map_insert(&mut self, key: K, value: V) -> Option<V> {
+        self.insert(key, value)
+    }
+    fn map_get(&self, key: &K) -> Option<&V> {
+        self.get(key)
+    }
+    fn map_remove(&mut self, key: &K) -> Option<V> {
+        self.remove(key)
+    }
+    fn contains_key(&self, key: &K) -> bool {
+        TreeMap::contains_key(self, key)
+    }
+    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+    fn clear(&mut self) {
+        TreeMap::clear(self);
+    }
+    fn drain_into(&mut self, sink: &mut dyn FnMut(K, V)) {
+        let slots = mem::take(&mut self.slots);
+        self.root = NIL;
+        self.free_head = NIL;
+        self.len = 0;
+        for slot in slots {
+            if let Slot::Occupied(n) = slot {
+                sink(n.key, n.value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn sorted_iteration() {
+        let mut m = TreeMap::new();
+        for k in [5_i64, 1, 9, 3, 7, 2, 8] {
+            m.insert(k, k * 10);
+        }
+        let keys: Vec<i64> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 5, 7, 8, 9]);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut m = TreeMap::new();
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.insert(1, "b"), Some("a"));
+        assert_eq!(m.get(&1), Some(&"b"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn ascending_inserts_stay_balanced() {
+        let mut m = TreeMap::new();
+        for k in 0..1000_i64 {
+            m.insert(k, k);
+        }
+        m.check_invariants();
+        // AVL height bound: 1.44 log2(n+2) ≈ 14.4 for n=1000.
+        assert!(m.height(m.root) <= 15, "height {}", m.height(m.root));
+    }
+
+    #[test]
+    fn descending_inserts_stay_balanced() {
+        let mut m = TreeMap::new();
+        for k in (0..1000_i64).rev() {
+            m.insert(k, k);
+        }
+        m.check_invariants();
+        assert!(m.height(m.root) <= 15);
+    }
+
+    #[test]
+    fn removal_keeps_invariants() {
+        let mut m = TreeMap::new();
+        for k in 0..200_i64 {
+            m.insert(k, k);
+        }
+        for k in (0..200_i64).step_by(3) {
+            assert_eq!(m.remove(&k), Some(k));
+            m.check_invariants();
+        }
+        for k in 0..200_i64 {
+            assert_eq!(m.get(&k).is_some(), k % 3 != 0);
+        }
+    }
+
+    #[test]
+    fn remove_node_with_two_children() {
+        let mut m: TreeMap<i64, i64> = (0..31).map(|k| (k, k)).collect();
+        // The root of a complete-ish AVL tree has two children.
+        let root_key = m.node(m.root).key;
+        assert_eq!(m.remove(&root_key), Some(root_key));
+        m.check_invariants();
+        assert_eq!(m.len(), 30);
+    }
+
+    #[test]
+    fn first_and_last_keys() {
+        let m: TreeMap<i64, ()> = [4, 2, 9, 7].into_iter().map(|k| (k, ())).collect();
+        assert_eq!(m.first_key(), Some(&2));
+        assert_eq!(m.last_key(), Some(&9));
+        let empty: TreeMap<i64, ()> = TreeMap::new();
+        assert_eq!(empty.first_key(), None);
+        assert_eq!(empty.last_key(), None);
+    }
+
+    #[test]
+    fn matches_std_btreemap_on_mixed_ops() {
+        let mut ours = TreeMap::new();
+        let mut std = BTreeMap::new();
+        let mut x = 0xfeed_u64;
+        for _ in 0..8000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) as i64 % 400;
+            match x % 4 {
+                0 | 3 => assert_eq!(ours.insert(key, x), std.insert(key, x)),
+                1 => assert_eq!(ours.remove(&key), std.remove(&key)),
+                _ => assert_eq!(ours.get(&key), std.get(&key)),
+            }
+            assert_eq!(ours.len(), std.len());
+        }
+        ours.check_invariants();
+        let ours_keys: Vec<i64> = ours.iter().map(|(k, _)| *k).collect();
+        let std_keys: Vec<i64> = std.keys().copied().collect();
+        assert_eq!(ours_keys, std_keys);
+    }
+
+    #[test]
+    fn freed_nodes_are_recycled() {
+        let mut m = TreeMap::new();
+        for k in 0..100_i64 {
+            m.insert(k, k);
+        }
+        let arena = m.slots.len();
+        for k in 0..50_i64 {
+            m.remove(&k);
+        }
+        for k in 100..150_i64 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.slots.len(), arena, "arena slots must be reused");
+        m.check_invariants();
+    }
+
+    #[test]
+    fn clear_and_reuse() {
+        let mut m: TreeMap<i64, i64> = (0..50).map(|k| (k, k)).collect();
+        m.clear();
+        assert!(m.is_empty());
+        m.insert(1, 1);
+        assert_eq!(m.get(&1), Some(&1));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn drain_into_empties() {
+        let mut m: TreeMap<i64, i64> = (0..30).map(|k| (k, k)).collect();
+        let mut got = Vec::new();
+        MapOps::drain_into(&mut m, &mut |k, v| got.push((k, v)));
+        assert_eq!(got.len(), 30);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Array-backed set mirroring Google/NLP/fastutil `ArraySet`.
+
+use std::fmt;
+use std::hash::Hash;
+use std::mem;
+
+use crate::list::ArrayList;
+use crate::traits::{HeapSize, SetOps};
+
+/// A set stored as a flat array with linear-scan membership tests.
+///
+/// Reproduces the `ArraySet` of Google HTTP Client / Stanford NLP / fastutil:
+/// the footprint is just the element payload plus array slack, and `contains`
+/// scans. The paper's best memory variant for small sets, and the array half
+/// of [`AdaptiveSet`](crate::AdaptiveSet).
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::ArraySet;
+///
+/// let mut s = ArraySet::new();
+/// assert!(s.insert(3));
+/// assert!(!s.insert(3));
+/// assert!(s.contains(&3));
+/// assert!(s.remove(&3));
+/// ```
+pub struct ArraySet<T> {
+    items: ArrayList<T>,
+}
+
+impl<T: Eq> ArraySet<T> {
+    /// Creates an empty set without allocating.
+    pub fn new() -> Self {
+        ArraySet {
+            items: ArrayList::new(),
+        }
+    }
+
+    /// Creates an empty set with room for `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ArraySet {
+            items: ArrayList::with_capacity(capacity),
+        }
+    }
+
+    /// Number of elements in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the set holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Adds `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        if self.contains(&value) {
+            return false;
+        }
+        self.items.push(value);
+        true
+    }
+
+    /// Returns `true` if `value` is present (linear scan).
+    pub fn contains(&self, value: &T) -> bool {
+        self.items.as_slice().contains(value)
+    }
+
+    /// Removes `value` (swap-remove); returns `true` if it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        if let Some(i) = self.items.as_slice().iter().position(|v| v == value) {
+            let last = self.items.len() - 1;
+            self.items.as_mut_slice().swap(i, last);
+            self.items.pop();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns an iterator over the elements in insertion order (stable
+    /// until the first removal).
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes every element, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<T: Eq> Default for ArraySet<T> {
+    fn default() -> Self {
+        ArraySet::new()
+    }
+}
+
+impl<T: Eq + Clone> Clone for ArraySet<T> {
+    fn clone(&self) -> Self {
+        ArraySet {
+            items: self.items.clone(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArraySet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.items.iter()).finish()
+    }
+}
+
+impl<T: Eq> PartialEq for ArraySet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|v| other.contains(v))
+    }
+}
+
+impl<T: Eq> Eq for ArraySet<T> {}
+
+impl<T: Eq> FromIterator<T> for ArraySet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = ArraySet::new();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+impl<T: Eq> Extend<T> for ArraySet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<T> HeapSize for ArraySet<T> {
+    fn heap_bytes(&self) -> usize {
+        self.items.heap_bytes()
+    }
+    fn allocated_bytes(&self) -> u64 {
+        self.items.allocated_bytes()
+    }
+}
+
+impl<T: Eq + Hash + Clone> SetOps<T> for ArraySet<T> {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn insert(&mut self, value: T) -> bool {
+        ArraySet::insert(self, value)
+    }
+    fn contains(&self, value: &T) -> bool {
+        ArraySet::contains(self, value)
+    }
+    fn set_remove(&mut self, value: &T) -> bool {
+        ArraySet::remove(self, value)
+    }
+    fn for_each_value(&self, f: &mut dyn FnMut(&T)) {
+        for v in self.items.iter() {
+            f(v);
+        }
+    }
+    fn clear(&mut self) {
+        ArraySet::clear(self);
+    }
+    fn drain_into(&mut self, sink: &mut dyn FnMut(T)) {
+        let items = mem::take(&mut self.items);
+        for v in items {
+            sink(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut s = ArraySet::new();
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_is_swap_remove() {
+        let mut s: ArraySet<i32> = (0..5).collect();
+        assert!(s.remove(&0));
+        assert_eq!(s.len(), 4);
+        for i in 1..5 {
+            assert!(s.contains(&i));
+        }
+        assert!(!s.remove(&0));
+    }
+
+    #[test]
+    fn smallest_footprint_for_small_sets() {
+        use crate::set::{ChainedHashSet, OpenHashSet};
+        let array: ArraySet<i64> = (0..10).collect();
+        let chained: ChainedHashSet<i64> = (0..10).collect();
+        let open: OpenHashSet<i64> = (0..10).collect();
+        assert!(array.heap_bytes() < chained.heap_bytes());
+        assert!(array.heap_bytes() < open.heap_bytes());
+    }
+
+    #[test]
+    fn iterates_all_elements() {
+        let s: ArraySet<i32> = (0..7).collect();
+        let mut got: Vec<i32> = s.iter().copied().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let mut s: ArraySet<i32> = (0..7).collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.insert(1));
+        assert!(s.contains(&1));
+    }
+
+    #[test]
+    fn drain_into_yields_everything() {
+        let mut s: ArraySet<i32> = (0..6).collect();
+        let mut got = Vec::new();
+        SetOps::drain_into(&mut s, &mut |v| got.push(v));
+        got.sort_unstable();
+        assert_eq!(got, (0..6).collect::<Vec<_>>());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn equality_across_orders() {
+        let a: ArraySet<i32> = [3, 1, 2].into_iter().collect();
+        let b: ArraySet<i32> = [2, 3, 1].into_iter().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! Ordered set wrapping [`TreeMap`], mirroring JDK `TreeSet`.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::map::TreeMap;
+use crate::traits::{HeapSize, MapOps, SetOps};
+
+/// A sorted set with O(log n) operations and ascending iteration — the
+/// reproduction of JDK `TreeSet` (a `TreeMap` with unit values, exactly as
+/// in the JDK).
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::TreeSet;
+///
+/// let mut s = TreeSet::new();
+/// for v in [5, 1, 3] {
+///     s.insert(v);
+/// }
+/// let sorted: Vec<i32> = s.iter().copied().collect();
+/// assert_eq!(sorted, [1, 3, 5]);
+/// assert_eq!(s.first(), Some(&1));
+/// ```
+pub struct TreeSet<T> {
+    inner: TreeMap<T, ()>,
+}
+
+impl<T: Ord> TreeSet<T> {
+    /// Creates an empty set without allocating.
+    pub fn new() -> Self {
+        TreeSet {
+            inner: TreeMap::new(),
+        }
+    }
+
+    /// Number of elements in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if the set holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Adds `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.inner.insert(value, ()).is_none()
+    }
+
+    /// Returns `true` if `value` is present.
+    pub fn contains(&self, value: &T) -> bool {
+        self.inner.contains_key(value)
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        self.inner.remove(value).is_some()
+    }
+
+    /// Smallest element, if any.
+    pub fn first(&self) -> Option<&T> {
+        self.inner.first_key()
+    }
+
+    /// Largest element, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.inner.last_key()
+    }
+
+    /// Returns an iterator over the elements in ascending order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &T> {
+        self.inner.iter().map(|(k, _)| k)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<T: Ord> Default for TreeSet<T> {
+    fn default() -> Self {
+        TreeSet::new()
+    }
+}
+
+impl<T: Ord + Clone> Clone for TreeSet<T> {
+    fn clone(&self) -> Self {
+        TreeSet {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Ord + fmt::Debug> fmt::Debug for TreeSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Ord> PartialEq for TreeSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|v| other.contains(v))
+    }
+}
+
+impl<T: Ord> Eq for TreeSet<T> {}
+
+impl<T: Ord> FromIterator<T> for TreeSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = TreeSet::new();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+impl<T: Ord> Extend<T> for TreeSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<T> HeapSize for TreeSet<T> {
+    fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+    fn allocated_bytes(&self) -> u64 {
+        self.inner.allocated_bytes()
+    }
+}
+
+impl<T: Ord + Eq + Hash + Clone> SetOps<T> for TreeSet<T> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn insert(&mut self, value: T) -> bool {
+        TreeSet::insert(self, value)
+    }
+    fn contains(&self, value: &T) -> bool {
+        TreeSet::contains(self, value)
+    }
+    fn set_remove(&mut self, value: &T) -> bool {
+        TreeSet::remove(self, value)
+    }
+    fn for_each_value(&self, f: &mut dyn FnMut(&T)) {
+        for v in self.iter() {
+            f(v);
+        }
+    }
+    fn clear(&mut self) {
+        TreeSet::clear(self);
+    }
+    fn drain_into(&mut self, sink: &mut dyn FnMut(T)) {
+        MapOps::drain_into(&mut self.inner, &mut |k, ()| sink(k));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_iteration_and_bounds() {
+        let s: TreeSet<i64> = [9, 2, 7, 4].into_iter().collect();
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![2, 4, 7, 9]);
+        assert_eq!(s.first(), Some(&2));
+        assert_eq!(s.last(), Some(&9));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut s = TreeSet::new();
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut s: TreeSet<i64> = (0..100).collect();
+        for v in (0..100).step_by(2) {
+            assert!(s.remove(&v));
+        }
+        assert_eq!(s.len(), 50);
+        for v in (0..100).step_by(2) {
+            assert!(!s.contains(&v));
+            assert!(s.insert(v));
+        }
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn setops_drain_into() {
+        let mut s: TreeSet<i64> = (0..10).collect();
+        let mut got = Vec::new();
+        SetOps::drain_into(&mut s, &mut |v| got.push(v));
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(s.is_empty());
+    }
+}

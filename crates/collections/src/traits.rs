@@ -1,0 +1,286 @@
+//! Cross-variant operation traits and memory accounting.
+//!
+//! The framework layer (`cs-core`) drives collections through these traits so
+//! that monitored wrappers and test oracles can be written once. Concrete
+//! structures additionally expose richer inherent APIs (iterators, entry-like
+//! helpers) with the loosest bounds they support.
+
+use std::hash::Hash;
+
+/// Exact memory accounting for the paper's two memory cost dimensions.
+///
+/// * [`heap_bytes`](HeapSize::heap_bytes) — the collection's current heap
+///   footprint (what the paper's `M` / peak-memory columns measure).
+/// * [`allocated_bytes`](HeapSize::allocated_bytes) — cumulative bytes
+///   allocated over the collection's lifetime, including space later freed by
+///   reallocation (the paper's *allocation* dimension used by `R_alloc`).
+///
+/// Implementations count the heap blocks owned by the structure itself
+/// (tables, arenas, node slabs). Element payloads that live inline in those
+/// blocks are therefore included; heap data *owned by elements* (e.g. inner
+/// `String` buffers) is not, matching how the paper attributes collection
+/// overhead separately from element data.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::{ArrayList, HeapSize};
+///
+/// let mut list = ArrayList::new();
+/// assert_eq!(list.heap_bytes(), 0);
+/// list.push(1_i64);
+/// assert!(list.heap_bytes() >= std::mem::size_of::<i64>());
+/// assert!(list.allocated_bytes() >= list.heap_bytes() as u64);
+/// ```
+pub trait HeapSize {
+    /// Current heap footprint of the structure, in bytes.
+    fn heap_bytes(&self) -> usize;
+
+    /// Cumulative bytes this structure has allocated over its lifetime.
+    fn allocated_bytes(&self) -> u64;
+}
+
+/// Operations common to every list variant.
+///
+/// The bound `T: Eq + Hash + Clone` is what the *framework* requires of list
+/// elements: candidate variants include hash-indexed lists
+/// ([`HashArrayList`](crate::HashArrayList)), which need to hash and
+/// duplicate elements into their index. Concrete list types expose inherent
+/// methods with looser bounds.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::{ArrayList, ListOps};
+///
+/// fn exercise<L: ListOps<i64> + Default>() -> usize {
+///     let mut l = L::default();
+///     l.push(3);
+///     l.push(4);
+///     l.list_insert(1, 9);
+///     assert!(l.contains(&9));
+///     assert_eq!(l.list_remove(0), 3);
+///     l.len()
+/// }
+/// assert_eq!(exercise::<ArrayList<i64>>(), 2);
+/// ```
+pub trait ListOps<T: Eq + Hash + Clone>: HeapSize {
+    /// Number of elements in the list.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the list holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `value` at the end (the paper's *populate* critical operation).
+    fn push(&mut self, value: T);
+
+    /// Removes and returns the last element.
+    fn pop(&mut self) -> Option<T>;
+
+    /// Inserts `value` at `index`, shifting later elements (the paper's
+    /// *middle* critical operation when `index == len / 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len`.
+    fn list_insert(&mut self, index: usize, value: T);
+
+    /// Removes and returns the element at `index` (the other half of the
+    /// *middle* critical operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    fn list_remove(&mut self, index: usize) -> T;
+
+    /// Returns a reference to the element at `index`, if in bounds.
+    fn get(&self, index: usize) -> Option<&T>;
+
+    /// Replaces the element at `index`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    fn set(&mut self, index: usize, value: T) -> T;
+
+    /// Returns `true` if some element equals `value` (the paper's *contains*
+    /// critical operation).
+    fn contains(&self, value: &T) -> bool;
+
+    /// Visits every element in positional order (the paper's *iterate*
+    /// critical operation, object-safe form).
+    fn for_each_value(&self, f: &mut dyn FnMut(&T));
+
+    /// Removes every element.
+    fn clear(&mut self);
+
+    /// Removes all elements, yielding them in positional order.
+    ///
+    /// Used by the instant-transition machinery to move contents into a
+    /// different variant.
+    fn drain_into(&mut self, sink: &mut dyn FnMut(T));
+}
+
+/// Operations common to every set variant.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::{ChainedHashSet, SetOps};
+///
+/// let mut s = ChainedHashSet::new();
+/// assert!(s.insert(5));
+/// assert!(!s.insert(5));
+/// assert!(s.contains(&5));
+/// assert!(s.set_remove(&5));
+/// assert!(s.is_empty());
+/// ```
+pub trait SetOps<T: Eq + Hash + Clone>: HeapSize {
+    /// Number of elements in the set.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the set holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `value`; returns `true` if it was not already present.
+    fn insert(&mut self, value: T) -> bool;
+
+    /// Returns `true` if `value` is present.
+    fn contains(&self, value: &T) -> bool;
+
+    /// Removes `value`; returns `true` if it was present.
+    fn set_remove(&mut self, value: &T) -> bool;
+
+    /// Visits every element (object-safe iteration).
+    fn for_each_value(&self, f: &mut dyn FnMut(&T));
+
+    /// Removes every element.
+    fn clear(&mut self);
+
+    /// Removes all elements, yielding them to `sink`.
+    fn drain_into(&mut self, sink: &mut dyn FnMut(T));
+}
+
+/// Operations common to every map variant.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::{OpenHashMap, MapOps};
+///
+/// let mut m = OpenHashMap::new();
+/// assert_eq!(m.map_insert(1, "a"), None);
+/// assert_eq!(m.map_insert(1, "b"), Some("a"));
+/// assert_eq!(m.map_get(&1), Some(&"b"));
+/// assert_eq!(m.map_remove(&1), Some("b"));
+/// ```
+pub trait MapOps<K: Eq + Hash + Clone, V>: HeapSize {
+    /// Number of entries in the map.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the map holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts or replaces the value for `key`, returning the previous value.
+    fn map_insert(&mut self, key: K, value: V) -> Option<V>;
+
+    /// Returns a reference to the value for `key`, if present.
+    fn map_get(&self, key: &K) -> Option<&V>;
+
+    /// Removes the entry for `key`, returning its value if present.
+    fn map_remove(&mut self, key: &K) -> Option<V>;
+
+    /// Returns `true` if `key` has an entry.
+    fn contains_key(&self, key: &K) -> bool;
+
+    /// Visits every entry (object-safe iteration).
+    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V));
+
+    /// Removes every entry.
+    fn clear(&mut self);
+
+    /// Removes all entries, yielding them to `sink`.
+    fn drain_into(&mut self, sink: &mut dyn FnMut(K, V));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A minimal oracle implementation to pin down the trait contracts.
+    #[derive(Default)]
+    struct VecList(Vec<i64>, u64);
+
+    impl HeapSize for VecList {
+        fn heap_bytes(&self) -> usize {
+            self.0.capacity() * std::mem::size_of::<i64>()
+        }
+        fn allocated_bytes(&self) -> u64 {
+            self.1
+        }
+    }
+
+    impl ListOps<i64> for VecList {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn push(&mut self, value: i64) {
+            self.0.push(value);
+        }
+        fn pop(&mut self) -> Option<i64> {
+            self.0.pop()
+        }
+        fn list_insert(&mut self, index: usize, value: i64) {
+            self.0.insert(index, value);
+        }
+        fn list_remove(&mut self, index: usize) -> i64 {
+            self.0.remove(index)
+        }
+        fn get(&self, index: usize) -> Option<&i64> {
+            self.0.get(index)
+        }
+        fn set(&mut self, index: usize, value: i64) -> i64 {
+            std::mem::replace(&mut self.0[index], value)
+        }
+        fn contains(&self, value: &i64) -> bool {
+            self.0.contains(value)
+        }
+        fn for_each_value(&self, f: &mut dyn FnMut(&i64)) {
+            self.0.iter().for_each(f);
+        }
+        fn clear(&mut self) {
+            self.0.clear();
+        }
+        fn drain_into(&mut self, sink: &mut dyn FnMut(i64)) {
+            for v in self.0.drain(..) {
+                sink(v);
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_empty_follows_len() {
+        let mut l = VecList::default();
+        assert!(ListOps::is_empty(&l));
+        l.push(1);
+        assert!(!ListOps::is_empty(&l));
+    }
+
+    #[test]
+    fn drain_into_yields_in_order() {
+        let mut l = VecList::default();
+        for v in [5, 6, 7] {
+            l.push(v);
+        }
+        let mut got = Vec::new();
+        l.drain_into(&mut |v| got.push(v));
+        assert_eq!(got, vec![5, 6, 7]);
+        assert_eq!(ListOps::len(&l), 0);
+    }
+}

@@ -1,0 +1,449 @@
+//! Adaptive allocation contexts (paper §3.1, §4.3).
+//!
+//! A context stands in for one instrumented allocation site. It carries the
+//! site's *current* variant kind (updated by the analyzer), the monitoring
+//! window for sampling created instances, the sink finished instances report
+//! into, and the accumulated workload history the selection algorithm runs
+//! over.
+
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cs_collections::{AnyList, AnyMap, AnySet, ListKind, MapKind, SetKind};
+use cs_model::PerformanceModel;
+use cs_profile::{ProfileHistogram, ProfileSink, WindowConfig, WindowState};
+use parking_lot::Mutex;
+
+use crate::event::TransitionEvent;
+use crate::handles::{Monitor, SwitchList, SwitchMap, SwitchSet};
+use crate::kind_ext::Kind;
+use crate::rules::SelectionRule;
+use crate::select::select_variant;
+
+/// Counters describing a context's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Analysis rounds completed.
+    pub rounds: u64,
+    /// Variant switches performed.
+    pub switches: u64,
+    /// Instances aggregated into the workload history.
+    pub history_instances: u64,
+    /// Monitored instances started in the current round.
+    pub monitored_in_round: usize,
+}
+
+/// The kind-generic part of an allocation context: everything the analyzer
+/// needs, independent of the element type of the collections the site
+/// creates.
+#[derive(Debug)]
+pub struct ContextCore<K: Kind> {
+    id: u64,
+    name: String,
+    current: AtomicUsize,
+    default_kind: K,
+    window: WindowState,
+    sink: ProfileSink,
+    config: WindowConfig,
+    history: Mutex<ProfileHistogram>,
+    rounds: AtomicU64,
+    switches: AtomicU64,
+}
+
+impl<K: Kind> ContextCore<K> {
+    pub(crate) fn new(id: u64, name: String, default_kind: K, config: WindowConfig) -> Self {
+        ContextCore {
+            id,
+            name,
+            current: AtomicUsize::new(default_kind.index()),
+            default_kind,
+            window: WindowState::new(),
+            sink: ProfileSink::new(),
+            config,
+            history: Mutex::new(ProfileHistogram::new()),
+            rounds: AtomicU64::new(0),
+            switches: AtomicU64::new(0),
+        }
+    }
+
+    /// The context's unique id within its engine.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The context's name (allocation-site label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The variant the site currently instantiates.
+    pub fn current_kind(&self) -> K {
+        K::from_index(self.current.load(Ordering::Acquire))
+    }
+
+    /// The variant the developer originally declared.
+    pub fn default_kind(&self) -> K {
+        self.default_kind
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ContextStats {
+        ContextStats {
+            rounds: self.rounds.load(Ordering::Relaxed),
+            switches: self.switches.load(Ordering::Relaxed),
+            history_instances: self.history.lock().instances(),
+            monitored_in_round: self.window.started(),
+        }
+    }
+
+    /// Claims a monitoring slot for a new instance, returning the monitor
+    /// payload if this instance should be sampled.
+    pub(crate) fn claim_monitor(&self) -> Option<Monitor> {
+        self.window
+            .try_claim_slot(self.config.window_size)
+            .then(|| Monitor::new(self.sink.clone()))
+    }
+
+    /// Runs one analysis pass (paper §3.1): if the monitoring round is ready
+    /// (finished ratio reached), evaluate the accumulated workload under
+    /// `rule` and switch the current variant if a better candidate exists.
+    ///
+    /// Returns the transition event if a switch happened.
+    pub fn analyze(
+        &self,
+        model: &PerformanceModel<K>,
+        rule: &SelectionRule,
+    ) -> Option<TransitionEvent> {
+        let started = self.window.started();
+        let finished = self.sink.len();
+        if !self.config.round_ready(started, finished) {
+            return None;
+        }
+        let mut history = self.history.lock();
+        history.decay(self.config.history_decay);
+        for profile in self.sink.drain() {
+            history.add(&profile);
+        }
+        let current = self.current_kind();
+        let selection = select_variant(model, rule, current, &history);
+        drop(history);
+
+        let round = self.rounds.fetch_add(1, Ordering::Relaxed);
+        // Start the next monitoring round regardless of the outcome
+        // ("a fraction of the instances is monitored to allow a continuous
+        // adaptation process").
+        self.window.reset();
+
+        let sel = selection?;
+        self.current.store(sel.kind.index(), Ordering::Release);
+        self.switches.fetch_add(1, Ordering::Relaxed);
+        Some(TransitionEvent::new(
+            self.id,
+            self.name.clone(),
+            K::ABSTRACTION,
+            current.to_string(),
+            sel.kind.to_string(),
+            round,
+        ))
+    }
+
+    /// Clears accumulated history and restores the default variant.
+    pub fn reset(&self) {
+        self.history.lock().clear();
+        self.sink.drain();
+        self.window.reset();
+        self.current
+            .store(self.default_kind.index(), Ordering::Release);
+    }
+}
+
+macro_rules! typed_context {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $kind:ty, $create:ident, $handle:ident, $any:ident
+        $(, <$($gen:ident),*>)?
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name<$($($gen: Eq + Hash + Clone),*)?> {
+            core: Arc<ContextCore<$kind>>,
+            _marker: PhantomData<fn() -> ($($($gen,)*)?)>,
+        }
+
+        impl<$($($gen: Eq + Hash + Clone),*)?> Clone for $name<$($($gen),*)?> {
+            fn clone(&self) -> Self {
+                Self {
+                    core: Arc::clone(&self.core),
+                    _marker: PhantomData,
+                }
+            }
+        }
+
+        impl<$($($gen: Eq + Hash + Clone),*)?> $name<$($($gen),*)?> {
+            pub(crate) fn from_core(core: Arc<ContextCore<$kind>>) -> Self {
+                Self {
+                    core,
+                    _marker: PhantomData,
+                }
+            }
+
+            /// The variant future instantiations will use.
+            pub fn current_kind(&self) -> $kind {
+                self.core.current_kind()
+            }
+
+            /// The context's unique id within its engine.
+            pub fn id(&self) -> u64 {
+                self.core.id()
+            }
+
+            /// The context's name (allocation-site label).
+            pub fn name(&self) -> &str {
+                self.core.name()
+            }
+
+            /// Activity counters.
+            pub fn stats(&self) -> ContextStats {
+                self.core.stats()
+            }
+
+            /// The kind-generic core (for advanced integration).
+            pub fn core(&self) -> &Arc<ContextCore<$kind>> {
+                &self.core
+            }
+        }
+    };
+}
+
+typed_context!(
+    /// An adaptive allocation context for list sites.
+    ///
+    /// Created by [`Switch::list_context`](crate::Switch::list_context);
+    /// cheap to clone (shared core).
+    ListContext, ListKind, create_list, SwitchList, AnyList, <T>
+);
+
+impl<T: Eq + Hash + Clone> ListContext<T> {
+    /// Instantiates a list of the site's current variant (paper Fig. 4:
+    /// `ctx.createList()` in place of `new ArrayList<>()`).
+    pub fn create_list(&self) -> SwitchList<T> {
+        SwitchList::new(
+            AnyList::new(self.core.current_kind()),
+            self.core.claim_monitor(),
+        )
+    }
+}
+
+typed_context!(
+    /// An adaptive allocation context for set sites.
+    ///
+    /// Created by [`Switch::set_context`](crate::Switch::set_context).
+    SetContext, SetKind, create_set, SwitchSet, AnySet, <T>
+);
+
+impl<T: Eq + Hash + Clone> SetContext<T> {
+    /// Instantiates a set of the site's current variant.
+    pub fn create_set(&self) -> SwitchSet<T> {
+        SwitchSet::new(
+            AnySet::new(self.core.current_kind()),
+            self.core.claim_monitor(),
+        )
+    }
+}
+
+/// An adaptive allocation context for map sites.
+///
+/// Created by [`Switch::map_context`](crate::Switch::map_context); cheap to
+/// clone (shared core).
+#[derive(Debug)]
+pub struct MapContext<K: Eq + Hash + Clone, V: Clone> {
+    core: Arc<ContextCore<MapKind>>,
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Clone for MapContext<K, V> {
+    fn clone(&self) -> Self {
+        MapContext {
+            core: Arc::clone(&self.core),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> MapContext<K, V> {
+    pub(crate) fn from_core(core: Arc<ContextCore<MapKind>>) -> Self {
+        MapContext {
+            core,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Instantiates a map of the site's current variant.
+    pub fn create_map(&self) -> SwitchMap<K, V> {
+        SwitchMap::new(
+            AnyMap::new(self.core.current_kind()),
+            self.core.claim_monitor(),
+        )
+    }
+
+    /// The variant future instantiations will use.
+    pub fn current_kind(&self) -> MapKind {
+        self.core.current_kind()
+    }
+
+    /// The context's unique id within its engine.
+    pub fn id(&self) -> u64 {
+        self.core.id()
+    }
+
+    /// The context's name (allocation-site label).
+    pub fn name(&self) -> &str {
+        self.core.name()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ContextStats {
+        self.core.stats()
+    }
+
+    /// The kind-generic core (for advanced integration).
+    pub fn core(&self) -> &Arc<ContextCore<MapKind>> {
+        &self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_model::default_models;
+    use std::time::Duration;
+
+    fn test_config() -> WindowConfig {
+        WindowConfig {
+            window_size: 10,
+            finished_ratio: 0.6,
+            monitoring_rate: Duration::from_millis(50),
+            min_samples: 5,
+            history_decay: 0.5,
+        }
+    }
+
+    fn list_core() -> ContextCore<ListKind> {
+        ContextCore::new(1, "site".into(), ListKind::Array, test_config())
+    }
+
+    #[test]
+    fn analysis_waits_for_finished_ratio() {
+        let core = list_core();
+        let ctx: ListContext<i64> = ListContext::from_core(Arc::new(core));
+        // Create monitored instances but keep them alive.
+        let held: Vec<_> = (0..10)
+            .map(|_| {
+                let mut l = ctx.create_list();
+                for v in 0..200 {
+                    l.push(v);
+                }
+                for v in 0..200 {
+                    l.contains(&v);
+                }
+                l
+            })
+            .collect();
+        assert!(ctx
+            .core()
+            .analyze(default_models::list_model(), &SelectionRule::r_time())
+            .is_none());
+        drop(held);
+        let event = ctx
+            .core()
+            .analyze(default_models::list_model(), &SelectionRule::r_time())
+            .expect("ready round with lookup-heavy workload must switch");
+        assert_eq!(event.to, "hasharray");
+        assert_eq!(ctx.current_kind(), ListKind::HashArray);
+    }
+
+    #[test]
+    fn only_window_size_instances_are_monitored() {
+        let core = Arc::new(list_core());
+        let ctx: ListContext<i64> = ListContext::from_core(core);
+        let monitored = (0..50)
+            .map(|_| ctx.create_list())
+            .filter(|l| l.is_monitored())
+            .count();
+        assert_eq!(monitored, 10);
+    }
+
+    #[test]
+    fn new_round_starts_after_analysis() {
+        let core = Arc::new(list_core());
+        let ctx: ListContext<i64> = ListContext::from_core(core);
+        for _ in 0..10 {
+            let mut l = ctx.create_list();
+            for v in 0..100 {
+                l.push(v);
+                l.contains(&v);
+            }
+        }
+        ctx.core()
+            .analyze(default_models::list_model(), &SelectionRule::r_time());
+        // Window reset: new instances are monitored again.
+        let l = ctx.create_list();
+        assert!(l.is_monitored());
+        assert_eq!(ctx.stats().rounds, 1);
+    }
+
+    #[test]
+    fn no_switch_without_workload() {
+        let core = Arc::new(list_core());
+        let ctx: ListContext<i64> = ListContext::from_core(core);
+        for _ in 0..10 {
+            let _ = ctx.create_list(); // created and dropped untouched
+        }
+        let event = ctx
+            .core()
+            .analyze(default_models::list_model(), &SelectionRule::r_time());
+        assert!(event.is_none());
+        assert_eq!(ctx.current_kind(), ListKind::Array);
+    }
+
+    #[test]
+    fn reset_restores_default() {
+        let core = Arc::new(list_core());
+        let ctx: ListContext<i64> = ListContext::from_core(core);
+        for _ in 0..10 {
+            let mut l = ctx.create_list();
+            for v in 0..100 {
+                l.push(v);
+                l.contains(&v);
+            }
+        }
+        ctx.core()
+            .analyze(default_models::list_model(), &SelectionRule::r_time());
+        assert_ne!(ctx.current_kind(), ListKind::Array);
+        ctx.core().reset();
+        assert_eq!(ctx.current_kind(), ListKind::Array);
+        assert_eq!(ctx.stats().history_instances, 0);
+    }
+
+    #[test]
+    fn history_aggregates_unboundedly_many_instances() {
+        let cfg = WindowConfig {
+            window_size: 2000,
+            finished_ratio: 0.0,
+            monitoring_rate: Duration::from_millis(50),
+            min_samples: 1,
+            history_decay: 0.5,
+        };
+        let core = Arc::new(ContextCore::new(1, "big".into(), ListKind::Array, cfg));
+        let ctx: ListContext<i64> = ListContext::from_core(core);
+        for _ in 0..1500 {
+            let mut l = ctx.create_list();
+            l.push(1);
+        }
+        ctx.core()
+            .analyze(default_models::list_model(), &SelectionRule::r_time());
+        assert_eq!(ctx.stats().history_instances, 1500);
+    }
+}

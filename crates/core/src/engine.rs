@@ -1,0 +1,651 @@
+//! The CollectionSwitch engine (paper Fig. 1).
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cs_collections::{ListKind, MapKind, SetKind};
+use cs_model::{default_models, PerformanceModel};
+use cs_profile::WindowConfig;
+use parking_lot::Mutex;
+
+use crate::context::{ContextCore, ListContext, MapContext, SetContext};
+use crate::event::TransitionEvent;
+use crate::kind_ext::Kind;
+use crate::rules::SelectionRule;
+
+/// The three performance models the engine selects against.
+///
+/// Defaults to the crate's analytic models
+/// ([`cs_model::default_models`]); replace them with
+/// hardware-calibrated models from [`cs_model::builder`] for
+/// machine-specific selection, as the paper prescribes.
+#[derive(Debug, Clone)]
+pub struct Models {
+    /// List variant model.
+    pub list: PerformanceModel<ListKind>,
+    /// Set variant model.
+    pub set: PerformanceModel<SetKind>,
+    /// Map variant model.
+    pub map: PerformanceModel<MapKind>,
+}
+
+impl Default for Models {
+    fn default() -> Self {
+        Models {
+            list: default_models::list_model().clone(),
+            set: default_models::set_model().clone(),
+            map: default_models::map_model().clone(),
+        }
+    }
+}
+
+impl Models {
+    /// File names used by [`Models::save_to_dir`] / [`Models::load_from_dir`]
+    /// (and by the `model_builder` calibration binary).
+    pub const FILE_NAMES: [&'static str; 3] = ["lists.model", "sets.model", "maps.model"];
+
+    /// Writes the three models to `dir` in the `cs-model` text format,
+    /// creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing a file.
+    pub fn save_to_dir(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("lists.model"), cs_model::persist::to_text(&self.list))?;
+        std::fs::write(dir.join("sets.model"), cs_model::persist::to_text(&self.set))?;
+        std::fs::write(dir.join("maps.model"), cs_model::persist::to_text(&self.map))?;
+        Ok(())
+    }
+
+    /// Loads the three models from `dir` (the inverse of
+    /// [`Models::save_to_dir`]); typically the output directory of a
+    /// `model_builder` calibration run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] if a file is missing/unreadable or
+    /// fails to parse (parse failures are reported as
+    /// [`std::io::ErrorKind::InvalidData`]).
+    pub fn load_from_dir(dir: impl AsRef<std::path::Path>) -> std::io::Result<Models> {
+        let dir = dir.as_ref();
+        fn parse<K>(path: std::path::PathBuf) -> std::io::Result<PerformanceModel<K>>
+        where
+            K: Copy + Eq + Hash + std::fmt::Display + std::str::FromStr,
+            <K as std::str::FromStr>::Err: std::fmt::Display,
+        {
+            let text = std::fs::read_to_string(&path)?;
+            cs_model::persist::from_text(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            })
+        }
+        Ok(Models {
+            list: parse(dir.join("lists.model"))?,
+            set: parse(dir.join("sets.model"))?,
+            map: parse(dir.join("maps.model"))?,
+        })
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// The selection rule applied at every analysis (paper Table 4).
+    pub rule: SelectionRule,
+    /// Monitoring window parameters (paper §5 defaults).
+    pub window: WindowConfig,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            rule: SelectionRule::r_time(),
+            window: WindowConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    lists: Vec<Arc<ContextCore<ListKind>>>,
+    sets: Vec<Arc<ContextCore<SetKind>>>,
+    maps: Vec<Arc<ContextCore<MapKind>>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    config: SwitchConfig,
+    models: Models,
+    registry: Mutex<Registry>,
+    log: Mutex<Vec<TransitionEvent>>,
+    next_context_id: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// The CollectionSwitch engine: creates allocation contexts, runs the
+/// periodic analysis, and records every transition.
+///
+/// Cloning is cheap (shared state). Dropping the last clone stops the
+/// background analyzer, if one was started.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::SetKind;
+/// use cs_core::{SelectionRule, Switch};
+///
+/// let engine = Switch::builder()
+///     .rule(SelectionRule::r_alloc())
+///     .build();
+/// let ctx = engine.set_context::<i64>(SetKind::Chained);
+/// for _ in 0..150 {
+///     let mut set = ctx.create_set();
+///     for v in 0..8 {
+///         set.insert(v);
+///     }
+///     for v in 0..8 {
+///         set.contains(&v);
+///     }
+/// }
+/// engine.analyze_now();
+/// // Tiny sets under R_alloc: the array variant wins.
+/// assert_eq!(ctx.current_kind(), SetKind::Array);
+/// ```
+pub struct Switch {
+    shared: Arc<Shared>,
+    analyzer: Option<Arc<AnalyzerHandle>>,
+}
+
+impl Clone for Switch {
+    fn clone(&self) -> Self {
+        Switch {
+            shared: Arc::clone(&self.shared),
+            analyzer: self.analyzer.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Switch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Switch")
+            .field("rule", &self.shared.config.rule.name())
+            .field("contexts", &self.context_count())
+            .field("background", &self.analyzer.is_some())
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+struct AnalyzerHandle {
+    shared: Arc<Shared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for AnalyzerHandle {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Builder for [`Switch`].
+///
+/// # Examples
+///
+/// ```
+/// use cs_core::{SelectionRule, Switch};
+/// use cs_profile::WindowConfig;
+///
+/// let engine = Switch::builder()
+///     .rule(SelectionRule::r_alloc())
+///     .window(WindowConfig {
+///         window_size: 50,
+///         ..WindowConfig::default()
+///     })
+///     .build();
+/// assert_eq!(engine.rule().name(), "R_alloc");
+/// ```
+#[derive(Debug, Default)]
+pub struct SwitchBuilder {
+    config: SwitchConfig,
+    models: Option<Models>,
+    background: bool,
+}
+
+impl SwitchBuilder {
+    /// Sets the selection rule (default: `R_time`).
+    pub fn rule(mut self, rule: SelectionRule) -> Self {
+        self.config.rule = rule;
+        self
+    }
+
+    /// Sets the monitoring-window parameters (default: paper §5 values).
+    pub fn window(mut self, window: WindowConfig) -> Self {
+        self.config.window = window;
+        self
+    }
+
+    /// Replaces the default models (e.g. with calibrated ones).
+    pub fn models(mut self, models: Models) -> Self {
+        self.models = Some(models);
+        self
+    }
+
+    /// Starts the background analyzer thread at the configured monitoring
+    /// rate. Without this, call [`Switch::analyze_now`] explicitly.
+    pub fn background(mut self) -> Self {
+        self.background = true;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Switch {
+        let shared = Arc::new(Shared {
+            config: self.config,
+            models: self.models.unwrap_or_default(),
+            registry: Mutex::new(Registry::default()),
+            log: Mutex::new(Vec::new()),
+            next_context_id: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let analyzer = if self.background {
+            let rate = shared.config.window.monitoring_rate;
+            let thread_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name("collectionswitch-analyzer".into())
+                .spawn(move || {
+                    while !thread_shared.stop.load(Ordering::Acquire) {
+                        std::thread::sleep(rate);
+                        if thread_shared.stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        analyze_shared(&thread_shared);
+                    }
+                })
+                .expect("failed to spawn analyzer thread");
+            Some(Arc::new(AnalyzerHandle {
+                shared: Arc::clone(&shared),
+                thread: Mutex::new(Some(handle)),
+            }))
+        } else {
+            None
+        };
+        Switch { shared, analyzer }
+    }
+}
+
+fn analyze_core<K: Kind>(
+    core: &ContextCore<K>,
+    model: &PerformanceModel<K>,
+    rule: &SelectionRule,
+    log: &Mutex<Vec<TransitionEvent>>,
+) {
+    if let Some(event) = core.analyze(model, rule) {
+        log.lock().push(event);
+    }
+}
+
+fn analyze_shared(shared: &Shared) {
+    let registry = shared.registry.lock();
+    for core in &registry.lists {
+        analyze_core(core, &shared.models.list, &shared.config.rule, &shared.log);
+    }
+    for core in &registry.sets {
+        analyze_core(core, &shared.models.set, &shared.config.rule, &shared.log);
+    }
+    for core in &registry.maps {
+        analyze_core(core, &shared.models.map, &shared.config.rule, &shared.log);
+    }
+}
+
+impl Switch {
+    /// Starts building an engine.
+    pub fn builder() -> SwitchBuilder {
+        SwitchBuilder::default()
+    }
+
+    /// The engine's selection rule.
+    pub fn rule(&self) -> &SelectionRule {
+        &self.shared.config.rule
+    }
+
+    /// The engine's window configuration.
+    pub fn window_config(&self) -> WindowConfig {
+        self.shared.config.window
+    }
+
+    fn next_id(&self) -> u64 {
+        self.shared.next_context_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Creates an adaptive allocation context for a list site with the given
+    /// developer-declared default variant.
+    pub fn list_context<T: Eq + Hash + Clone>(&self, default: ListKind) -> ListContext<T> {
+        self.named_list_context(default, format!("list-site-{}", self.next_id()))
+    }
+
+    /// Like [`Switch::list_context`], with an explicit allocation-site name
+    /// (e.g. `"IndexCursor:70"`).
+    pub fn named_list_context<T: Eq + Hash + Clone>(
+        &self,
+        default: ListKind,
+        name: impl Into<String>,
+    ) -> ListContext<T> {
+        let core = Arc::new(ContextCore::new(
+            self.next_id(),
+            name.into(),
+            default,
+            self.shared.config.window,
+        ));
+        self.shared.registry.lock().lists.push(Arc::clone(&core));
+        ListContext::from_core(core)
+    }
+
+    /// Creates an adaptive allocation context for a set site.
+    pub fn set_context<T: Eq + Hash + Clone>(&self, default: SetKind) -> SetContext<T> {
+        self.named_set_context(default, format!("set-site-{}", self.next_id()))
+    }
+
+    /// Like [`Switch::set_context`], with an explicit allocation-site name.
+    pub fn named_set_context<T: Eq + Hash + Clone>(
+        &self,
+        default: SetKind,
+        name: impl Into<String>,
+    ) -> SetContext<T> {
+        let core = Arc::new(ContextCore::new(
+            self.next_id(),
+            name.into(),
+            default,
+            self.shared.config.window,
+        ));
+        self.shared.registry.lock().sets.push(Arc::clone(&core));
+        SetContext::from_core(core)
+    }
+
+    /// Creates an adaptive allocation context for a map site.
+    pub fn map_context<K: Eq + Hash + Clone, V: Clone>(&self, default: MapKind) -> MapContext<K, V> {
+        self.named_map_context(default, format!("map-site-{}", self.next_id()))
+    }
+
+    /// Like [`Switch::map_context`], with an explicit allocation-site name.
+    pub fn named_map_context<K: Eq + Hash + Clone, V: Clone>(
+        &self,
+        default: MapKind,
+        name: impl Into<String>,
+    ) -> MapContext<K, V> {
+        let core = Arc::new(ContextCore::new(
+            self.next_id(),
+            name.into(),
+            default,
+            self.shared.config.window,
+        ));
+        self.shared.registry.lock().maps.push(Arc::clone(&core));
+        MapContext::from_core(core)
+    }
+
+    /// Runs one synchronous analysis pass over every registered context —
+    /// the deterministic alternative to the background analyzer, used by
+    /// tests and benchmarks.
+    pub fn analyze_now(&self) {
+        analyze_shared(&self.shared);
+    }
+
+    /// Number of registered allocation contexts.
+    pub fn context_count(&self) -> usize {
+        let r = self.shared.registry.lock();
+        r.lists.len() + r.sets.len() + r.maps.len()
+    }
+
+    /// A copy of the transition log (feeds the paper's Table 6).
+    pub fn transition_log(&self) -> Vec<TransitionEvent> {
+        self.shared.log.lock().clone()
+    }
+
+    /// Clears the transition log.
+    pub fn clear_transition_log(&self) {
+        self.shared.log.lock().clear();
+    }
+
+    /// Whether a background analyzer is running.
+    pub fn is_background(&self) -> bool {
+        self.analyzer.is_some()
+    }
+
+    /// Aggregated activity over every registered context: one
+    /// `(site name, current variant, stats)` row per site, for dashboards
+    /// and the detailed logging the paper lists as its fault-diagnosis
+    /// mitigation (§4.4).
+    pub fn context_summaries(&self) -> Vec<ContextSummary> {
+        let registry = self.shared.registry.lock();
+        let mut out = Vec::with_capacity(
+            registry.lists.len() + registry.sets.len() + registry.maps.len(),
+        );
+        fn summarize<K: Kind>(core: &ContextCore<K>) -> ContextSummary {
+            ContextSummary {
+                name: core.name().to_owned(),
+                abstraction: K::ABSTRACTION,
+                default_kind: core.default_kind().to_string(),
+                current_kind: core.current_kind().to_string(),
+                stats: core.stats(),
+            }
+        }
+        out.extend(registry.lists.iter().map(|c| summarize(c)));
+        out.extend(registry.sets.iter().map(|c| summarize(c)));
+        out.extend(registry.maps.iter().map(|c| summarize(c)));
+        out
+    }
+}
+
+/// One row of [`Switch::context_summaries`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextSummary {
+    /// Site label.
+    pub name: String,
+    /// The site's abstraction.
+    pub abstraction: cs_collections::Abstraction,
+    /// Developer-declared default variant.
+    pub default_kind: String,
+    /// Variant currently instantiated.
+    pub current_kind: String,
+    /// Activity counters.
+    pub stats: crate::context::ContextStats,
+}
+
+impl fmt::Display for ContextSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {} -> {} (rounds {}, switches {}, history {})",
+            self.name,
+            self.abstraction,
+            self.default_kind,
+            self.current_kind,
+            self.stats.rounds,
+            self.stats.switches,
+            self.stats.history_instances
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fast_window() -> WindowConfig {
+        WindowConfig {
+            window_size: 20,
+            finished_ratio: 0.6,
+            monitoring_rate: Duration::from_millis(5),
+            min_samples: 5,
+            history_decay: 0.5,
+        }
+    }
+
+    fn run_lookup_heavy_site(ctx: &ListContext<i64>, instances: usize) {
+        for _ in 0..instances {
+            let mut list = ctx.create_list();
+            for v in 0..200 {
+                list.push(v);
+            }
+            for v in 0..200 {
+                list.contains(&v);
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_now_switches_lookup_heavy_list_site() {
+        let engine = Switch::builder()
+            .rule(SelectionRule::r_time())
+            .window(fast_window())
+            .build();
+        let ctx = engine.list_context::<i64>(ListKind::Array);
+        run_lookup_heavy_site(&ctx, 30);
+        engine.analyze_now();
+        assert_eq!(ctx.current_kind(), ListKind::HashArray);
+        let log = engine.transition_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].edge(), "array -> hasharray");
+    }
+
+    #[test]
+    fn impossible_rule_never_transitions() {
+        let engine = Switch::builder()
+            .rule(SelectionRule::impossible())
+            .window(fast_window())
+            .build();
+        let ctx = engine.list_context::<i64>(ListKind::Array);
+        run_lookup_heavy_site(&ctx, 30);
+        engine.analyze_now();
+        assert_eq!(ctx.current_kind(), ListKind::Array);
+        assert!(engine.transition_log().is_empty());
+    }
+
+    #[test]
+    fn background_analyzer_converges_without_manual_calls() {
+        let engine = Switch::builder()
+            .rule(SelectionRule::r_time())
+            .window(fast_window())
+            .background()
+            .build();
+        assert!(engine.is_background());
+        let ctx = engine.list_context::<i64>(ListKind::Array);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ctx.current_kind() == ListKind::Array && std::time::Instant::now() < deadline {
+            run_lookup_heavy_site(&ctx, 25);
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(ctx.current_kind(), ListKind::HashArray);
+    }
+
+    #[test]
+    fn models_round_trip_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "cs-models-test-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let models = Models::default();
+        models.save_to_dir(&dir).unwrap();
+        let restored = Models::load_from_dir(&dir).unwrap();
+        assert_eq!(restored.list.len(), models.list.len());
+        assert_eq!(restored.set.len(), models.set.len());
+        assert_eq!(restored.map.len(), models.map.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_from_missing_dir_errors() {
+        let err = Models::load_from_dir("/nonexistent/cs-models").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn multiple_context_types_register() {
+        let engine = Switch::builder().build();
+        let _l = engine.list_context::<i64>(ListKind::Array);
+        let _s = engine.set_context::<i64>(SetKind::Chained);
+        let _m = engine.map_context::<i64, i64>(MapKind::Chained);
+        assert_eq!(engine.context_count(), 3);
+    }
+
+    #[test]
+    fn named_contexts_appear_in_log() {
+        let engine = Switch::builder().window(fast_window()).build();
+        let ctx = engine.named_list_context::<i64>(ListKind::Array, "IndexCursor:70");
+        run_lookup_heavy_site(&ctx, 30);
+        engine.analyze_now();
+        let log = engine.transition_log();
+        assert_eq!(log[0].context_name, "IndexCursor:70");
+    }
+
+    #[test]
+    fn context_summaries_report_every_site() {
+        let engine = Switch::builder().window(fast_window()).build();
+        let lists = engine.named_list_context::<i64>(ListKind::Array, "A");
+        let _sets = engine.named_set_context::<i64>(SetKind::Chained, "B");
+        run_lookup_heavy_site(&lists, 30);
+        engine.analyze_now();
+        let summaries = engine.context_summaries();
+        assert_eq!(summaries.len(), 2);
+        let a = summaries.iter().find(|s| s.name == "A").unwrap();
+        assert_eq!(a.default_kind, "array");
+        assert_eq!(a.current_kind, "hasharray");
+        assert_eq!(a.stats.switches, 1);
+        assert!(a.to_string().contains("array -> hasharray"));
+    }
+
+    #[test]
+    fn contexts_are_cloneable_and_share_state() {
+        let engine = Switch::builder().window(fast_window()).build();
+        let ctx = engine.list_context::<i64>(ListKind::Array);
+        let ctx2 = ctx.clone();
+        run_lookup_heavy_site(&ctx, 30);
+        engine.analyze_now();
+        assert_eq!(ctx2.current_kind(), ListKind::HashArray);
+    }
+
+    #[test]
+    fn concurrent_sites_analyze_independently() {
+        let engine = Switch::builder().window(fast_window()).build();
+        let lookup = engine.list_context::<i64>(ListKind::Array);
+        let iterate = engine.list_context::<i64>(ListKind::Linked);
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let lookup = lookup.clone();
+                let iterate = iterate.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let mut l = lookup.create_list();
+                        let mut it = iterate.create_list();
+                        for v in 0..(100 + i) {
+                            l.push(v);
+                            it.push(v);
+                        }
+                        for v in 0..100 {
+                            l.contains(&v);
+                        }
+                        it.for_each(|_| {});
+                        it.for_each(|_| {});
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        engine.analyze_now();
+        assert_eq!(lookup.current_kind(), ListKind::HashArray);
+        assert_eq!(iterate.current_kind(), ListKind::Array, "LL -> AL (bloat)");
+    }
+}

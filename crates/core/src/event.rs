@@ -1,0 +1,81 @@
+//! Transition events: the framework's trace of variant switches.
+
+use std::fmt;
+
+use cs_collections::Abstraction;
+
+/// A record of one allocation-context transition — the raw data behind the
+/// paper's Table 6 ("most commonly performed transitions") and the detailed
+/// log system the paper describes as its fault-diagnosis mitigation (§4.4).
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::Abstraction;
+/// use cs_core::TransitionEvent;
+///
+/// let e = TransitionEvent::new(7, "IndexCursor:70", Abstraction::List, "array", "adaptive", 2);
+/// assert_eq!(e.to_string(), "IndexCursor:70: list array -> adaptive (round 2)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TransitionEvent {
+    /// Id of the allocation context that switched.
+    pub context_id: u64,
+    /// Human-readable context name (typically the allocation-site label).
+    pub context_name: String,
+    /// The abstraction of the switched site.
+    pub abstraction: Abstraction,
+    /// Variant used before the switch.
+    pub from: String,
+    /// Variant instantiated from now on.
+    pub to: String,
+    /// Monitoring round in which the switch happened (0-based).
+    pub round: u64,
+}
+
+impl TransitionEvent {
+    /// Creates an event record.
+    pub fn new(
+        context_id: u64,
+        context_name: impl Into<String>,
+        abstraction: Abstraction,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        round: u64,
+    ) -> Self {
+        TransitionEvent {
+            context_id,
+            context_name: context_name.into(),
+            abstraction,
+            from: from.into(),
+            to: to.into(),
+            round,
+        }
+    }
+
+    /// `"from -> to"`, the form Table 6 aggregates on.
+    pub fn edge(&self) -> String {
+        format!("{} -> {}", self.from, self.to)
+    }
+}
+
+impl fmt::Display for TransitionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} {} -> {} (round {})",
+            self.context_name, self.abstraction, self.from, self.to, self.round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_formats_for_aggregation() {
+        let e = TransitionEvent::new(1, "s", Abstraction::Set, "chained", "open-koloboke", 0);
+        assert_eq!(e.edge(), "chained -> open-koloboke");
+    }
+}

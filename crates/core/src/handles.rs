@@ -1,0 +1,497 @@
+//! Switch handles: what `ctx.create_*()` returns.
+//!
+//! A handle owns the underlying variant (an [`AnyList`]/[`AnySet`]/
+//! [`AnyMap`]) and, when the allocation context sampled this instance for
+//! monitoring, an [`OpRecorder`] that counts critical operations. When the
+//! handle is dropped, the recorder is folded into a
+//! [`WorkloadProfile`](cs_profile::WorkloadProfile) and pushed into the
+//! context's sink — the Rust equivalent of the paper's `WeakReference`-based
+//! end-of-life detection (§4.3), but exact and overhead-free.
+
+use std::hash::Hash;
+
+use cs_collections::{AnyList, AnyMap, AnySet, HeapSize, ListOps, MapOps, SetOps};
+use cs_profile::{OpKind, OpRecorder, ProfileSink};
+
+/// Monitoring payload carried by sampled instances.
+#[derive(Debug)]
+pub(crate) struct Monitor {
+    recorder: OpRecorder,
+    sink: ProfileSink,
+}
+
+impl Monitor {
+    pub(crate) fn new(sink: ProfileSink) -> Self {
+        Monitor {
+            recorder: OpRecorder::new(),
+            sink,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, op: OpKind, size: usize) {
+        self.recorder.record(op);
+        self.recorder.observe_size(size);
+    }
+
+    fn finish(self) {
+        let Monitor { recorder, sink } = self;
+        sink.push(recorder.finish());
+    }
+}
+
+macro_rules! monitored {
+    ($self:ident, $op:expr, $len:expr) => {
+        if let Some(m) = $self.monitor.as_mut() {
+            m.record($op, $len);
+        }
+    };
+}
+
+/// A list handle created by a [`ListContext`](crate::ListContext).
+///
+/// Forwards every operation to the underlying variant; monitored instances
+/// additionally count the paper's critical operations (populate, contains,
+/// iterate, middle).
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::ListKind;
+/// use cs_core::Switch;
+///
+/// let engine = Switch::builder().build();
+/// let ctx = engine.list_context::<i32>(ListKind::Array);
+/// let mut list = ctx.create_list();
+/// list.push(1);
+/// list.insert(0, 0);
+/// assert_eq!(list.as_vec(), vec![0, 1]);
+/// ```
+#[derive(Debug)]
+pub struct SwitchList<T: Eq + Hash + Clone> {
+    inner: AnyList<T>,
+    monitor: Option<Monitor>,
+}
+
+impl<T: Eq + Hash + Clone> SwitchList<T> {
+    pub(crate) fn new(inner: AnyList<T>, monitor: Option<Monitor>) -> Self {
+        SwitchList { inner, monitor }
+    }
+
+    /// Whether this instance was sampled for monitoring.
+    pub fn is_monitored(&self) -> bool {
+        self.monitor.is_some()
+    }
+
+    /// The underlying variant.
+    pub fn inner(&self) -> &AnyList<T> {
+        &self.inner
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        ListOps::len(&self.inner)
+    }
+
+    /// Returns `true` if the list holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `value` (critical op: *populate*).
+    pub fn push(&mut self, value: T) {
+        ListOps::push(&mut self.inner, value);
+        monitored!(self, OpKind::Populate, ListOps::len(&self.inner));
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        ListOps::pop(&mut self.inner)
+    }
+
+    /// Inserts at `index` (critical op: *middle*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len`.
+    pub fn insert(&mut self, index: usize, value: T) {
+        ListOps::list_insert(&mut self.inner, index, value);
+        monitored!(self, OpKind::Middle, ListOps::len(&self.inner));
+    }
+
+    /// Removes at `index` (critical op: *middle*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn remove(&mut self, index: usize) -> T {
+        let v = ListOps::list_remove(&mut self.inner, index);
+        monitored!(self, OpKind::Middle, ListOps::len(&self.inner) + 1);
+        v
+    }
+
+    /// Returns the element at `index`, if in bounds.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        ListOps::get(&self.inner, index)
+    }
+
+    /// Replaces the element at `index`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize, value: T) -> T {
+        ListOps::set(&mut self.inner, index, value)
+    }
+
+    /// Membership test (critical op: *contains*).
+    pub fn contains(&mut self, value: &T) -> bool {
+        monitored!(self, OpKind::Contains, ListOps::len(&self.inner));
+        ListOps::contains(&self.inner, value)
+    }
+
+    /// Visits every element in order (critical op: *iterate*).
+    pub fn for_each(&mut self, mut f: impl FnMut(&T)) {
+        monitored!(self, OpKind::Iterate, ListOps::len(&self.inner));
+        ListOps::for_each_value(&self.inner, &mut f);
+    }
+
+    /// Copies the elements into a `Vec` (counts as an iteration).
+    pub fn as_vec(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|v| out.push(v.clone()));
+        out
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        ListOps::clear(&mut self.inner);
+    }
+}
+
+impl<T: Eq + Hash + Clone> HeapSize for SwitchList<T> {
+    fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+    fn allocated_bytes(&self) -> u64 {
+        self.inner.allocated_bytes()
+    }
+}
+
+impl<T: Eq + Hash + Clone> Drop for SwitchList<T> {
+    fn drop(&mut self) {
+        if let Some(m) = self.monitor.take() {
+            m.finish();
+        }
+    }
+}
+
+/// A set handle created by a [`SetContext`](crate::SetContext).
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::SetKind;
+/// use cs_core::Switch;
+///
+/// let engine = Switch::builder().build();
+/// let ctx = engine.set_context::<i32>(SetKind::Chained);
+/// let mut set = ctx.create_set();
+/// assert!(set.insert(1));
+/// assert!(set.contains(&1));
+/// ```
+#[derive(Debug)]
+pub struct SwitchSet<T: Eq + Hash + Clone> {
+    inner: AnySet<T>,
+    monitor: Option<Monitor>,
+}
+
+impl<T: Eq + Hash + Clone> SwitchSet<T> {
+    pub(crate) fn new(inner: AnySet<T>, monitor: Option<Monitor>) -> Self {
+        SwitchSet { inner, monitor }
+    }
+
+    /// Whether this instance was sampled for monitoring.
+    pub fn is_monitored(&self) -> bool {
+        self.monitor.is_some()
+    }
+
+    /// The underlying variant.
+    pub fn inner(&self) -> &AnySet<T> {
+        &self.inner
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        SetOps::len(&self.inner)
+    }
+
+    /// Returns `true` if the set holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `value` (critical op: *populate*); returns `true` if new.
+    pub fn insert(&mut self, value: T) -> bool {
+        let added = SetOps::insert(&mut self.inner, value);
+        monitored!(self, OpKind::Populate, SetOps::len(&self.inner));
+        added
+    }
+
+    /// Membership test (critical op: *contains*).
+    pub fn contains(&mut self, value: &T) -> bool {
+        monitored!(self, OpKind::Contains, SetOps::len(&self.inner));
+        SetOps::contains(&self.inner, value)
+    }
+
+    /// Removes `value` (critical op: *middle*); returns `true` if present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        monitored!(self, OpKind::Middle, SetOps::len(&self.inner));
+        SetOps::set_remove(&mut self.inner, value)
+    }
+
+    /// Visits every element (critical op: *iterate*).
+    pub fn for_each(&mut self, mut f: impl FnMut(&T)) {
+        monitored!(self, OpKind::Iterate, SetOps::len(&self.inner));
+        SetOps::for_each_value(&self.inner, &mut f);
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        SetOps::clear(&mut self.inner);
+    }
+}
+
+impl<T: Eq + Hash + Clone> HeapSize for SwitchSet<T> {
+    fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+    fn allocated_bytes(&self) -> u64 {
+        self.inner.allocated_bytes()
+    }
+}
+
+impl<T: Eq + Hash + Clone> Drop for SwitchSet<T> {
+    fn drop(&mut self) {
+        if let Some(m) = self.monitor.take() {
+            m.finish();
+        }
+    }
+}
+
+/// A map handle created by a [`MapContext`](crate::MapContext).
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::MapKind;
+/// use cs_core::Switch;
+///
+/// let engine = Switch::builder().build();
+/// let ctx = engine.map_context::<&str, i32>(MapKind::Chained);
+/// let mut map = ctx.create_map();
+/// map.insert("k", 1);
+/// assert_eq!(map.get(&"k"), Some(&1));
+/// ```
+#[derive(Debug)]
+pub struct SwitchMap<K: Eq + Hash + Clone, V: Clone> {
+    inner: AnyMap<K, V>,
+    monitor: Option<Monitor>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SwitchMap<K, V> {
+    pub(crate) fn new(inner: AnyMap<K, V>, monitor: Option<Monitor>) -> Self {
+        SwitchMap { inner, monitor }
+    }
+
+    /// Whether this instance was sampled for monitoring.
+    pub fn is_monitored(&self) -> bool {
+        self.monitor.is_some()
+    }
+
+    /// The underlying variant.
+    pub fn inner(&self) -> &AnyMap<K, V> {
+        &self.inner
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        MapOps::len(&self.inner)
+    }
+
+    /// Returns `true` if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts or replaces (critical op: *populate*).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let old = MapOps::map_insert(&mut self.inner, key, value);
+        monitored!(self, OpKind::Populate, MapOps::len(&self.inner));
+        old
+    }
+
+    /// Key lookup (critical op: *contains*).
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        monitored!(self, OpKind::Contains, MapOps::len(&self.inner));
+        MapOps::map_get(&self.inner, key)
+    }
+
+    /// Key membership test (critical op: *contains*).
+    pub fn contains_key(&mut self, key: &K) -> bool {
+        monitored!(self, OpKind::Contains, MapOps::len(&self.inner));
+        MapOps::contains_key(&self.inner, key)
+    }
+
+    /// Removes the entry for `key` (critical op: *middle*).
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        monitored!(self, OpKind::Middle, MapOps::len(&self.inner));
+        MapOps::map_remove(&mut self.inner, key)
+    }
+
+    /// Visits every entry (critical op: *iterate*).
+    pub fn for_each(&mut self, mut f: impl FnMut(&K, &V)) {
+        monitored!(self, OpKind::Iterate, MapOps::len(&self.inner));
+        MapOps::for_each_entry(&self.inner, &mut f);
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        MapOps::clear(&mut self.inner);
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> HeapSize for SwitchMap<K, V> {
+    fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+    fn allocated_bytes(&self) -> u64 {
+        self.inner.allocated_bytes()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for SwitchMap<K, V> {
+    fn drop(&mut self) {
+        if let Some(m) = self.monitor.take() {
+            m.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_collections::ListKind;
+    use cs_profile::OpKind;
+
+    fn monitored_list() -> (SwitchList<i64>, ProfileSink) {
+        let sink = ProfileSink::new();
+        let list = SwitchList::new(
+            AnyList::new(ListKind::Array),
+            Some(Monitor::new(sink.clone())),
+        );
+        (list, sink)
+    }
+
+    #[test]
+    fn unmonitored_handle_reports_nothing() {
+        let sink = ProfileSink::new();
+        {
+            let mut l: SwitchList<i64> = SwitchList::new(AnyList::new(ListKind::Array), None);
+            l.push(1);
+            assert!(!l.is_monitored());
+        }
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn monitored_handle_reports_profile_on_drop() {
+        let (mut list, sink) = monitored_list();
+        for v in 0..10 {
+            list.push(v);
+        }
+        for v in 0..5 {
+            list.contains(&v);
+        }
+        list.insert(3, 99);
+        list.for_each(|_| {});
+        assert!(sink.is_empty(), "profile only lands on drop");
+        drop(list);
+        let profiles = sink.drain();
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!(p.count(OpKind::Populate), 10);
+        assert_eq!(p.count(OpKind::Contains), 5);
+        assert_eq!(p.count(OpKind::Middle), 1);
+        assert_eq!(p.count(OpKind::Iterate), 1);
+        assert_eq!(p.max_size(), 11);
+    }
+
+    #[test]
+    fn remove_records_pre_removal_size() {
+        let (mut list, sink) = monitored_list();
+        for v in 0..8 {
+            list.push(v);
+        }
+        list.remove(0);
+        drop(list);
+        let p = &sink.drain()[0];
+        assert_eq!(p.max_size(), 8);
+    }
+
+    #[test]
+    fn set_handle_counts_ops() {
+        use cs_collections::SetKind;
+        let sink = ProfileSink::new();
+        {
+            let mut set: SwitchSet<i64> = SwitchSet::new(
+                AnySet::new(SetKind::Chained),
+                Some(Monitor::new(sink.clone())),
+            );
+            for v in 0..6 {
+                set.insert(v);
+            }
+            set.contains(&3);
+            set.remove(&3);
+            set.for_each(|_| {});
+        }
+        let p = &sink.drain()[0];
+        assert_eq!(p.count(OpKind::Populate), 6);
+        assert_eq!(p.count(OpKind::Contains), 1);
+        assert_eq!(p.count(OpKind::Middle), 1);
+        assert_eq!(p.count(OpKind::Iterate), 1);
+        assert_eq!(p.max_size(), 6);
+    }
+
+    #[test]
+    fn map_handle_counts_ops() {
+        use cs_collections::MapKind;
+        let sink = ProfileSink::new();
+        {
+            let mut map: SwitchMap<i64, i64> = SwitchMap::new(
+                AnyMap::new(MapKind::Array),
+                Some(Monitor::new(sink.clone())),
+            );
+            for k in 0..4 {
+                map.insert(k, k);
+            }
+            map.get(&1);
+            map.contains_key(&2);
+            map.remove(&3);
+        }
+        let p = &sink.drain()[0];
+        assert_eq!(p.count(OpKind::Populate), 4);
+        assert_eq!(p.count(OpKind::Contains), 2);
+        assert_eq!(p.count(OpKind::Middle), 1);
+    }
+
+    #[test]
+    fn handle_forwards_heap_accounting() {
+        let (mut list, _sink) = monitored_list();
+        for v in 0..100 {
+            list.push(v);
+        }
+        assert!(list.heap_bytes() >= 100 * std::mem::size_of::<i64>());
+        assert!(list.allocated_bytes() >= list.heap_bytes() as u64);
+    }
+}

@@ -1,0 +1,64 @@
+//! # cs-core
+//!
+//! The CollectionSwitch framework: runtime selection of collection variants
+//! driven by allocation-site workload profiles (Costa & Andrzejak, CGO'18).
+//!
+//! ## Architecture (paper Fig. 1 / Fig. 2)
+//!
+//! * [`Switch`] — the engine: global configuration (selection rule, window
+//!   parameters), the performance models, the context registry, the
+//!   transition log, and the periodic analyzer (background thread at the
+//!   *monitoring rate*, or explicit [`Switch::analyze_now`]).
+//! * [`ListContext`] / [`SetContext`] / [`MapContext`] — *adaptive
+//!   allocation contexts*: one per instrumented allocation site. They
+//!   instantiate the site's current variant, monitor a window of created
+//!   instances, and switch the variant used for future instantiations when
+//!   a [`SelectionRule`] finds a better candidate.
+//! * [`SwitchList`] / [`SwitchSet`] / [`SwitchMap`] — the handles returned
+//!   by `create_*`: thin wrappers that forward to the underlying variant
+//!   and, on a monitored subset of instances, count critical operations and
+//!   report a workload profile when dropped.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cs_collections::ListKind;
+//! use cs_core::{SelectionRule, Switch};
+//!
+//! let engine = Switch::builder().rule(SelectionRule::r_time()).build();
+//! let ctx = engine.list_context::<i64>(ListKind::Array);
+//!
+//! // The instrumented allocation site: `ctx.create_list()` in place of
+//! // `new ArrayList<>()` (paper Fig. 4).
+//! for _ in 0..200 {
+//!     let mut list = ctx.create_list();
+//!     for v in 0..150 {
+//!         list.push(v);
+//!     }
+//!     for v in 0..150 {
+//!         assert!(list.contains(&v));
+//!     }
+//! }
+//! engine.analyze_now();
+//! // The lookup-heavy workload drove the site to a hash-indexed variant.
+//! assert_ne!(ctx.current_kind(), ListKind::Array);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod context;
+mod engine;
+mod event;
+mod handles;
+mod kind_ext;
+mod rules;
+mod select;
+
+pub use context::{ContextCore, ContextStats, ListContext, MapContext, SetContext};
+pub use engine::{ContextSummary, Models, Switch, SwitchBuilder, SwitchConfig};
+pub use event::TransitionEvent;
+pub use handles::{SwitchList, SwitchMap, SwitchSet};
+pub use kind_ext::Kind;
+pub use rules::{Criterion, ParseRuleError, SelectionRule};
+pub use select::{adaptive_eligible, select_variant, Selection};

@@ -1,0 +1,378 @@
+//! The variant selection algorithm (paper §3.1.1–§3.1.2).
+
+use cs_model::PerformanceModel;
+use cs_profile::ProfileHistogram;
+
+use crate::kind_ext::Kind;
+use crate::rules::SelectionRule;
+
+/// Outcome of one selection pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection<K> {
+    /// The chosen variant.
+    pub kind: K,
+    /// Its cost ratio on the rule's first criterion (`C1`) against the
+    /// current variant — the "improvement" the paper breaks ties with.
+    pub primary_ratio: f64,
+}
+
+/// The paper's adaptive-eligibility gate (§3.2): adaptive variants are
+/// considered as candidates only when the monitored instances had *widely
+/// ranging sizes* — concretely, when some instances stayed at or below the
+/// adaptive transition threshold while others crossed it, so a single fixed
+/// representation fits neither group.
+///
+/// # Examples
+///
+/// ```
+/// use cs_core::adaptive_eligible;
+/// use cs_profile::{OpCounters, ProfileHistogram, WorkloadProfile};
+///
+/// let small = WorkloadProfile::new(OpCounters::new(), 8);
+/// let large = WorkloadProfile::new(OpCounters::new(), 900);
+/// let mixed = ProfileHistogram::from_profiles(&[small.clone(), large.clone()]);
+/// assert!(adaptive_eligible(&mixed, 40));
+/// let uniform = ProfileHistogram::from_profiles(&[large.clone(), large]);
+/// assert!(!adaptive_eligible(&uniform, 40));
+/// ```
+pub fn adaptive_eligible(history: &ProfileHistogram, threshold: usize) -> bool {
+    !history.is_empty() && history.min_size() <= threshold && history.max_size() > threshold
+}
+
+/// Selects the variant an allocation context should use for future
+/// instantiations, per the paper's algorithm:
+///
+/// 1. Compute `TC_D(V)` for every candidate and every dimension a rule
+///    criterion names, over the aggregated workload history.
+/// 2. A candidate satisfies the rule if `TC_D(V_new) / TC_D(V_cur) ≤ T_D`
+///    for every criterion.
+/// 3. Among satisfying candidates different from the current variant, pick
+///    the one with the largest improvement on the first criterion.
+///
+/// Adaptive variants pass through the [`adaptive_eligible`] gate first.
+/// Returns `None` when the workload is empty, the current variant has zero
+/// cost (nothing to improve), or no candidate satisfies the rule.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::ListKind;
+/// use cs_core::{select_variant, SelectionRule};
+/// use cs_model::default_models;
+/// use cs_profile::{OpCounters, OpKind, ProfileHistogram, WorkloadProfile};
+///
+/// let mut ops = OpCounters::new();
+/// ops.add(OpKind::Populate, 500);
+/// ops.add(OpKind::Contains, 2_000);
+/// let w = WorkloadProfile::new(ops, 500);
+/// let history = ProfileHistogram::from_profiles(&[w]);
+///
+/// let sel = select_variant(
+///     default_models::list_model(),
+///     &SelectionRule::r_time(),
+///     ListKind::Array,
+///     &history,
+/// )
+/// .expect("lookup-heavy workload must switch");
+/// assert_eq!(sel.kind, ListKind::HashArray);
+/// ```
+pub fn select_variant<K: Kind>(
+    model: &PerformanceModel<K>,
+    rule: &SelectionRule,
+    current: K,
+    history: &ProfileHistogram,
+) -> Option<Selection<K>> {
+    if history.total_ops() == 0 {
+        return None;
+    }
+
+    let primary = rule.primary();
+    let adaptive = K::adaptive_kind();
+    let adaptive_ok = adaptive_eligible(history, K::adaptive_threshold());
+
+    // Current costs per dimension used by the rule.
+    let current_cost = |dim| model.histogram_cost(current, dim, history);
+
+    // Degenerate current (e.g. uncalibrated variant): nothing to compare.
+    if rule
+        .criteria()
+        .iter()
+        .any(|c| current_cost(c.dimension) <= 0.0)
+    {
+        return None;
+    }
+
+    let mut best: Option<Selection<K>> = None;
+    for &candidate in K::all() {
+        if candidate == current {
+            continue;
+        }
+        if candidate == adaptive && !adaptive_ok {
+            continue;
+        }
+        if model.variant(candidate).is_none() {
+            continue;
+        }
+        let satisfied = rule.satisfied(|dim| {
+            let cur = model.histogram_cost(current, dim, history);
+            if cur <= 0.0 {
+                return f64::INFINITY;
+            }
+            model.histogram_cost(candidate, dim, history) / cur
+        });
+        if !satisfied {
+            continue;
+        }
+        let primary_ratio = model.histogram_cost(candidate, primary.dimension, history)
+            / model.histogram_cost(current, primary.dimension, history);
+        let better = match &best {
+            None => true,
+            Some(b) => primary_ratio < b.primary_ratio,
+        };
+        if better {
+            best = Some(Selection {
+                kind: candidate,
+                primary_ratio,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_collections::{LibraryProfile, ListKind, MapKind, SetKind};
+    use cs_model::default_models;
+    use cs_profile::{OpCounters, OpKind, WorkloadProfile};
+
+    fn profile(
+        populate: u64,
+        contains: u64,
+        iterate: u64,
+        middle: u64,
+        size: usize,
+    ) -> WorkloadProfile {
+        let mut c = OpCounters::new();
+        c.add(OpKind::Populate, populate);
+        c.add(OpKind::Contains, contains);
+        c.add(OpKind::Iterate, iterate);
+        c.add(OpKind::Middle, middle);
+        WorkloadProfile::new(c, size)
+    }
+
+    fn hist(profiles: &[WorkloadProfile]) -> ProfileHistogram {
+        ProfileHistogram::from_profiles(profiles)
+    }
+
+    #[test]
+    fn empty_workload_selects_nothing() {
+        let sel = select_variant(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &hist(&[profile(0, 0, 0, 0, 10)]),
+        );
+        assert!(sel.is_none());
+    }
+
+    #[test]
+    fn lookup_heavy_list_switches_to_hash_array() {
+        let w = profile(500, 1_000, 0, 0, 500);
+        let sel = select_variant(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &hist(&[w]),
+        )
+        .unwrap();
+        assert_eq!(sel.kind, ListKind::HashArray);
+        assert!(sel.primary_ratio < 0.8);
+    }
+
+    #[test]
+    fn iterate_heavy_list_stays_array() {
+        let w = profile(100, 0, 1_000, 0, 100);
+        let sel = select_variant(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &hist(&[w]),
+        );
+        assert!(sel.is_none(), "array already optimal for iteration");
+    }
+
+    #[test]
+    fn linked_list_iteration_switches_to_array() {
+        // The bloat situation (Table 6): LL → AL under R_time.
+        let w = profile(100, 0, 500, 20, 200);
+        let sel = select_variant(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Linked,
+            &hist(&[w]),
+        )
+        .unwrap();
+        assert_eq!(sel.kind, ListKind::Array);
+    }
+
+    #[test]
+    fn set_time_rule_selects_koloboke() {
+        // The avrora situation (Table 6): HS → OpenHashSet under R_time.
+        let w = profile(300, 600, 5, 0, 300);
+        let sel = select_variant(
+            default_models::set_model(),
+            &SelectionRule::r_time(),
+            SetKind::Chained,
+            &hist(&[w]),
+        )
+        .unwrap();
+        assert_eq!(sel.kind, SetKind::Open(LibraryProfile::Koloboke));
+    }
+
+    #[test]
+    fn set_alloc_rule_small_sizes_selects_fastutil() {
+        // Fig. 5d, small sizes: the densest open hash wins the allocation
+        // dimension while staying inside the 1.2× time cap.
+        let w = profile(100, 100, 0, 0, 100);
+        let sel = select_variant(
+            default_models::set_model(),
+            &SelectionRule::r_alloc(),
+            SetKind::Chained,
+            &hist(&[w]),
+        )
+        .unwrap();
+        assert_eq!(sel.kind, SetKind::Open(LibraryProfile::FastUtil));
+    }
+
+    #[test]
+    fn set_alloc_rule_medium_sizes_selects_eclipse() {
+        // Fig. 5d, medium sizes: fastutil's time penalty crosses 1.2×.
+        let w = profile(700, 100, 0, 0, 700);
+        let sel = select_variant(
+            default_models::set_model(),
+            &SelectionRule::r_alloc(),
+            SetKind::Chained,
+            &hist(&[w]),
+        )
+        .unwrap();
+        assert_eq!(sel.kind, SetKind::Open(LibraryProfile::Eclipse));
+    }
+
+    #[test]
+    fn set_alloc_rule_large_sizes_selects_koloboke() {
+        // Fig. 5d, large sizes: only the sparsest table stays in the cap.
+        let w = profile(1000, 100, 0, 0, 1000);
+        let sel = select_variant(
+            default_models::set_model(),
+            &SelectionRule::r_alloc(),
+            SetKind::Chained,
+            &hist(&[w]),
+        )
+        .unwrap();
+        assert_eq!(sel.kind, SetKind::Open(LibraryProfile::Koloboke));
+    }
+
+    #[test]
+    fn adaptive_gate_blocks_uniform_sizes() {
+        // All instances large: adaptive excluded even if it would score well.
+        let uniform: Vec<WorkloadProfile> =
+            (0..10).map(|_| profile(100, 200, 0, 0, 500)).collect();
+        let sel = select_variant(
+            default_models::set_model(),
+            &SelectionRule::r_time(),
+            SetKind::Chained,
+            &hist(&uniform),
+        )
+        .unwrap();
+        assert_ne!(sel.kind, SetKind::Adaptive);
+    }
+
+    #[test]
+    fn adaptive_selected_for_widely_ranging_sizes_under_alloc() {
+        // The lusearch situation (Table 6): HM → AdaptiveMap under R_alloc.
+        // Most instances hold < 20 elements; a lookup-hot larger map rules
+        // the plain array variant out on the 1.2× time cap.
+        let mut profiles: Vec<WorkloadProfile> =
+            (0..60).map(|_| profile(12, 30, 0, 0, 12)).collect();
+        profiles.push(profile(200, 2_000, 0, 0, 200));
+        let sel = select_variant(
+            default_models::map_model(),
+            &SelectionRule::r_alloc(),
+            MapKind::Chained,
+            &hist(&profiles),
+        )
+        .unwrap();
+        assert_eq!(sel.kind, MapKind::Adaptive);
+    }
+
+    #[test]
+    fn impossible_rule_never_switches() {
+        let w = profile(500, 1_000, 0, 0, 500);
+        let sel = select_variant(
+            default_models::list_model(),
+            &SelectionRule::impossible(),
+            ListKind::Array,
+            &hist(&[w]),
+        );
+        assert!(sel.is_none());
+    }
+
+    #[test]
+    fn tie_break_picks_largest_primary_improvement() {
+        // Craft a model where two candidates satisfy R_time; the one with
+        // the lower C1 ratio must win (paper §3.1.2).
+        use cs_model::{CostDimension, PerformanceModel, Polynomial, VariantCostModel};
+        let mut pm: PerformanceModel<ListKind> = PerformanceModel::new();
+        let flat = |c: f64| {
+            let mut vm = VariantCostModel::new();
+            vm.set_op_cost(CostDimension::Time, OpKind::Contains, Polynomial::constant(c));
+            vm
+        };
+        pm.insert_variant(ListKind::Array, flat(100.0)); // current
+        pm.insert_variant(ListKind::Linked, flat(60.0)); // eligible (0.6)
+        pm.insert_variant(ListKind::HashArray, flat(40.0)); // eligible (0.4)
+        let sel = select_variant(
+            &pm,
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &hist(&[profile(0, 10, 0, 0, 5)]),
+        )
+        .unwrap();
+        assert_eq!(sel.kind, ListKind::HashArray);
+        assert!((sel.primary_ratio - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncalibrated_candidates_are_skipped() {
+        use cs_model::{CostDimension, PerformanceModel, Polynomial, VariantCostModel};
+        let mut pm: PerformanceModel<ListKind> = PerformanceModel::new();
+        let mut vm = VariantCostModel::new();
+        vm.set_op_cost(CostDimension::Time, OpKind::Contains, Polynomial::constant(5.0));
+        pm.insert_variant(ListKind::Array, vm);
+        // Only the current variant is calibrated: nothing to switch to.
+        let sel = select_variant(
+            &pm,
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &hist(&[profile(0, 10, 0, 0, 5)]),
+        );
+        assert!(sel.is_none());
+    }
+
+    #[test]
+    fn small_uniform_sets_switch_to_array_under_alloc() {
+        // The h2 situation (Table 6): HS → ArraySet; tiny uniform sets make
+        // the array variant eligible inside the time cap.
+        let profiles: Vec<WorkloadProfile> =
+            (0..20).map(|_| profile(8, 10, 0, 0, 8)).collect();
+        let sel = select_variant(
+            default_models::set_model(),
+            &SelectionRule::r_alloc(),
+            SetKind::Chained,
+            &hist(&profiles),
+        )
+        .unwrap();
+        assert_eq!(sel.kind, SetKind::Array);
+    }
+}

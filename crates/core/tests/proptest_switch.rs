@@ -1,0 +1,130 @@
+//! Property tests at the framework level: whatever the engine decides to
+//! switch, handles must behave exactly like the std oracle, and analysis may
+//! fire at arbitrary points of the script without observable effect.
+
+use proptest::prelude::*;
+
+use cs_collections::{ListKind, MapKind};
+use cs_core::{SelectionRule, Switch};
+use cs_profile::WindowConfig;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(i64),
+    Pop,
+    Contains(i64),
+    Get(usize),
+    Iterate,
+    /// Drop the current handle, run an analysis pass, create a fresh one.
+    NewInstanceAndAnalyze,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        5 => (-30_i64..30).prop_map(Op::Push),
+        1 => Just(Op::Pop),
+        4 => (-30_i64..30).prop_map(Op::Contains),
+        2 => (0usize..40).prop_map(Op::Get),
+        1 => Just(Op::Iterate),
+        1 => Just(Op::NewInstanceAndAnalyze),
+    ];
+    proptest::collection::vec(op, 1..200)
+}
+
+fn tiny_window() -> WindowConfig {
+    WindowConfig {
+        window_size: 4,
+        finished_ratio: 0.5,
+        min_samples: 1,
+        ..WindowConfig::default()
+    }
+}
+
+proptest! {
+    /// Random scripts with interleaved analysis: the monitored handle always
+    /// matches a Vec oracle, no matter which variant the engine switched the
+    /// site to mid-script.
+    #[test]
+    fn switch_list_is_transparent_under_any_rule(
+        script in ops(),
+        rule_idx in 0usize..3,
+    ) {
+        let rule = [
+            SelectionRule::r_time(),
+            SelectionRule::r_alloc(),
+            SelectionRule::impossible(),
+        ][rule_idx]
+            .clone();
+        let engine = Switch::builder().rule(rule).window(tiny_window()).build();
+        let ctx = engine.list_context::<i64>(ListKind::Array);
+        let mut handle = ctx.create_list();
+        let mut oracle: Vec<i64> = Vec::new();
+        for op in &script {
+            match *op {
+                Op::Push(v) => {
+                    handle.push(v);
+                    oracle.push(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(handle.pop(), oracle.pop());
+                }
+                Op::Contains(v) => {
+                    prop_assert_eq!(handle.contains(&v), oracle.contains(&v));
+                }
+                Op::Get(i) => {
+                    prop_assert_eq!(handle.get(i), oracle.get(i));
+                }
+                Op::Iterate => {
+                    let mut got = Vec::new();
+                    handle.for_each(|v| got.push(*v));
+                    prop_assert_eq!(&got, &oracle);
+                }
+                Op::NewInstanceAndAnalyze => {
+                    drop(handle);
+                    engine.analyze_now();
+                    handle = ctx.create_list();
+                    oracle.clear();
+                }
+            }
+            prop_assert_eq!(handle.len(), oracle.len());
+        }
+    }
+
+    /// Map handles stay transparent across engine-driven switches.
+    #[test]
+    fn switch_map_is_transparent(script in ops()) {
+        let engine = Switch::builder()
+            .rule(SelectionRule::r_alloc())
+            .window(tiny_window())
+            .build();
+        let ctx = engine.map_context::<i64, i64>(MapKind::Chained);
+        let mut handle = ctx.create_map();
+        let mut oracle = std::collections::HashMap::new();
+        for op in &script {
+            match *op {
+                Op::Push(v) => {
+                    prop_assert_eq!(handle.insert(v, v * 3), oracle.insert(v, v * 3));
+                }
+                Op::Pop | Op::Iterate => {
+                    let mut n = 0;
+                    handle.for_each(|_, _| n += 1);
+                    prop_assert_eq!(n, oracle.len());
+                }
+                Op::Contains(v) => {
+                    prop_assert_eq!(handle.contains_key(&v), oracle.contains_key(&v));
+                }
+                Op::Get(i) => {
+                    let k = i as i64 - 20;
+                    prop_assert_eq!(handle.get(&k), oracle.get(&k));
+                }
+                Op::NewInstanceAndAnalyze => {
+                    drop(handle);
+                    engine.analyze_now();
+                    handle = ctx.create_map();
+                    oracle.clear();
+                }
+            }
+            prop_assert_eq!(handle.len(), oracle.len());
+        }
+    }
+}

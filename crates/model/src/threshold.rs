@@ -1,0 +1,191 @@
+//! Transition-threshold analysis for adaptive collections (paper §3.2,
+//! Fig. 3, Table 1).
+//!
+//! The paper fixes each adaptive collection's transition threshold by
+//! "finding the collection size for which the cost of transition to a hash
+//! table would be surpassed by the cost of calling the lookup operation for
+//! every collection element". At size `s` the two alternatives are:
+//!
+//! * stay on the array and pay `s` linear lookups: `s · lookup_array(s)`;
+//! * transition (re-insert all `s` elements into the hash) and pay `s`
+//!   constant lookups: `s · transition_per_elem(s) + s · lookup_hash(s)`.
+//!
+//! The *performance benefit* of transitioning is the difference; the optimal
+//! threshold is the smallest size with positive benefit.
+
+use cs_collections::{ListKind, MapKind, SetKind};
+use cs_profile::OpKind;
+
+use crate::dimension::CostDimension;
+use crate::perf::PerformanceModel;
+
+/// One point of the Fig. 3 benefit curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenefitPoint {
+    /// Collection size.
+    pub size: usize,
+    /// Benefit (cost saved) of transitioning at this size; positive means
+    /// the transition pays off.
+    pub benefit: f64,
+}
+
+/// Computes the benefit curve from explicit cost functions.
+///
+/// # Examples
+///
+/// ```
+/// use cs_model::threshold::benefit_curve;
+///
+/// // Linear array lookups vs flat hash lookups with a flat transition cost.
+/// let curve = benefit_curve(
+///     |s| 4.0 + 0.6 * s, // lookup on array
+///     |_| 11.0,          // lookup on hash
+///     |_| 18.0,          // per-element transition cost
+///     1..=80,
+/// );
+/// let threshold = curve.iter().find(|p| p.benefit > 0.0).unwrap().size;
+/// assert!((40..=45).contains(&threshold));
+/// ```
+pub fn benefit_curve(
+    lookup_array: impl Fn(f64) -> f64,
+    lookup_hash: impl Fn(f64) -> f64,
+    transition_per_elem: impl Fn(f64) -> f64,
+    sizes: std::ops::RangeInclusive<usize>,
+) -> Vec<BenefitPoint> {
+    sizes
+        .map(|size| {
+            let s = size as f64;
+            let stay = s * lookup_array(s);
+            let switch = s * transition_per_elem(s) + s * lookup_hash(s);
+            BenefitPoint {
+                size,
+                benefit: stay - switch,
+            }
+        })
+        .collect()
+}
+
+/// Smallest size with positive benefit, if any.
+pub fn optimal_threshold(curve: &[BenefitPoint]) -> Option<usize> {
+    curve.iter().find(|p| p.benefit > 0.0).map(|p| p.size)
+}
+
+/// Benefit curve for `AdaptiveSet` derived from a set performance model:
+/// `ArraySet` lookups vs Koloboke open-hash lookups, with the open hash's
+/// populate cost as the per-element transition cost.
+pub fn set_benefit_curve(
+    model: &PerformanceModel<SetKind>,
+    sizes: std::ops::RangeInclusive<usize>,
+) -> Vec<BenefitPoint> {
+    use cs_collections::LibraryProfile;
+    let array = model.variant(SetKind::Array).expect("array set model");
+    let open = model
+        .variant(SetKind::Open(LibraryProfile::Koloboke))
+        .expect("open set model");
+    benefit_curve(
+        |s| array.op_cost(CostDimension::Time, OpKind::Contains, s),
+        |s| open.op_cost(CostDimension::Time, OpKind::Contains, s),
+        |s| open.op_cost(CostDimension::Time, OpKind::Populate, s),
+        sizes,
+    )
+}
+
+/// Benefit curve for `AdaptiveMap` (`ArrayMap` vs Koloboke open hash).
+pub fn map_benefit_curve(
+    model: &PerformanceModel<MapKind>,
+    sizes: std::ops::RangeInclusive<usize>,
+) -> Vec<BenefitPoint> {
+    use cs_collections::LibraryProfile;
+    let array = model.variant(MapKind::Array).expect("array map model");
+    let open = model
+        .variant(MapKind::Open(LibraryProfile::Koloboke))
+        .expect("open map model");
+    benefit_curve(
+        |s| array.op_cost(CostDimension::Time, OpKind::Contains, s),
+        |s| open.op_cost(CostDimension::Time, OpKind::Contains, s),
+        |s| open.op_cost(CostDimension::Time, OpKind::Populate, s),
+        sizes,
+    )
+}
+
+/// Benefit curve for `AdaptiveList` (`ArrayList` vs `HashArrayList`).
+///
+/// The list transition is the most expensive of the three: the hash-array
+/// hybrid re-appends every element *and* builds the multiset index, which is
+/// why the paper's list threshold (80) is double the set threshold (40).
+pub fn list_benefit_curve(
+    model: &PerformanceModel<ListKind>,
+    sizes: std::ops::RangeInclusive<usize>,
+) -> Vec<BenefitPoint> {
+    let array = model.variant(ListKind::Array).expect("array list model");
+    let hash = model
+        .variant(ListKind::HashArray)
+        .expect("hash-array list model");
+    benefit_curve(
+        |s| array.op_cost(CostDimension::Time, OpKind::Contains, s),
+        |s| hash.op_cost(CostDimension::Time, OpKind::Contains, s),
+        // Transition = re-populate the hybrid plus rebuilding array storage.
+        |s| {
+            hash.op_cost(CostDimension::Time, OpKind::Populate, s)
+                + array.op_cost(CostDimension::Time, OpKind::Populate, s)
+                + array.op_cost(CostDimension::Time, OpKind::Iterate, 1.0)
+        },
+        sizes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_models;
+
+    #[test]
+    fn default_set_threshold_near_paper_value() {
+        let curve = set_benefit_curve(default_models::set_model(), 1..=120);
+        let t = optimal_threshold(&curve).expect("benefit must turn positive");
+        assert!(
+            (35..=55).contains(&t),
+            "set threshold {t} should be near the paper's 40"
+        );
+    }
+
+    #[test]
+    fn default_map_threshold_near_paper_value() {
+        let curve = map_benefit_curve(default_models::map_model(), 1..=120);
+        let t = optimal_threshold(&curve).expect("benefit must turn positive");
+        assert!(
+            (40..=65).contains(&t),
+            "map threshold {t} should be near the paper's 50"
+        );
+    }
+
+    #[test]
+    fn default_list_threshold_near_paper_value() {
+        let curve = list_benefit_curve(default_models::list_model(), 1..=200);
+        let t = optimal_threshold(&curve).expect("benefit must turn positive");
+        assert!(
+            (60..=100).contains(&t),
+            "list threshold {t} should be near the paper's 80"
+        );
+    }
+
+    #[test]
+    fn benefit_is_negative_before_threshold_positive_after() {
+        let curve = set_benefit_curve(default_models::set_model(), 1..=120);
+        let t = optimal_threshold(&curve).unwrap();
+        for p in &curve {
+            if p.size < t {
+                assert!(p.benefit <= 0.0, "benefit at {} should be ≤ 0", p.size);
+            }
+            if p.size > t + 5 {
+                assert!(p.benefit > 0.0, "benefit at {} should be > 0", p.size);
+            }
+        }
+    }
+
+    #[test]
+    fn no_threshold_when_hash_never_wins() {
+        let curve = benefit_curve(|_| 1.0, |_| 100.0, |_| 100.0, 1..=100);
+        assert_eq!(optimal_threshold(&curve), None);
+    }
+}

@@ -1,0 +1,103 @@
+//! The workload profile of a finished collection instance.
+
+use crate::op::{OpCounters, OpKind};
+
+/// The workload observed over one monitored collection instance's lifetime:
+/// per-operation counts `N_op` plus the maximum size `s` the instance reached
+/// (the `W` of the paper's total-cost formula, §3.1.1).
+///
+/// # Examples
+///
+/// ```
+/// use cs_profile::{OpCounters, OpKind, WorkloadProfile};
+///
+/// let mut counters = OpCounters::new();
+/// counters.add(OpKind::Populate, 100);
+/// counters.add(OpKind::Contains, 1000);
+/// let profile = WorkloadProfile::new(counters, 100);
+/// assert!(profile.is_lookup_heavy());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkloadProfile {
+    counters: OpCounters,
+    max_size: usize,
+}
+
+impl WorkloadProfile {
+    /// Builds a profile from operation counters and a maximum size.
+    pub fn new(counters: OpCounters, max_size: usize) -> Self {
+        WorkloadProfile { counters, max_size }
+    }
+
+    /// The count for `op` over the instance's lifetime.
+    #[inline]
+    pub fn count(&self, op: OpKind) -> u64 {
+        self.counters.count(op)
+    }
+
+    /// The full counter set.
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Maximum size the instance reached.
+    #[inline]
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// Total number of critical operations executed.
+    pub fn total_ops(&self) -> u64 {
+        self.counters.total()
+    }
+
+    /// `true` when lookups dominate mutations — the situation where
+    /// hash-indexed variants pay off.
+    pub fn is_lookup_heavy(&self) -> bool {
+        self.count(OpKind::Contains) > self.total_ops() / 2
+    }
+
+    /// Merges another profile into this one, keeping the larger max size.
+    /// Used when summing workload over all monitored instances of a context.
+    pub fn merge(&mut self, other: &WorkloadProfile) {
+        self.counters.merge(&other.counters);
+        self.max_size = self.max_size.max(other.max_size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(pop: u64, con: u64, max: usize) -> WorkloadProfile {
+        let mut c = OpCounters::new();
+        c.add(OpKind::Populate, pop);
+        c.add(OpKind::Contains, con);
+        WorkloadProfile::new(c, max)
+    }
+
+    #[test]
+    fn lookup_heavy_threshold() {
+        assert!(profile(10, 11, 5).is_lookup_heavy());
+        assert!(!profile(10, 10, 5).is_lookup_heavy());
+        assert!(!profile(100, 5, 5).is_lookup_heavy());
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_size() {
+        let mut a = profile(5, 10, 30);
+        let b = profile(2, 3, 80);
+        a.merge(&b);
+        assert_eq!(a.count(OpKind::Populate), 7);
+        assert_eq!(a.count(OpKind::Contains), 13);
+        assert_eq!(a.max_size(), 80);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let p = WorkloadProfile::default();
+        assert_eq!(p.total_ops(), 0);
+        assert_eq!(p.max_size(), 0);
+        assert!(!p.is_lookup_heavy());
+    }
+}

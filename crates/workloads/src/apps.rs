@@ -1,0 +1,433 @@
+//! Synthetic DaCapo-like applications (paper §5.2).
+//!
+//! Each function builds an [`AppSpec`] whose allocation sites encode the
+//! collection-usage regularities the paper reports for the corresponding
+//! DaCapo benchmark. The number of *target allocation sites* per application
+//! matches the paper's Table 5 column (avrora 7, bloat 17, fop 15, h2 10,
+//! lusearch 12); sites sharing a usage pattern are replicas with varied
+//! instance counts, which is what makes Table 6's "most common transition"
+//! a meaningful mode rather than a coin flip.
+//!
+//! | App | Paper finding encoded here |
+//! |---|---|
+//! | avrora | `HashSet`-heavy; `HS → OpenHashSet` under `R_time`, `HS → AdaptiveSet` under `R_alloc` (bimodal set sizes) |
+//! | bloat | `LinkedList` misuse on iteration-heavy work lists (`LL → AL` under `R_time`); visited-sets with ranging sizes (`HS → AdaptiveSet` under `R_alloc`) |
+//! | fop | lists "extensively instantiated … exposed to large amounts of lookup calls", sizes both small and large (`AL → AdaptiveList` under `R_time`) |
+//! | h2 | the `IndexCursor:70` pattern: a very large number of short-lived lists with lookups (`AL → AdaptiveList` under `R_time`); tiny uniform id-sets (`HS → ArraySet` under `R_alloc`) |
+//! | lusearch | "most of its HashMap instances held less than 20 elements" plus lookup-hot large term maps (`HM → OpenHashMap` under `R_time`, `HM → AdaptiveMap` under `R_alloc`) |
+//!
+//! Known divergences from Table 6 (see EXPERIMENTS.md for the analysis):
+//! under `R_alloc`, bloat's dominant transition here is `LL → AL` (the
+//! linked work lists also allocate less as arrays) and fop's is
+//! `HM → ArrayMap` (an array-backed list default cannot be undercut on
+//! cumulative allocation by a hash-transitioning adaptive variant).
+//!
+//! The `scale` parameter multiplies per-site instance counts: `1` gives a
+//! seconds-scale smoke run, `10`+ gives bench-grade runs.
+
+use cs_collections::{ListKind, MapKind, SetKind};
+
+use crate::dist::SizeDist;
+use crate::site::{AppSpec, OpMix, SiteKind, SiteSpec};
+
+fn lookups(per_element: f64) -> OpMix {
+    OpMix {
+        lookups_per_element: per_element,
+        ..OpMix::default()
+    }
+}
+
+/// Replicates a site pattern `n` times with distinct names and staggered
+/// instance counts (real applications' sites differ in traffic).
+fn replicate(base: SiteSpec, n: usize) -> Vec<SiteSpec> {
+    (0..n)
+        .map(|i| {
+            let mut s = base.clone();
+            s.name = format!("{}#{i}", base.name);
+            // 100%, 80%, 66%, 57%, … of the base volume.
+            s.instances = (base.instances * 4 / (4 + i)).max(150);
+            s
+        })
+        .collect()
+}
+
+/// The avrora-like application (7 target sites): event/interrupt sets
+/// dominate.
+pub fn avrora(scale: usize) -> AppSpec {
+    let mut sites = replicate(
+        SiteSpec::new(
+            "avrora/InterruptTable",
+            SiteKind::Set(SetKind::Chained),
+            700 * scale,
+            SizeDist::Bimodal {
+                small_lo: 4,
+                small_hi: 32,
+                large_lo: 48,
+                large_hi: 120,
+                large_prob: 0.05,
+            },
+            lookups(4.0),
+        ),
+        4,
+    );
+    sites.extend(replicate(
+        SiteSpec::new(
+            "avrora/EventQueue",
+            SiteKind::List(ListKind::Array),
+            300 * scale,
+            SizeDist::Uniform(16, 64),
+            OpMix {
+                iterates: 4,
+                ..OpMix::default()
+            },
+        ),
+        2,
+    ));
+    sites.push(SiteSpec::new(
+        "avrora/NodeState",
+        SiteKind::Map(MapKind::Chained),
+        300 * scale,
+        SizeDist::Uniform(8, 24),
+        lookups(2.0),
+    ));
+    AppSpec {
+        name: "avrora".into(),
+        sites,
+    }
+}
+
+/// The bloat-like application (17 target sites): linked work lists traversed
+/// constantly, plus visited-sets with widely ranging sizes.
+pub fn bloat(scale: usize) -> AppSpec {
+    let mut sites = replicate(
+        SiteSpec::new(
+            "bloat/WorkList",
+            SiteKind::List(ListKind::Linked),
+            250 * scale,
+            SizeDist::Uniform(40, 200),
+            OpMix {
+                iterates: 5,
+                middles: 4,
+                ..OpMix::default()
+            },
+        ),
+        8,
+    );
+    sites.extend(replicate(
+        SiteSpec::new(
+            "bloat/VisitedSet",
+            SiteKind::Set(SetKind::Chained),
+            350 * scale,
+            SizeDist::Bimodal {
+                small_lo: 2,
+                small_hi: 24,
+                large_lo: 48,
+                large_hi: 120,
+                large_prob: 0.05,
+            },
+            lookups(3.0),
+        ),
+        6,
+    ));
+    sites.extend(replicate(
+        SiteSpec::new(
+            "bloat/FieldMap",
+            SiteKind::Map(MapKind::Chained),
+            200 * scale,
+            SizeDist::Uniform(6, 30),
+            lookups(1.5),
+        ),
+        3,
+    ));
+    AppSpec {
+        name: "bloat".into(),
+        sites,
+    }
+}
+
+/// The fop-like application (15 target sites): formatting-object children
+/// lists exposed to heavy lookups, with both tiny and large instances.
+pub fn fop(scale: usize) -> AppSpec {
+    let mut sites = replicate(
+        SiteSpec::new(
+            "fop/Children",
+            SiteKind::List(ListKind::Array),
+            400 * scale,
+            SizeDist::Bimodal {
+                small_lo: 2,
+                small_hi: 24,
+                large_lo: 100,
+                large_hi: 320,
+                large_prob: 0.10,
+            },
+            lookups(3.0),
+        ),
+        9,
+    );
+    sites.extend(replicate(
+        SiteSpec::new(
+            "fop/Attributes",
+            SiteKind::Map(MapKind::Chained),
+            250 * scale,
+            SizeDist::Uniform(3, 14),
+            lookups(2.0),
+        ),
+        6,
+    ));
+    AppSpec {
+        name: "fop".into(),
+        sites,
+    }
+}
+
+/// The h2-like application (10 target sites): the `IndexCursor:70` pattern —
+/// an enormous number of short-lived lists with lookup traffic — plus tiny
+/// id-sets.
+pub fn h2(scale: usize) -> AppSpec {
+    let mut sites = replicate(
+        SiteSpec::new(
+            "h2/IndexCursor:70",
+            SiteKind::List(ListKind::Array),
+            1500 * scale,
+            SizeDist::Bimodal {
+                small_lo: 2,
+                small_hi: 16,
+                large_lo: 120,
+                large_hi: 400,
+                large_prob: 0.08,
+            },
+            lookups(2.0),
+        )
+        .retained(16), // short-lived
+        5,
+    );
+    sites.extend(replicate(
+        SiteSpec::new(
+            "h2/IdSet",
+            SiteKind::Set(SetKind::Chained),
+            500 * scale,
+            SizeDist::Uniform(3, 12),
+            lookups(2.0),
+        ),
+        3,
+    ));
+    sites.extend(replicate(
+        SiteSpec::new(
+            "h2/RowMap",
+            SiteKind::Map(MapKind::Chained),
+            300 * scale,
+            SizeDist::Uniform(20, 80),
+            lookups(2.5),
+        ),
+        2,
+    ));
+    AppSpec {
+        name: "h2".into(),
+        sites,
+    }
+}
+
+/// The lusearch-like application (12 target sites): thousands of
+/// sub-20-element field-cache maps plus lookup-hot large term maps.
+pub fn lusearch(scale: usize) -> AppSpec {
+    let mut sites = replicate(
+        SiteSpec::new(
+            "lusearch/TermMap",
+            SiteKind::Map(MapKind::Chained),
+            120 * scale,
+            SizeDist::Uniform(700, 1100),
+            lookups(6.0),
+        ),
+        5,
+    );
+    sites.extend(replicate(
+        SiteSpec::new(
+            "lusearch/FieldCache",
+            SiteKind::Map(MapKind::Chained),
+            700 * scale,
+            SizeDist::Bimodal {
+                small_lo: 3,
+                small_hi: 18,
+                large_lo: 60,
+                large_hi: 100,
+                large_prob: 0.08,
+            },
+            lookups(6.0),
+        ),
+        3,
+    ));
+    sites.extend(replicate(
+        SiteSpec::new(
+            "lusearch/DocSet",
+            SiteKind::Set(SetKind::Chained),
+            400 * scale,
+            SizeDist::Uniform(4, 20),
+            lookups(3.0),
+        ),
+        2,
+    ));
+    sites.extend(replicate(
+        SiteSpec::new(
+            "lusearch/HitList",
+            SiteKind::List(ListKind::Array),
+            200 * scale,
+            SizeDist::Uniform(10, 60),
+            OpMix {
+                iterates: 2,
+                ..OpMix::default()
+            },
+        ),
+        2,
+    ));
+    AppSpec {
+        name: "lusearch".into(),
+        sites,
+    }
+}
+
+/// All five applications at the given scale, in the paper's Table 5 order.
+pub fn all_apps(scale: usize) -> Vec<AppSpec> {
+    vec![
+        avrora(scale),
+        bloat(scale),
+        fop(scale),
+        h2(scale),
+        lusearch(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_app, Mode};
+    use cs_core::SelectionRule;
+
+    /// The most frequent transition edge of a FullAdap run.
+    fn dominant_transition(app: &AppSpec, rule: SelectionRule) -> String {
+        let r = run_app(app, Mode::FullAdap(rule), 1234);
+        let mut counts = std::collections::HashMap::new();
+        for t in &r.transitions {
+            *counts
+                .entry(format!("{} {}", t.abstraction, t.edge()))
+                .or_insert(0usize) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(edge, _)| edge)
+            .unwrap_or_else(|| "-".into())
+    }
+
+    fn site_kind(app: &AppSpec, rule: SelectionRule, site: &str) -> String {
+        let r = run_app(app, Mode::FullAdap(rule), 1234);
+        r.sites
+            .iter()
+            .find(|s| s.name == site)
+            .expect("site present")
+            .final_kind
+            .clone()
+    }
+
+    #[test]
+    fn site_counts_match_paper_table_5() {
+        assert_eq!(avrora(1).sites.len(), 7);
+        assert_eq!(bloat(1).sites.len(), 17);
+        assert_eq!(fop(1).sites.len(), 15);
+        assert_eq!(h2(1).sites.len(), 10);
+        assert_eq!(lusearch(1).sites.len(), 12);
+    }
+
+    // Table 6 reproduction: dominant transition per application and rule.
+
+    #[test]
+    fn avrora_dominant_transitions_match_table_6() {
+        assert_eq!(
+            dominant_transition(&avrora(1), SelectionRule::r_time()),
+            "set chained -> open-koloboke",
+            "Table 6: avrora R_time HS -> OpenHashSet"
+        );
+        assert_eq!(
+            dominant_transition(&avrora(1), SelectionRule::r_alloc()),
+            "set chained -> adaptive",
+            "Table 6: avrora R_alloc HS -> AdaptiveSet"
+        );
+    }
+
+    #[test]
+    fn bloat_r_time_dominant_matches_table_6() {
+        assert_eq!(
+            dominant_transition(&bloat(1), SelectionRule::r_time()),
+            "list linked -> array",
+            "Table 6: bloat R_time LL -> AL"
+        );
+    }
+
+    #[test]
+    fn bloat_r_alloc_switches_visited_sets_to_adaptive() {
+        // Site-level Table 6 check; the app-level dominant edge here is
+        // LL -> AL (documented divergence, see module docs).
+        let kind = site_kind(&bloat(1), SelectionRule::r_alloc(), "bloat/VisitedSet#0");
+        assert_eq!(kind, "adaptive", "Table 6: bloat R_alloc HS -> AdaptiveSet");
+    }
+
+    #[test]
+    fn fop_r_time_dominant_matches_table_6() {
+        assert_eq!(
+            dominant_transition(&fop(1), SelectionRule::r_time()),
+            "list array -> adaptive",
+            "Table 6: fop R_time AL -> AdaptiveList"
+        );
+    }
+
+    #[test]
+    fn fop_r_alloc_keeps_array_lists() {
+        // Documented divergence from Table 6 (AL -> AdaptiveList): nothing
+        // can undercut an array-backed default on cumulative allocation once
+        // instances cross the adaptive threshold.
+        let a = site_kind(&fop(1), SelectionRule::r_alloc(), "fop/Children#0");
+        assert_eq!(a, "array");
+    }
+
+    #[test]
+    fn h2_dominant_transitions_match_table_6() {
+        assert_eq!(
+            dominant_transition(&h2(1), SelectionRule::r_time()),
+            "list array -> adaptive",
+            "Table 6: h2 R_time AL -> AdaptiveList"
+        );
+        assert_eq!(
+            dominant_transition(&h2(1), SelectionRule::r_alloc()),
+            "set chained -> array",
+            "Table 6: h2 R_alloc HS -> ArraySet"
+        );
+    }
+
+    #[test]
+    fn lusearch_dominant_transitions_match_table_6() {
+        assert_eq!(
+            dominant_transition(&lusearch(1), SelectionRule::r_time()),
+            "map chained -> open-koloboke",
+            "Table 6: lusearch R_time HM -> OpenHashMap"
+        );
+        assert_eq!(
+            dominant_transition(&lusearch(1), SelectionRule::r_alloc()),
+            "map chained -> adaptive",
+            "Table 6: lusearch R_alloc HM -> AdaptiveMap"
+        );
+    }
+
+    #[test]
+    fn every_app_transitions_under_both_rules() {
+        for app in all_apps(1) {
+            for rule in [SelectionRule::r_time(), SelectionRule::r_alloc()] {
+                let r = run_app(&app, Mode::FullAdap(rule.clone()), 7);
+                assert!(
+                    !r.transitions.is_empty(),
+                    "{} under {}: no transitions",
+                    app.name,
+                    rule.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Collection-size distributions for workload generation.
+
+use rand::Rng;
+
+/// A distribution over collection sizes.
+///
+/// # Examples
+///
+/// ```
+/// use cs_workloads::SizeDist;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let d = SizeDist::Uniform(10, 20);
+/// for _ in 0..100 {
+///     let s = d.sample(&mut rng);
+///     assert!((10..=20).contains(&s));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDist {
+    /// Every instance has exactly this size.
+    Fixed(usize),
+    /// Uniform over `[lo, hi]` (inclusive).
+    Uniform(usize, usize),
+    /// Mostly `[small_lo, small_hi]`, with probability `large_prob` of
+    /// `[large_lo, large_hi]` — the "widely ranging sizes" shape that makes
+    /// adaptive variants eligible (paper §3.2).
+    Bimodal {
+        /// Lower bound of the common small sizes.
+        small_lo: usize,
+        /// Upper bound of the common small sizes.
+        small_hi: usize,
+        /// Lower bound of the rare large sizes.
+        large_lo: usize,
+        /// Upper bound of the rare large sizes.
+        large_hi: usize,
+        /// Probability of drawing from the large range.
+        large_prob: f64,
+    },
+}
+
+impl SizeDist {
+    /// Draws a size.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        match *self {
+            SizeDist::Fixed(n) => n,
+            SizeDist::Uniform(lo, hi) => rng.gen_range(lo..=hi),
+            SizeDist::Bimodal {
+                small_lo,
+                small_hi,
+                large_lo,
+                large_hi,
+                large_prob,
+            } => {
+                if rng.gen_bool(large_prob) {
+                    rng.gen_range(large_lo..=large_hi)
+                } else {
+                    rng.gen_range(small_lo..=small_hi)
+                }
+            }
+        }
+    }
+
+    /// Largest size this distribution can produce.
+    pub fn max(&self) -> usize {
+        match *self {
+            SizeDist::Fixed(n) => n,
+            SizeDist::Uniform(_, hi) => hi,
+            SizeDist::Bimodal { large_hi, .. } => large_hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(SizeDist::Fixed(7).sample(&mut rng), 7);
+        assert_eq!(SizeDist::Fixed(7).max(), 7);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = SizeDist::Uniform(3, 9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((3..=9).contains(&s));
+            seen_lo |= s == 3;
+            seen_hi |= s == 9;
+        }
+        assert!(seen_lo && seen_hi, "bounds must be reachable");
+    }
+
+    #[test]
+    fn bimodal_produces_both_modes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = SizeDist::Bimodal {
+            small_lo: 2,
+            small_hi: 10,
+            large_lo: 100,
+            large_hi: 200,
+            large_prob: 0.2,
+        };
+        let samples: Vec<usize> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let large = samples.iter().filter(|&&s| s >= 100).count();
+        assert!(large > 200 && large < 600, "got {large} large of 2000");
+        assert_eq!(d.max(), 200);
+    }
+}

@@ -1,0 +1,284 @@
+//! Uniform driving interface over raw variants and switch handles.
+//!
+//! The runner must execute the same operation scripts against plain
+//! [`AnyList`]-family collections (Original / InstanceAdap modes) and
+//! against the monitored [`SwitchList`]-family handles (FullAdap mode).
+//! These small traits paper over the difference (`contains` takes `&mut` on
+//! handles because monitored instances record the access).
+
+use std::hash::Hash;
+
+use cs_collections::{AnyList, AnyMap, AnySet, HeapSize, ListOps, MapOps, SetOps};
+use cs_core::{SwitchList, SwitchMap, SwitchSet};
+
+/// List operations used by the workload scripts.
+pub trait DriveList<T: Eq + Hash + Clone> {
+    /// Appends a value.
+    fn push(&mut self, value: T);
+    /// Membership test.
+    fn contains(&mut self, value: &T) -> bool;
+    /// Inserts at an index.
+    fn insert_at(&mut self, index: usize, value: T);
+    /// Removes at an index.
+    fn remove_at(&mut self, index: usize) -> T;
+    /// Full traversal; returns a checksum so the loop cannot be elided.
+    fn iterate(&mut self) -> usize;
+    /// Current length.
+    fn len(&self) -> usize;
+    /// Returns `true` if empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Current heap footprint in bytes.
+    fn heap_bytes(&self) -> usize;
+    /// Cumulative allocated bytes.
+    fn allocated_bytes(&self) -> u64;
+}
+
+impl<T: Eq + Hash + Clone> DriveList<T> for AnyList<T> {
+    fn push(&mut self, value: T) {
+        ListOps::push(self, value);
+    }
+    fn contains(&mut self, value: &T) -> bool {
+        ListOps::contains(self, value)
+    }
+    fn insert_at(&mut self, index: usize, value: T) {
+        ListOps::list_insert(self, index, value);
+    }
+    fn remove_at(&mut self, index: usize) -> T {
+        ListOps::list_remove(self, index)
+    }
+    fn iterate(&mut self) -> usize {
+        let mut n = 0;
+        ListOps::for_each_value(self, &mut |_| n += 1);
+        n
+    }
+    fn len(&self) -> usize {
+        ListOps::len(self)
+    }
+    fn heap_bytes(&self) -> usize {
+        HeapSize::heap_bytes(self)
+    }
+    fn allocated_bytes(&self) -> u64 {
+        HeapSize::allocated_bytes(self)
+    }
+}
+
+impl<T: Eq + Hash + Clone> DriveList<T> for SwitchList<T> {
+    fn push(&mut self, value: T) {
+        SwitchList::push(self, value);
+    }
+    fn contains(&mut self, value: &T) -> bool {
+        SwitchList::contains(self, value)
+    }
+    fn insert_at(&mut self, index: usize, value: T) {
+        SwitchList::insert(self, index, value);
+    }
+    fn remove_at(&mut self, index: usize) -> T {
+        SwitchList::remove(self, index)
+    }
+    fn iterate(&mut self) -> usize {
+        let mut n = 0;
+        SwitchList::for_each(self, |_| n += 1);
+        n
+    }
+    fn len(&self) -> usize {
+        SwitchList::len(self)
+    }
+    fn heap_bytes(&self) -> usize {
+        HeapSize::heap_bytes(self)
+    }
+    fn allocated_bytes(&self) -> u64 {
+        HeapSize::allocated_bytes(self)
+    }
+}
+
+/// Set operations used by the workload scripts.
+pub trait DriveSet<T: Eq + Hash + Clone> {
+    /// Adds a value; `true` if new.
+    fn insert(&mut self, value: T) -> bool;
+    /// Membership test.
+    fn contains(&mut self, value: &T) -> bool;
+    /// Removes a value; `true` if present.
+    fn remove(&mut self, value: &T) -> bool;
+    /// Full traversal; returns the element count.
+    fn iterate(&mut self) -> usize;
+    /// Current size.
+    fn len(&self) -> usize;
+    /// Current heap footprint in bytes.
+    fn heap_bytes(&self) -> usize;
+    /// Cumulative allocated bytes.
+    fn allocated_bytes(&self) -> u64;
+}
+
+impl<T: Eq + Hash + Clone> DriveSet<T> for AnySet<T> {
+    fn insert(&mut self, value: T) -> bool {
+        SetOps::insert(self, value)
+    }
+    fn contains(&mut self, value: &T) -> bool {
+        SetOps::contains(self, value)
+    }
+    fn remove(&mut self, value: &T) -> bool {
+        SetOps::set_remove(self, value)
+    }
+    fn iterate(&mut self) -> usize {
+        let mut n = 0;
+        SetOps::for_each_value(self, &mut |_| n += 1);
+        n
+    }
+    fn len(&self) -> usize {
+        SetOps::len(self)
+    }
+    fn heap_bytes(&self) -> usize {
+        HeapSize::heap_bytes(self)
+    }
+    fn allocated_bytes(&self) -> u64 {
+        HeapSize::allocated_bytes(self)
+    }
+}
+
+impl<T: Eq + Hash + Clone> DriveSet<T> for SwitchSet<T> {
+    fn insert(&mut self, value: T) -> bool {
+        SwitchSet::insert(self, value)
+    }
+    fn contains(&mut self, value: &T) -> bool {
+        SwitchSet::contains(self, value)
+    }
+    fn remove(&mut self, value: &T) -> bool {
+        SwitchSet::remove(self, value)
+    }
+    fn iterate(&mut self) -> usize {
+        let mut n = 0;
+        SwitchSet::for_each(self, |_| n += 1);
+        n
+    }
+    fn len(&self) -> usize {
+        SwitchSet::len(self)
+    }
+    fn heap_bytes(&self) -> usize {
+        HeapSize::heap_bytes(self)
+    }
+    fn allocated_bytes(&self) -> u64 {
+        HeapSize::allocated_bytes(self)
+    }
+}
+
+/// Map operations used by the workload scripts.
+pub trait DriveMap<K: Eq + Hash + Clone, V: Clone> {
+    /// Inserts or replaces.
+    fn insert(&mut self, key: K, value: V) -> Option<V>;
+    /// Key lookup; `true` if present.
+    fn get(&mut self, key: &K) -> bool;
+    /// Removes the entry for a key.
+    fn remove(&mut self, key: &K) -> Option<V>;
+    /// Full traversal; returns the entry count.
+    fn iterate(&mut self) -> usize;
+    /// Current size.
+    fn len(&self) -> usize;
+    /// Current heap footprint in bytes.
+    fn heap_bytes(&self) -> usize;
+    /// Cumulative allocated bytes.
+    fn allocated_bytes(&self) -> u64;
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> DriveMap<K, V> for AnyMap<K, V> {
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        MapOps::map_insert(self, key, value)
+    }
+    fn get(&mut self, key: &K) -> bool {
+        MapOps::map_get(self, key).is_some()
+    }
+    fn remove(&mut self, key: &K) -> Option<V> {
+        MapOps::map_remove(self, key)
+    }
+    fn iterate(&mut self) -> usize {
+        let mut n = 0;
+        MapOps::for_each_entry(self, &mut |_, _| n += 1);
+        n
+    }
+    fn len(&self) -> usize {
+        MapOps::len(self)
+    }
+    fn heap_bytes(&self) -> usize {
+        HeapSize::heap_bytes(self)
+    }
+    fn allocated_bytes(&self) -> u64 {
+        HeapSize::allocated_bytes(self)
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> DriveMap<K, V> for SwitchMap<K, V> {
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        SwitchMap::insert(self, key, value)
+    }
+    fn get(&mut self, key: &K) -> bool {
+        SwitchMap::get(self, key).is_some()
+    }
+    fn remove(&mut self, key: &K) -> Option<V> {
+        SwitchMap::remove(self, key)
+    }
+    fn iterate(&mut self) -> usize {
+        let mut n = 0;
+        SwitchMap::for_each(self, |_, _| n += 1);
+        n
+    }
+    fn len(&self) -> usize {
+        SwitchMap::len(self)
+    }
+    fn heap_bytes(&self) -> usize {
+        HeapSize::heap_bytes(self)
+    }
+    fn allocated_bytes(&self) -> u64 {
+        HeapSize::allocated_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_collections::{ListKind, MapKind, SetKind};
+    use cs_core::Switch;
+
+    #[test]
+    fn any_list_and_switch_list_drive_identically() {
+        let engine = Switch::builder().build();
+        let ctx = engine.list_context::<i64>(ListKind::Array);
+        let mut raw: AnyList<i64> = AnyList::new(ListKind::Array);
+        let mut handle = ctx.create_list();
+        for v in 0..10 {
+            DriveList::push(&mut raw, v);
+            DriveList::push(&mut handle, v);
+        }
+        assert_eq!(DriveList::len(&raw), DriveList::len(&handle));
+        assert_eq!(
+            DriveList::contains(&mut raw, &5),
+            DriveList::contains(&mut handle, &5)
+        );
+        assert_eq!(raw.iterate(), handle.iterate());
+        DriveList::insert_at(&mut raw, 5, 99);
+        DriveList::insert_at(&mut handle, 5, 99);
+        assert_eq!(
+            DriveList::remove_at(&mut raw, 5),
+            DriveList::remove_at(&mut handle, 5)
+        );
+    }
+
+    #[test]
+    fn set_and_map_drivers_cover_ops() {
+        let engine = Switch::builder().build();
+        let sctx = engine.set_context::<i64>(SetKind::Chained);
+        let mut s = sctx.create_set();
+        assert!(DriveSet::insert(&mut s, 1));
+        assert!(DriveSet::contains(&mut s, &1));
+        assert_eq!(s.iterate(), 1);
+        assert!(DriveSet::remove(&mut s, &1));
+
+        let mctx = engine.map_context::<i64, i64>(MapKind::Chained);
+        let mut m = mctx.create_map();
+        assert_eq!(DriveMap::insert(&mut m, 1, 2), None);
+        assert!(DriveMap::get(&mut m, &1));
+        assert_eq!(m.iterate(), 1);
+        assert_eq!(DriveMap::remove(&mut m, &1), Some(2));
+        assert!(DriveMap::heap_bytes(&m) > 0);
+    }
+}

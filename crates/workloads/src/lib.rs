@@ -1,0 +1,48 @@
+//! # cs-workloads
+//!
+//! Workload generators and synthetic application benchmarks for the
+//! CollectionSwitch reproduction.
+//!
+//! The paper's §5.2 evaluation runs five DaCapo applications (avrora, bloat,
+//! fop, h2, lusearch). DaCapo is a Java artifact; what the CollectionSwitch
+//! results actually depend on is *how those applications use collections* —
+//! the per-allocation-site instance counts, size distributions and dominant
+//! operations the paper reports. This crate encodes exactly those
+//! regularities as synthetic applications ([`apps`]) and provides the
+//! [`runner`] that executes them under the paper's three configurations:
+//!
+//! * [`Mode::Original`] — every site instantiates its developer-declared
+//!   JDK-default variant (the paper's "Original Run" columns);
+//! * [`Mode::FullAdap`] — every target site goes through a CollectionSwitch
+//!   allocation context under a selection rule;
+//! * [`Mode::InstanceAdap`] — every target site unconditionally instantiates
+//!   the size-adaptive variant (the paper's lower optimization level).
+//!
+//! ## Example
+//!
+//! ```
+//! use cs_core::SelectionRule;
+//! use cs_workloads::{apps, runner::{run_app, Mode}};
+//!
+//! let app = apps::h2(1); // scale factor 1: fast smoke run
+//! let original = run_app(&app, Mode::Original, 42);
+//! let adaptive = run_app(&app, Mode::FullAdap(SelectionRule::r_alloc()), 42);
+//! // Adaptation never changes observable behaviour…
+//! assert_eq!(adaptive.checksum, original.checksum);
+//! // …and the allocation rule rewrites the tiny-id-set sites.
+//! assert!(!adaptive.transitions.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apps;
+pub mod dist;
+pub mod drive;
+pub mod phases;
+pub mod runner;
+pub mod site;
+
+pub use dist::SizeDist;
+pub use runner::{run_app, Mode, RunResult};
+pub use site::{AppSpec, OpMix, SiteKind, SiteSpec};

@@ -1,0 +1,244 @@
+//! Multi-phase list scenario (paper §5.1, Fig. 6).
+//!
+//! The paper's multi-phase experiment runs iterations that create and
+//! populate list instances and then execute 100 operations per instance; the
+//! dominant operation changes every five iterations, cycling through
+//! *contains* → *index operation* → *iteration* → *search and remove* →
+//! *contains*. CollectionSwitch is expected to re-converge to the per-phase
+//! best variant — except in the *search and remove* phase, where the
+//! documented model limitation makes it keep `HashArrayList`.
+
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::drive::DriveList;
+
+/// The dominant operation of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseOp {
+    /// Random membership tests.
+    Contains,
+    /// Random positional reads (`get`-style; implemented as a middle insert
+    /// + remove pair to exercise positional access, cheap on arrays).
+    Index,
+    /// Full traversals.
+    Iterate,
+    /// Search for an element, then remove by index.
+    SearchRemove,
+}
+
+impl PhaseOp {
+    /// The paper's Fig. 6 phase sequence.
+    pub const FIG6_SEQUENCE: [PhaseOp; 5] = [
+        PhaseOp::Contains,
+        PhaseOp::Index,
+        PhaseOp::Iterate,
+        PhaseOp::SearchRemove,
+        PhaseOp::Contains,
+    ];
+}
+
+impl std::fmt::Display for PhaseOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PhaseOp::Contains => "contains",
+            PhaseOp::Index => "index operation",
+            PhaseOp::Iterate => "iteration",
+            PhaseOp::SearchRemove => "search and remove",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of a phased run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasedConfig {
+    /// Instances created per iteration.
+    pub instances_per_iter: usize,
+    /// Elements populated into each instance.
+    pub size: usize,
+    /// Operations executed per instance after population.
+    pub ops_per_instance: usize,
+    /// Iterations per phase (paper: 5).
+    pub iters_per_phase: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PhasedConfig {
+    fn default() -> Self {
+        PhasedConfig {
+            instances_per_iter: 50,
+            size: 400,
+            ops_per_instance: 100,
+            iters_per_phase: 5,
+            seed: 0xF16,
+        }
+    }
+}
+
+/// One measured iteration of the phased scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasedSample {
+    /// Index of the phase in the sequence.
+    pub phase_idx: usize,
+    /// The phase's dominant operation.
+    pub op: PhaseOp,
+    /// Iteration index within the whole run.
+    pub iteration: usize,
+    /// Wall time of the iteration.
+    pub elapsed: Duration,
+}
+
+/// Executes one instance's worth of a phase's operation mix. The element
+/// type is generic so the Fig. 6 harness can use reference-typed elements
+/// (`Rc<i64>`), reproducing the JVM's boxed-`Integer` cost structure.
+fn drive_phase<T: Eq + Hash + Clone + From<i64>, L: DriveList<T>>(
+    list: &mut L,
+    op: PhaseOp,
+    ops: usize,
+    rng: &mut StdRng,
+    checksum: &mut u64,
+) {
+    match op {
+        PhaseOp::Contains => {
+            let span = (list.len().max(1) * 2) as i64;
+            for _ in 0..ops {
+                let key = T::from(rng.gen_range(0..span));
+                *checksum += u64::from(list.contains(&key));
+            }
+        }
+        PhaseOp::Index => {
+            for _ in 0..ops {
+                if list.is_empty() {
+                    break;
+                }
+                let mid = list.len() / 2;
+                list.insert_at(mid, T::from(-1));
+                list.remove_at(mid);
+                *checksum += 1;
+            }
+        }
+        PhaseOp::Iterate => {
+            for _ in 0..ops {
+                *checksum += list.iterate() as u64;
+            }
+        }
+        PhaseOp::SearchRemove => {
+            for _ in 0..ops {
+                if list.is_empty() {
+                    break;
+                }
+                let span = (list.len() * 2) as i64;
+                let key = T::from(rng.gen_range(0..span));
+                *checksum += u64::from(list.contains(&key));
+                let idx = rng.gen_range(0..list.len());
+                list.remove_at(idx);
+                *checksum += 1;
+            }
+        }
+    }
+}
+
+/// Runs the Fig. 6 phase sequence against lists produced by `make`,
+/// returning one timing sample per iteration.
+///
+/// # Examples
+///
+/// ```
+/// use cs_collections::{AnyList, ListKind};
+/// use cs_workloads::phases::{run_phased, PhasedConfig};
+///
+/// let cfg = PhasedConfig {
+///     instances_per_iter: 5,
+///     size: 50,
+///     ops_per_instance: 20,
+///     iters_per_phase: 1,
+///     seed: 1,
+/// };
+/// let samples = run_phased(&cfg, || AnyList::<i64>::new(ListKind::Array), |_| {});
+/// assert_eq!(samples.len(), 5); // one iteration per phase
+/// ```
+pub fn run_phased<T: Eq + Hash + Clone + From<i64>, L: DriveList<T>>(
+    cfg: &PhasedConfig,
+    mut make: impl FnMut() -> L,
+    mut after_iteration: impl FnMut(usize),
+) -> Vec<PhasedSample> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut samples = Vec::new();
+    let mut iteration = 0;
+    let mut checksum = 0u64;
+    for (phase_idx, &op) in PhaseOp::FIG6_SEQUENCE.iter().enumerate() {
+        for _ in 0..cfg.iters_per_phase {
+            let start = Instant::now();
+            for _ in 0..cfg.instances_per_iter {
+                let mut list = make();
+                for v in 0..cfg.size as i64 {
+                    list.push(T::from(v));
+                }
+                drive_phase(&mut list, op, cfg.ops_per_instance, &mut rng, &mut checksum);
+            }
+            let elapsed = start.elapsed();
+            samples.push(PhasedSample {
+                phase_idx,
+                op,
+                iteration,
+                elapsed,
+            });
+            after_iteration(iteration);
+            iteration += 1;
+        }
+    }
+    std::hint::black_box(checksum);
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_collections::{AnyList, ListKind};
+
+    fn tiny() -> PhasedConfig {
+        PhasedConfig {
+            instances_per_iter: 3,
+            size: 40,
+            ops_per_instance: 10,
+            iters_per_phase: 2,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn produces_one_sample_per_iteration() {
+        let cfg = tiny();
+        let samples = run_phased(&cfg, || AnyList::<i64>::new(ListKind::Array), |_| {});
+        assert_eq!(samples.len(), 10);
+        assert_eq!(samples[0].op, PhaseOp::Contains);
+        assert_eq!(samples[9].op, PhaseOp::Contains);
+        assert_eq!(samples[4].op, PhaseOp::Iterate);
+    }
+
+    #[test]
+    fn after_iteration_hook_fires_in_order() {
+        let cfg = tiny();
+        let mut seen = Vec::new();
+        run_phased(
+            &cfg,
+            || AnyList::<i64>::new(ListKind::Array),
+            |i| seen.push(i),
+        );
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_variants_complete_the_sequence() {
+        let cfg = tiny();
+        for kind in ListKind::ALL {
+            let samples = run_phased(&cfg, || AnyList::<i64>::new(kind), |_| {});
+            assert_eq!(samples.len(), 10, "{kind} failed the phase script");
+        }
+    }
+}

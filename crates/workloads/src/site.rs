@@ -1,0 +1,174 @@
+//! Allocation-site and application specifications.
+
+use cs_collections::{ListKind, MapKind, SetKind};
+
+use crate::dist::SizeDist;
+
+/// Which abstraction a site allocates, with the developer-declared default
+/// variant (the "Original" configuration of Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// A list allocation site.
+    List(ListKind),
+    /// A set allocation site.
+    Set(SetKind),
+    /// A map allocation site.
+    Map(MapKind),
+}
+
+/// Per-instance operation mix, expressed relative to the instance size so a
+/// single mix describes instances of any size drawn from the distribution.
+///
+/// # Examples
+///
+/// ```
+/// use cs_workloads::OpMix;
+///
+/// let lookup_heavy = OpMix {
+///     lookups_per_element: 4.0,
+///     ..OpMix::default()
+/// };
+/// assert_eq!(lookup_heavy.lookups(100), 400);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// `contains`/`get` calls per element of the instance.
+    pub lookups_per_element: f64,
+    /// Fraction of lookups that miss (keys outside the populated range).
+    pub miss_rate: f64,
+    /// Full traversals per instance.
+    pub iterates: u32,
+    /// Middle insert/remove pairs per instance (lists) or remove/re-add
+    /// pairs (sets/maps).
+    pub middles: u32,
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        OpMix {
+            lookups_per_element: 0.0,
+            miss_rate: 0.2,
+            iterates: 0,
+            middles: 0,
+        }
+    }
+}
+
+impl OpMix {
+    /// Total lookups for an instance of `size` elements.
+    pub fn lookups(&self, size: usize) -> u32 {
+        (self.lookups_per_element * size as f64).round() as u32
+    }
+}
+
+/// One allocation site of a synthetic application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteSpec {
+    /// Site label (mimics `Class:line` in the paper, e.g. `IndexCursor:70`).
+    pub name: String,
+    /// Abstraction and default variant.
+    pub kind: SiteKind,
+    /// Instances created per scale unit.
+    pub instances: usize,
+    /// Size distribution of the created instances.
+    pub sizes: SizeDist,
+    /// Per-instance operation mix.
+    pub mix: OpMix,
+    /// How many instances are kept alive simultaneously (models heap
+    /// pressure; the peak-memory metric is taken over this live set).
+    pub retained: usize,
+}
+
+impl SiteSpec {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        kind: SiteKind,
+        instances: usize,
+        sizes: SizeDist,
+        mix: OpMix,
+    ) -> Self {
+        SiteSpec {
+            name: name.into(),
+            kind,
+            instances,
+            sizes,
+            mix,
+            retained: 64,
+        }
+    }
+
+    /// Sets the live-set size.
+    pub fn retained(mut self, retained: usize) -> Self {
+        self.retained = retained.max(1);
+        self
+    }
+}
+
+/// A synthetic application: a named set of allocation sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Application name (e.g. `lusearch`).
+    pub name: String,
+    /// The target allocation sites (paper: sites with ≥ 1000 instances).
+    pub sites: Vec<SiteSpec>,
+}
+
+impl AppSpec {
+    /// Total instances over all sites.
+    pub fn total_instances(&self) -> usize {
+        self.sites.iter().map(|s| s.instances).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_scale_with_size() {
+        let mix = OpMix {
+            lookups_per_element: 2.5,
+            ..OpMix::default()
+        };
+        assert_eq!(mix.lookups(4), 10);
+        assert_eq!(mix.lookups(0), 0);
+    }
+
+    #[test]
+    fn retained_is_at_least_one() {
+        let s = SiteSpec::new(
+            "s",
+            SiteKind::List(ListKind::Array),
+            10,
+            SizeDist::Fixed(5),
+            OpMix::default(),
+        )
+        .retained(0);
+        assert_eq!(s.retained, 1);
+    }
+
+    #[test]
+    fn total_instances_sums_sites() {
+        let app = AppSpec {
+            name: "x".into(),
+            sites: vec![
+                SiteSpec::new(
+                    "a",
+                    SiteKind::Set(SetKind::Chained),
+                    10,
+                    SizeDist::Fixed(5),
+                    OpMix::default(),
+                ),
+                SiteSpec::new(
+                    "b",
+                    SiteKind::Map(MapKind::Chained),
+                    20,
+                    SizeDist::Fixed(5),
+                    OpMix::default(),
+                ),
+            ],
+        };
+        assert_eq!(app.total_instances(), 30);
+    }
+}

@@ -1,0 +1,63 @@
+//! Runs one synthetic DaCapo-like application (paper §5.2) under all four
+//! configurations and prints a miniature Table 5 row.
+//!
+//! ```text
+//! cargo run --release --example dacapo_sim [app] [scale]
+//! ```
+//!
+//! `app` is one of `avrora`, `bloat`, `fop`, `h2`, `lusearch` (default
+//! `lusearch`); `scale` multiplies instance counts (default 2).
+
+use collection_switch::core::SelectionRule;
+use collection_switch::workloads::{
+    apps,
+    runner::{run_app, Mode},
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("lusearch");
+    let scale: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    let app = match name {
+        "avrora" => apps::avrora(scale),
+        "bloat" => apps::bloat(scale),
+        "fop" => apps::fop(scale),
+        "h2" => apps::h2(scale),
+        "lusearch" => apps::lusearch(scale),
+        other => {
+            eprintln!("unknown app `{other}`; use avrora|bloat|fop|h2|lusearch");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "app {name} (scale {scale}): {} allocation sites, {} instances",
+        app.sites.len(),
+        app.total_instances()
+    );
+    println!();
+    println!("mode                  | time      | peak collection bytes | transitions");
+    for mode in [
+        Mode::Original,
+        Mode::FullAdap(SelectionRule::r_time()),
+        Mode::FullAdap(SelectionRule::r_alloc()),
+        Mode::InstanceAdap,
+    ] {
+        let r = run_app(&app, mode.clone(), 42);
+        println!(
+            "{:21} | {:8.1?} | {:9.2} MiB        | {}",
+            mode.label(),
+            r.wall_time,
+            r.peak_bytes as f64 / (1024.0 * 1024.0),
+            r.transitions.len()
+        );
+    }
+
+    println!();
+    println!("per-site outcome under R_time:");
+    let r = run_app(&app, Mode::FullAdap(SelectionRule::r_time()), 42);
+    for site in &r.sites {
+        println!("  {:28} -> {}", site.name, site.final_kind);
+    }
+}

@@ -1,0 +1,54 @@
+//! # collection-switch
+//!
+//! Facade crate for the CollectionSwitch reproduction. Re-exports the whole
+//! stack so applications can depend on a single crate:
+//!
+//! * [`collections`] — the collection-variant substrate ([`cs_collections`]).
+//! * [`profile`] — workload profiling primitives ([`cs_profile`]).
+//! * [`model`] — performance models and the model builder ([`cs_model`]).
+//! * [`core`] — the adaptive selection framework ([`cs_core`]).
+//! * [`workloads`] — workload generators and synthetic applications
+//!   ([`cs_workloads`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use collection_switch::prelude::*;
+//!
+//! // Build an engine with the paper's default configuration and the
+//! // R_time selection rule (Table 4).
+//! let engine = Switch::builder().rule(SelectionRule::r_time()).build();
+//! let ctx = engine.list_context::<i64>(ListKind::Array);
+//!
+//! // Allocation sites call `create_list` instead of a concrete constructor.
+//! for _ in 0..200 {
+//!     let mut list = ctx.create_list();
+//!     for v in 0..64 {
+//!         list.push(v);
+//!     }
+//!     for v in 0..64 {
+//!         assert!(list.contains(&v));
+//!     }
+//! }
+//! engine.analyze_now();
+//! // The context may now instantiate a lookup-friendly variant.
+//! let _ = ctx.current_kind();
+//! ```
+
+pub use cs_collections as collections;
+pub use cs_core as core;
+pub use cs_model as model;
+pub use cs_profile as profile;
+pub use cs_workloads as workloads;
+
+/// Commonly used items, re-exported in one place.
+pub mod prelude {
+    pub use cs_collections::{
+        AnyList, AnyMap, AnySet, ListKind, ListOps, MapKind, MapOps, SetKind, SetOps,
+    };
+    pub use cs_core::{
+        ListContext, MapContext, SelectionRule, SetContext, Switch, SwitchList, SwitchMap,
+        SwitchSet,
+    };
+    pub use cs_model::{CostDimension, PerformanceModel};
+}
