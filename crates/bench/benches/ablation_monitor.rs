@@ -32,7 +32,7 @@ fn bench_monitoring(c: &mut Criterion) {
         b.iter(|| {
             let mut l: AnyList<i64> = AnyList::new(ListKind::Array);
             std::hint::black_box(workload(
-                |l, v| ListOps::push(l, v),
+                ListOps::push,
                 |l, v| ListOps::contains(l, &v),
                 &mut l,
             ))

@@ -15,8 +15,9 @@ use cs_workloads::{
     AppSpec,
 };
 
-/// Transition edges of one run, ordered by frequency (most common first).
-fn transition_counts(app: &AppSpec, rule: SelectionRule) -> Vec<(String, usize)> {
+/// Transition edges of one run, ordered by frequency (most common first),
+/// plus the run's guardrail activity (rollbacks, quarantines).
+fn transition_counts(app: &AppSpec, rule: SelectionRule) -> (Vec<(String, usize)>, u64, u64) {
     let r = run_app(app, Mode::FullAdap(rule), 42);
     let mut counts: HashMap<String, usize> = HashMap::new();
     for t in &r.transitions {
@@ -24,16 +25,20 @@ fn transition_counts(app: &AppSpec, rule: SelectionRule) -> Vec<(String, usize)>
     }
     let mut edges: Vec<(String, usize)> = counts.into_iter().collect();
     edges.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    edges
+    (edges, r.rollbacks, r.quarantines)
 }
 
 fn main() {
     let scale = scale_arg(2);
     println!("# Table 6: most commonly performed transitions (scale {scale})");
     println!("bench     | R_time                                | R_alloc");
+    let mut rollbacks = 0u64;
+    let mut quarantines = 0u64;
     for app in apps::all_apps(scale) {
-        let rt = transition_counts(&app, SelectionRule::r_time());
-        let ra = transition_counts(&app, SelectionRule::r_alloc());
+        let (rt, rb_t, q_t) = transition_counts(&app, SelectionRule::r_time());
+        let (ra, rb_a, q_a) = transition_counts(&app, SelectionRule::r_alloc());
+        rollbacks += rb_t + rb_a;
+        quarantines += q_t + q_a;
         let fmt = |v: &[(String, usize)]| {
             v.first()
                 .map(|(e, n)| format!("{e} (x{n})"))
@@ -48,9 +53,11 @@ fn main() {
             ("R_time", SelectionRule::r_time()),
             ("R_alloc", SelectionRule::r_alloc()),
         ] {
-            for (edge, n) in transition_counts(&app, rule) {
+            let (edges, _, _) = transition_counts(&app, rule);
+            for (edge, n) in edges {
                 println!("#   {:9} {:7} {edge} x{n}", app.name, rule_name);
             }
         }
     }
+    println!("# guardrails: {rollbacks} rollbacks, {quarantines} quarantines");
 }

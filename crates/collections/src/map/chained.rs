@@ -10,6 +10,9 @@ use crate::traits::{HeapSize, MapOps};
 const DEFAULT_BUCKETS: usize = 16;
 const MAX_LOAD_FACTOR: f64 = 0.75;
 
+/// Head pointer of one bucket's chain of nodes.
+type Bucket<K, V> = Option<Box<Node<K, V>>>;
+
 struct Node<K, V> {
     hash: u64,
     key: K,
@@ -37,7 +40,7 @@ struct Node<K, V> {
 /// assert_eq!(m.len(), 2);
 /// ```
 pub struct ChainedHashMap<K, V> {
-    buckets: Box<[Option<Box<Node<K, V>>>]>,
+    buckets: Box<[Bucket<K, V>]>,
     len: usize,
     allocated: u64,
 }
@@ -88,7 +91,7 @@ impl<K: Eq + Hash, V> ChainedHashMap<K, V> {
             &mut self.buckets,
             (0..count).map(|_| None).collect(),
         );
-        self.allocated += (count * mem::size_of::<Option<Box<Node<K, V>>>>()) as u64;
+        self.allocated += (count * mem::size_of::<Bucket<K, V>>()) as u64;
         let mask = count - 1;
         for mut chain in old.into_vec() {
             while let Some(mut node) = chain {
@@ -286,7 +289,7 @@ impl<K: Eq + Hash, V> Extend<(K, V)> for ChainedHashMap<K, V> {
 
 /// Borrowing iterator over a [`ChainedHashMap`].
 pub struct Iter<'a, K, V> {
-    buckets: &'a [Option<Box<Node<K, V>>>],
+    buckets: &'a [Bucket<K, V>],
     bucket_idx: usize,
     node: Option<&'a Node<K, V>>,
     remaining: usize,
@@ -336,7 +339,7 @@ impl<'a, K: Eq + Hash, V> IntoIterator for &'a ChainedHashMap<K, V> {
 
 impl<K, V> HeapSize for ChainedHashMap<K, V> {
     fn heap_bytes(&self) -> usize {
-        self.buckets.len() * mem::size_of::<Option<Box<Node<K, V>>>>()
+        self.buckets.len() * mem::size_of::<Bucket<K, V>>()
             + self.len * mem::size_of::<Node<K, V>>()
     }
 

@@ -8,19 +8,20 @@
 
 use std::hash::Hash;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cs_collections::{AnyList, AnyMap, AnySet, ListKind, MapKind, SetKind};
-use cs_model::PerformanceModel;
+use cs_model::{CostDimension, PerformanceModel};
 use cs_profile::{ProfileHistogram, ProfileSink, WindowConfig, WindowState};
 use parking_lot::Mutex;
 
-use crate::event::TransitionEvent;
+use crate::event::{EngineEvent, QuarantineEvent, RollbackEvent, TransitionEvent};
+use crate::guard::{GuardState, GuardrailConfig, PendingVerification, TransitionBudget};
 use crate::handles::{Monitor, SwitchList, SwitchMap, SwitchSet};
 use crate::kind_ext::Kind;
 use crate::rules::SelectionRule;
-use crate::select::select_variant;
+use crate::select::select_variant_filtered;
 
 /// Counters describing a context's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,6 +30,8 @@ pub struct ContextStats {
     pub rounds: u64,
     /// Variant switches performed.
     pub switches: u64,
+    /// Switches undone because post-switch verification failed.
+    pub rollbacks: u64,
     /// Instances aggregated into the workload history.
     pub history_instances: u64,
     /// Monitored instances started in the current round.
@@ -50,21 +53,47 @@ pub struct ContextCore<K: Kind> {
     history: Mutex<ProfileHistogram>,
     rounds: AtomicU64,
     switches: AtomicU64,
+    rollbacks: AtomicU64,
+    guard: Mutex<GuardState>,
+    /// Shared freeze flag: when the owning engine enters degraded mode it
+    /// raises this, and the context stops sampling and analyzing — the
+    /// last-known-good variant keeps being instantiated.
+    frozen: Arc<AtomicBool>,
 }
 
 impl<K: Kind> ContextCore<K> {
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new(id: u64, name: String, default_kind: K, config: WindowConfig) -> Self {
+        Self::with_freeze(
+            id,
+            name,
+            default_kind,
+            config,
+            Arc::new(AtomicBool::new(false)),
+        )
+    }
+
+    pub(crate) fn with_freeze(
+        id: u64,
+        name: String,
+        default_kind: K,
+        config: WindowConfig,
+        frozen: Arc<AtomicBool>,
+    ) -> Self {
         ContextCore {
             id,
             name,
             current: AtomicUsize::new(default_kind.index()),
             default_kind,
             window: WindowState::new(),
-            sink: ProfileSink::new(),
+            sink: ProfileSink::bounded(config.window_size.max(1) * 4),
             config,
             history: Mutex::new(ProfileHistogram::new()),
             rounds: AtomicU64::new(0),
             switches: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+            guard: Mutex::new(GuardState::default()),
+            frozen,
         }
     }
 
@@ -93,14 +122,24 @@ impl<K: Kind> ContextCore<K> {
         ContextStats {
             rounds: self.rounds.load(Ordering::Relaxed),
             switches: self.switches.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
             history_instances: self.history.lock().instances(),
             monitored_in_round: self.window.started(),
         }
     }
 
+    /// Whether the shared freeze flag is raised (engine degraded).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::Acquire)
+    }
+
     /// Claims a monitoring slot for a new instance, returning the monitor
-    /// payload if this instance should be sampled.
+    /// payload if this instance should be sampled. Frozen contexts sample
+    /// nothing.
     pub(crate) fn claim_monitor(&self) -> Option<Monitor> {
+        if self.is_frozen() {
+            return None;
+        }
         self.window
             .try_claim_slot(self.config.window_size)
             .then(|| Monitor::new(self.sink.clone()))
@@ -110,33 +149,155 @@ impl<K: Kind> ContextCore<K> {
     /// (finished ratio reached), evaluate the accumulated workload under
     /// `rule` and switch the current variant if a better candidate exists.
     ///
+    /// Equivalent to [`ContextCore::analyze_guarded`] with the default
+    /// guardrails, no transition budget, and guardrail events discarded.
+    ///
     /// Returns the transition event if a switch happened.
     pub fn analyze(
         &self,
         model: &PerformanceModel<K>,
         rule: &SelectionRule,
     ) -> Option<TransitionEvent> {
+        let mut events = Vec::new();
+        self.analyze_guarded(
+            model,
+            rule,
+            &GuardrailConfig::default(),
+            &TransitionBudget::new(None),
+            &mut events,
+        )
+    }
+
+    /// Runs one guarded analysis pass.
+    ///
+    /// On top of the plain [`ContextCore::analyze`] flow this:
+    ///
+    /// 1. **Verifies** the previous switch (if one is pending): the
+    ///    just-completed window's measured cost-per-operation is compared
+    ///    with the pre-switch window's. If the realized ratio exceeds
+    ///    `max(1.0, predicted) + tolerance`, the switch is rolled back and
+    ///    the candidate quarantined with exponential backoff. Verification
+    ///    applies only to time-primary rules, and only when both windows
+    ///    carried measured wall time.
+    /// 2. Enforces the per-site **cooldown** and the global **transition
+    ///    budget** before switching.
+    /// 3. Excludes **quarantined** candidates from selection.
+    ///
+    /// Guardrail decisions (rollbacks, quarantines) are appended to
+    /// `events`; the returned value remains the plain transition, if any.
+    /// Frozen contexts (engine degraded) do nothing.
+    pub fn analyze_guarded(
+        &self,
+        model: &PerformanceModel<K>,
+        rule: &SelectionRule,
+        guard_cfg: &GuardrailConfig,
+        budget: &TransitionBudget,
+        events: &mut Vec<EngineEvent>,
+    ) -> Option<TransitionEvent> {
+        if self.is_frozen() {
+            return None;
+        }
         let started = self.window.started();
         let finished = self.sink.len();
         if !self.config.round_ready(started, finished) {
             return None;
         }
+        let drained = self.sink.drain();
+        let mut window_ops: u64 = 0;
+        let mut window_nanos: u64 = 0;
         let mut history = self.history.lock();
         history.decay(self.config.history_decay);
-        for profile in self.sink.drain() {
-            history.add(&profile);
+        for profile in &drained {
+            window_ops += profile.total_ops();
+            window_nanos = window_nanos.saturating_add(profile.elapsed_nanos());
+            history.add(profile);
         }
+
+        let round = self.rounds.load(Ordering::Relaxed);
+        let mut guard = self.guard.lock();
+
+        // Post-switch verification: single-shot against the first completed
+        // window after the switch. A pending record that cannot be verified
+        // (no timing data, non-time rule, variant changed underneath) is
+        // dropped rather than carried forward — stale baselines only get
+        // less comparable with time.
+        let mut rolled_back = false;
+        if let Some(pending) = guard.pending.take() {
+            let verifiable = guard_cfg.verification_enabled()
+                && rule.primary().dimension == CostDimension::Time
+                && self.current.load(Ordering::Acquire) == pending.new_index
+                && pending.baseline_cpo > 0.0
+                && window_ops > 0
+                && window_nanos > 0;
+            if verifiable {
+                let realized_cpo = window_nanos as f64 / window_ops as f64;
+                let realized_ratio = realized_cpo / pending.baseline_cpo;
+                let threshold = pending.predicted_ratio.max(1.0) + guard_cfg.verify_tolerance;
+                if realized_ratio > threshold {
+                    let bad = K::from_index(pending.new_index);
+                    let restored = K::from_index(pending.prev_index);
+                    self.current.store(pending.prev_index, Ordering::Release);
+                    self.rollbacks.fetch_add(1, Ordering::Relaxed);
+                    let entry = guard.add_strike(pending.new_index, round, guard_cfg);
+                    // A rollback is itself a variant change: anchor the
+                    // cooldown here, but do not count it as a switch.
+                    guard.last_transition_round = Some(round);
+                    rolled_back = true;
+                    events.push(EngineEvent::Rollback(RollbackEvent {
+                        context_id: self.id,
+                        context_name: self.name.clone(),
+                        abstraction: K::ABSTRACTION,
+                        from: bad.to_string(),
+                        to: restored.to_string(),
+                        predicted_ratio: pending.predicted_ratio,
+                        realized_ratio,
+                        round,
+                    }));
+                    events.push(EngineEvent::Quarantine(QuarantineEvent {
+                        context_id: self.id,
+                        context_name: self.name.clone(),
+                        abstraction: K::ABSTRACTION,
+                        candidate: bad.to_string(),
+                        until_round: entry.until_round,
+                        strikes: entry.strikes,
+                        round,
+                    }));
+                }
+            }
+        }
+
         let current = self.current_kind();
-        let selection = select_variant(model, rule, current, &history);
+        let selection = if !rolled_back && guard.cooldown_ok(round, guard_cfg) {
+            select_variant_filtered(model, rule, current, &history, |k| {
+                !guard.is_quarantined(k.index(), round)
+            })
+        } else {
+            None
+        };
         drop(history);
 
-        let round = self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.rounds.fetch_add(1, Ordering::Relaxed);
         // Start the next monitoring round regardless of the outcome
         // ("a fraction of the instances is monitored to allow a continuous
         // adaptation process").
         self.window.reset();
 
         let sel = selection?;
+        if !budget.try_take() {
+            return None;
+        }
+        let baseline_cpo = if window_ops > 0 {
+            window_nanos as f64 / window_ops as f64
+        } else {
+            0.0
+        };
+        guard.pending = Some(PendingVerification {
+            prev_index: current.index(),
+            new_index: sel.kind.index(),
+            predicted_ratio: sel.primary_ratio,
+            baseline_cpo,
+        });
+        guard.last_transition_round = Some(round);
         self.current.store(sel.kind.index(), Ordering::Release);
         self.switches.fetch_add(1, Ordering::Relaxed);
         Some(TransitionEvent::new(
@@ -149,11 +310,13 @@ impl<K: Kind> ContextCore<K> {
         ))
     }
 
-    /// Clears accumulated history and restores the default variant.
+    /// Clears accumulated history, guardrail state, and restores the
+    /// default variant.
     pub fn reset(&self) {
         self.history.lock().clear();
         self.sink.drain();
         self.window.reset();
+        self.guard.lock().clear();
         self.current
             .store(self.default_kind.index(), Ordering::Release);
     }
@@ -425,6 +588,231 @@ mod tests {
         ctx.core().reset();
         assert_eq!(ctx.current_kind(), ListKind::Array);
         assert_eq!(ctx.stats().history_instances, 0);
+    }
+
+    // --- guarded analysis ------------------------------------------------
+    //
+    // These tests bypass the handles and feed synthetic profiles (with
+    // hand-picked wall times) straight into the context's sink, making the
+    // verification arithmetic fully deterministic.
+
+    use crate::guard::{GuardrailConfig, TransitionBudget};
+    use cs_model::{CostDimension as Dim, Polynomial, VariantCostModel};
+    use cs_profile::{OpCounters, OpKind, WorkloadProfile};
+
+    /// A model that (wrongly) claims Linked is 10× cheaper than Array for
+    /// every critical op — the "deliberately inverted model".
+    fn inverted_list_model() -> PerformanceModel<ListKind> {
+        let mut pm: PerformanceModel<ListKind> = PerformanceModel::new();
+        let flat = |c: f64| {
+            let mut vm = VariantCostModel::new();
+            for op in OpKind::ALL {
+                vm.set_op_cost(Dim::Time, op, Polynomial::constant(c));
+            }
+            vm
+        };
+        pm.insert_variant(ListKind::Array, flat(100.0));
+        pm.insert_variant(ListKind::Linked, flat(10.0));
+        pm
+    }
+
+    /// Claims `n` monitoring slots and pushes `n` profiles of `ops`
+    /// contains-ops each, spreading `total_nanos` across them.
+    fn feed_window(core: &ContextCore<ListKind>, n: usize, ops: u64, nanos_per_profile: u64) {
+        for _ in 0..n {
+            assert!(core.window.try_claim_slot(core.config.window_size));
+            let mut c = OpCounters::new();
+            c.add(OpKind::Contains, ops);
+            core.sink
+                .push(WorkloadProfile::with_nanos(c, 50, nanos_per_profile));
+        }
+    }
+
+    #[test]
+    fn bad_switch_is_rolled_back_and_quarantined() {
+        let core = list_core();
+        let model = inverted_list_model();
+        let rule = SelectionRule::r_time();
+        let cfg = GuardrailConfig::default();
+        let budget = TransitionBudget::new(None);
+        let mut events = Vec::new();
+
+        // Round 0: cheap window (10 ns/op) — the inverted model switches
+        // the site to Linked and records the baseline.
+        feed_window(&core, 10, 100, 1_000);
+        let t = core
+            .analyze_guarded(&model, &rule, &cfg, &budget, &mut events)
+            .expect("inverted model must trigger a switch");
+        assert_eq!(t.to, "linked");
+        assert_eq!(core.current_kind(), ListKind::Linked);
+        assert!(events.is_empty());
+
+        // Round 1: the realized window is 10× slower (100 ns/op) —
+        // verification must undo the switch and quarantine Linked.
+        feed_window(&core, 10, 100, 10_000);
+        let t = core.analyze_guarded(&model, &rule, &cfg, &budget, &mut events);
+        assert!(t.is_none(), "rollback is not a transition");
+        assert_eq!(core.current_kind(), ListKind::Array);
+        assert_eq!(core.stats().rollbacks, 1);
+        assert_eq!(core.stats().switches, 1);
+        let rb = events
+            .iter()
+            .find_map(|e| match e {
+                EngineEvent::Rollback(r) => Some(r),
+                _ => None,
+            })
+            .expect("rollback event recorded");
+        assert_eq!(rb.from, "linked");
+        assert_eq!(rb.to, "array");
+        assert!(rb.realized_ratio > 5.0);
+        let q = events
+            .iter()
+            .find_map(|e| match e {
+                EngineEvent::Quarantine(q) => Some(q),
+                _ => None,
+            })
+            .expect("quarantine event recorded");
+        assert_eq!(q.candidate, "linked");
+        assert_eq!(q.strikes, 1);
+
+        // Round 2: the model still prefers Linked, but it is quarantined —
+        // the site must stay on Array.
+        feed_window(&core, 10, 100, 1_000);
+        let t = core.analyze_guarded(&model, &rule, &cfg, &budget, &mut events);
+        assert!(t.is_none(), "quarantined candidate must not be reselected");
+        assert_eq!(core.current_kind(), ListKind::Array);
+    }
+
+    #[test]
+    fn good_switch_passes_verification() {
+        let core = list_core();
+        let model = inverted_list_model();
+        let rule = SelectionRule::r_time();
+        let cfg = GuardrailConfig::default();
+        let budget = TransitionBudget::new(None);
+        let mut events = Vec::new();
+
+        feed_window(&core, 10, 100, 1_000);
+        core.analyze_guarded(&model, &rule, &cfg, &budget, &mut events)
+            .expect("switch");
+        // Realized window is *faster* (5 ns/op): the switch sticks.
+        feed_window(&core, 10, 100, 500);
+        core.analyze_guarded(&model, &rule, &cfg, &budget, &mut events);
+        assert_eq!(core.current_kind(), ListKind::Linked);
+        assert_eq!(core.stats().rollbacks, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn verification_disabled_never_rolls_back() {
+        let core = list_core();
+        let model = inverted_list_model();
+        let rule = SelectionRule::r_time();
+        let cfg = GuardrailConfig::disabled();
+        let budget = TransitionBudget::new(None);
+        let mut events = Vec::new();
+
+        feed_window(&core, 10, 100, 1_000);
+        core.analyze_guarded(&model, &rule, &cfg, &budget, &mut events)
+            .expect("switch");
+        feed_window(&core, 10, 100, 100_000);
+        core.analyze_guarded(&model, &rule, &cfg, &budget, &mut events);
+        assert_eq!(core.current_kind(), ListKind::Linked);
+        assert_eq!(core.stats().rollbacks, 0);
+    }
+
+    #[test]
+    fn cooldown_blocks_rapid_reswitching() {
+        let core = list_core();
+        let model = inverted_list_model();
+        let rule = SelectionRule::r_time();
+        // Verification off isolates the cooldown behaviour; 3-round cooldown.
+        let cfg = GuardrailConfig::disabled().cooldown_rounds(3);
+        let budget = TransitionBudget::new(None);
+        let mut events = Vec::new();
+
+        feed_window(&core, 10, 100, 1_000);
+        assert!(core
+            .analyze_guarded(&model, &rule, &cfg, &budget, &mut events)
+            .is_some());
+        // Manually flip back so the model wants to switch again.
+        core.current.store(ListKind::Array.index(), Ordering::Release);
+        // Rounds 1 and 2 are inside the cooldown.
+        for _ in 0..2 {
+            feed_window(&core, 10, 100, 1_000);
+            assert!(core
+                .analyze_guarded(&model, &rule, &cfg, &budget, &mut events)
+                .is_none());
+        }
+        // Round 3: cooldown over.
+        feed_window(&core, 10, 100, 1_000);
+        assert!(core
+            .analyze_guarded(&model, &rule, &cfg, &budget, &mut events)
+            .is_some());
+    }
+
+    #[test]
+    fn exhausted_budget_blocks_switches() {
+        let core = list_core();
+        let model = inverted_list_model();
+        let rule = SelectionRule::r_time();
+        let cfg = GuardrailConfig::disabled();
+        let budget = TransitionBudget::new(Some(0));
+        let mut events = Vec::new();
+
+        feed_window(&core, 10, 100, 1_000);
+        let t = core.analyze_guarded(&model, &rule, &cfg, &budget, &mut events);
+        assert!(t.is_none());
+        assert_eq!(core.current_kind(), ListKind::Array);
+        assert_eq!(core.stats().switches, 0);
+    }
+
+    #[test]
+    fn frozen_context_neither_samples_nor_analyzes() {
+        let frozen = Arc::new(AtomicBool::new(false));
+        let core = ContextCore::with_freeze(
+            1,
+            "site".into(),
+            ListKind::Array,
+            test_config(),
+            Arc::clone(&frozen),
+        );
+        feed_window(&core, 10, 100, 1_000);
+        frozen.store(true, Ordering::Release);
+        assert!(core.is_frozen());
+        assert!(core.claim_monitor().is_none());
+        let mut events = Vec::new();
+        let t = core.analyze_guarded(
+            &inverted_list_model(),
+            &SelectionRule::r_time(),
+            &GuardrailConfig::default(),
+            &TransitionBudget::new(None),
+            &mut events,
+        );
+        assert!(t.is_none());
+        assert_eq!(core.current_kind(), ListKind::Array, "variant frozen");
+    }
+
+    #[test]
+    fn reset_clears_guard_state() {
+        let core = list_core();
+        let model = inverted_list_model();
+        let rule = SelectionRule::r_time();
+        let cfg = GuardrailConfig::default();
+        let budget = TransitionBudget::new(None);
+        let mut events = Vec::new();
+
+        feed_window(&core, 10, 100, 1_000);
+        core.analyze_guarded(&model, &rule, &cfg, &budget, &mut events)
+            .expect("switch");
+        feed_window(&core, 10, 100, 10_000);
+        core.analyze_guarded(&model, &rule, &cfg, &budget, &mut events);
+        assert!(!core.guard.lock().quarantine.is_empty());
+        core.reset();
+        let g = core.guard.lock();
+        assert!(g.quarantine.is_empty());
+        assert!(g.pending.is_none());
+        assert!(g.last_transition_round.is_none());
     }
 
     #[test]

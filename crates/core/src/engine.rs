@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -12,7 +12,10 @@ use cs_profile::WindowConfig;
 use parking_lot::Mutex;
 
 use crate::context::{ContextCore, ListContext, MapContext, SetContext};
-use crate::event::TransitionEvent;
+use crate::event::{
+    AnalyzerPanicEvent, DegradedEvent, EngineEvent, EventLog, ModelFallbackEvent, TransitionEvent,
+};
+use crate::guard::{GuardrailConfig, TransitionBudget};
 use crate::kind_ext::Kind;
 use crate::rules::SelectionRule;
 
@@ -92,6 +95,67 @@ impl Models {
             map: parse(dir.join("maps.model"))?,
         })
     }
+
+    /// Loads models from `dir`, replacing any file that is missing,
+    /// unreadable, or fails validation with the corresponding built-in
+    /// analytic model instead of failing the whole load.
+    ///
+    /// Every substitution is reported as a [`ModelFallbackEvent`]; callers
+    /// (notably [`SwitchBuilder::models_from_dir`]) record them in the
+    /// engine's event log. This is the robust path for production hosts: a
+    /// corrupt calibration directory degrades selection quality, it must
+    /// not abort startup.
+    pub fn load_from_dir_lenient(
+        dir: impl AsRef<std::path::Path>,
+    ) -> (Models, Vec<ModelFallbackEvent>) {
+        let dir = dir.as_ref();
+        let mut fallbacks = Vec::new();
+        fn load_one<K>(
+            path: std::path::PathBuf,
+            file: &str,
+            fallback: &PerformanceModel<K>,
+            fallbacks: &mut Vec<ModelFallbackEvent>,
+        ) -> PerformanceModel<K>
+        where
+            K: Copy + Eq + Hash + std::fmt::Display + std::str::FromStr,
+            <K as std::str::FromStr>::Err: std::fmt::Display,
+        {
+            let parsed = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| cs_model::persist::from_text(&text).map_err(|e| e.to_string()));
+            match parsed {
+                Ok(model) => model,
+                Err(reason) => {
+                    fallbacks.push(ModelFallbackEvent {
+                        file: file.to_owned(),
+                        reason,
+                    });
+                    fallback.clone()
+                }
+            }
+        }
+        let models = Models {
+            list: load_one(
+                dir.join("lists.model"),
+                "lists.model",
+                default_models::list_model(),
+                &mut fallbacks,
+            ),
+            set: load_one(
+                dir.join("sets.model"),
+                "sets.model",
+                default_models::set_model(),
+                &mut fallbacks,
+            ),
+            map: load_one(
+                dir.join("maps.model"),
+                "maps.model",
+                default_models::map_model(),
+                &mut fallbacks,
+            ),
+        };
+        (models, fallbacks)
+    }
 }
 
 /// Engine configuration.
@@ -101,6 +165,8 @@ pub struct SwitchConfig {
     pub rule: SelectionRule,
     /// Monitoring window parameters (paper §5 defaults).
     pub window: WindowConfig,
+    /// Adaptation guardrails (verification, quarantine, cooldown, budget).
+    pub guardrails: GuardrailConfig,
 }
 
 impl Default for SwitchConfig {
@@ -108,6 +174,7 @@ impl Default for SwitchConfig {
         SwitchConfig {
             rule: SelectionRule::r_time(),
             window: WindowConfig::default(),
+            guardrails: GuardrailConfig::default(),
         }
     }
 }
@@ -119,14 +186,34 @@ struct Registry {
     maps: Vec<Arc<ContextCore<MapKind>>>,
 }
 
+/// Test-only hook invoked (with the pass number) at the start of every
+/// analysis pass. Drives the deterministic fault-injection harness.
+#[derive(Clone)]
+struct FailpointHook(Arc<dyn Fn(u64) + Send + Sync>);
+
+impl fmt::Debug for FailpointHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FailpointHook(..)")
+    }
+}
+
 #[derive(Debug)]
 struct Shared {
     config: SwitchConfig,
     models: Models,
     registry: Mutex<Registry>,
-    log: Mutex<Vec<TransitionEvent>>,
+    log: Mutex<EventLog>,
+    budget: TransitionBudget,
     next_context_id: AtomicU64,
     stop: AtomicBool,
+    /// Raised when the analyzer exceeded its failure allowance: adaptation
+    /// and monitoring freeze engine-wide (shared with every context core).
+    degraded: Arc<AtomicBool>,
+    /// Consecutive failed analysis passes (reset by a clean pass).
+    analyzer_failures: AtomicU32,
+    /// Monotonic analysis-pass counter (feeds the failpoint).
+    passes: AtomicU64,
+    failpoint: Option<FailpointHook>,
 }
 
 /// The CollectionSwitch engine: creates allocation contexts, runs the
@@ -219,6 +306,9 @@ pub struct SwitchBuilder {
     config: SwitchConfig,
     models: Option<Models>,
     background: bool,
+    event_log_capacity: Option<usize>,
+    pending_fallbacks: Vec<ModelFallbackEvent>,
+    failpoint: Option<FailpointHook>,
 }
 
 impl SwitchBuilder {
@@ -234,9 +324,43 @@ impl SwitchBuilder {
         self
     }
 
+    /// Sets the adaptation guardrails (default: [`GuardrailConfig::default`];
+    /// [`GuardrailConfig::disabled`] restores the unguarded behaviour).
+    pub fn guardrails(mut self, guardrails: GuardrailConfig) -> Self {
+        self.config.guardrails = guardrails;
+        self
+    }
+
     /// Replaces the default models (e.g. with calibrated ones).
     pub fn models(mut self, models: Models) -> Self {
         self.models = Some(models);
+        self
+    }
+
+    /// Loads models from a calibration directory via
+    /// [`Models::load_from_dir_lenient`]: files that are missing or invalid
+    /// fall back to the built-in analytic models, and each substitution is
+    /// recorded in the engine's event log rather than failing the build.
+    pub fn models_from_dir(mut self, dir: impl AsRef<std::path::Path>) -> Self {
+        let (models, fallbacks) = Models::load_from_dir_lenient(dir);
+        self.models = Some(models);
+        self.pending_fallbacks = fallbacks;
+        self
+    }
+
+    /// Caps the engine event log at `capacity` entries (oldest dropped
+    /// first). Default: [`Switch::DEFAULT_EVENT_LOG_CAPACITY`].
+    pub fn event_log_capacity(mut self, capacity: usize) -> Self {
+        self.event_log_capacity = Some(capacity);
+        self
+    }
+
+    /// Test hook: runs `hook(pass_number)` at the start of every analysis
+    /// pass, *inside* the panic isolation boundary. Lets the fault harness
+    /// inject deterministic analyzer panics.
+    #[doc(hidden)]
+    pub fn failpoint(mut self, hook: impl Fn(u64) + Send + Sync + 'static) -> Self {
+        self.failpoint = Some(FailpointHook(Arc::new(hook)));
         self
     }
 
@@ -249,13 +373,26 @@ impl SwitchBuilder {
 
     /// Builds the engine.
     pub fn build(self) -> Switch {
+        let mut log = EventLog::new(
+            self.event_log_capacity
+                .unwrap_or(Switch::DEFAULT_EVENT_LOG_CAPACITY),
+        );
+        for fallback in self.pending_fallbacks {
+            log.push(EngineEvent::ModelFallback(fallback));
+        }
+        let budget = TransitionBudget::new(self.config.guardrails.max_transitions);
         let shared = Arc::new(Shared {
             config: self.config,
             models: self.models.unwrap_or_default(),
             registry: Mutex::new(Registry::default()),
-            log: Mutex::new(Vec::new()),
+            log: Mutex::new(log),
+            budget,
             next_context_id: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            degraded: Arc::new(AtomicBool::new(false)),
+            analyzer_failures: AtomicU32::new(0),
+            passes: AtomicU64::new(0),
+            failpoint: self.failpoint,
         });
         let analyzer = if self.background {
             let rate = shared.config.window.monitoring_rate;
@@ -263,12 +400,24 @@ impl SwitchBuilder {
             let handle = std::thread::Builder::new()
                 .name("collectionswitch-analyzer".into())
                 .spawn(move || {
+                    // A failed pass backs the thread off exponentially
+                    // (capped at 32× the monitoring rate) so a persistently
+                    // panicking model cannot spin a core; a clean pass
+                    // restores the configured rate.
+                    let mut delay = rate;
                     while !thread_shared.stop.load(Ordering::Acquire) {
-                        std::thread::sleep(rate);
+                        std::thread::sleep(delay);
                         if thread_shared.stop.load(Ordering::Acquire) {
                             break;
                         }
-                        analyze_shared(&thread_shared);
+                        if thread_shared.degraded.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if analyze_shared(&thread_shared) {
+                            delay = rate;
+                        } else {
+                            delay = delay.saturating_mul(2).min(rate.saturating_mul(32));
+                        }
                     }
                 })
                 .expect("failed to spawn analyzer thread");
@@ -286,28 +435,98 @@ impl SwitchBuilder {
 fn analyze_core<K: Kind>(
     core: &ContextCore<K>,
     model: &PerformanceModel<K>,
-    rule: &SelectionRule,
-    log: &Mutex<Vec<TransitionEvent>>,
+    shared: &Shared,
+    events: &mut Vec<EngineEvent>,
 ) {
-    if let Some(event) = core.analyze(model, rule) {
-        log.lock().push(event);
+    let transition = core.analyze_guarded(
+        model,
+        &shared.config.rule,
+        &shared.config.guardrails,
+        &shared.budget,
+        events,
+    );
+    if let Some(event) = transition {
+        events.push(EngineEvent::Transition(event));
     }
 }
 
-fn analyze_shared(shared: &Shared) {
-    let registry = shared.registry.lock();
-    for core in &registry.lists {
-        analyze_core(core, &shared.models.list, &shared.config.rule, &shared.log);
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
-    for core in &registry.sets {
-        analyze_core(core, &shared.models.set, &shared.config.rule, &shared.log);
+}
+
+/// Runs one analysis pass over every registered context, isolating panics.
+///
+/// Returns `true` when the pass completed cleanly. A panicking pass (a
+/// buggy model, a poisoned profile) is caught here: the panic is recorded
+/// as an [`AnalyzerPanicEvent`], and after
+/// [`GuardrailConfig::max_analyzer_failures`] *consecutive* failures the
+/// engine enters degraded mode — every context freezes on its last-known
+/// variant and monitoring stops, rather than crashing the host or silently
+/// spinning. `parking_lot` mutexes do not poison, so a pass that unwound
+/// mid-iteration leaves the registry and log usable.
+fn analyze_shared(shared: &Shared) -> bool {
+    if shared.degraded.load(Ordering::Acquire) {
+        return false;
     }
-    for core in &registry.maps {
-        analyze_core(core, &shared.models.map, &shared.config.rule, &shared.log);
+    let pass = shared.passes.fetch_add(1, Ordering::Relaxed);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(hook) = &shared.failpoint {
+            (hook.0)(pass);
+        }
+        let mut events = Vec::new();
+        let registry = shared.registry.lock();
+        for core in &registry.lists {
+            analyze_core(core, &shared.models.list, shared, &mut events);
+        }
+        for core in &registry.sets {
+            analyze_core(core, &shared.models.set, shared, &mut events);
+        }
+        for core in &registry.maps {
+            analyze_core(core, &shared.models.map, shared, &mut events);
+        }
+        drop(registry);
+        if !events.is_empty() {
+            let mut log = shared.log.lock();
+            for event in events {
+                log.push(event);
+            }
+        }
+    }));
+    match outcome {
+        Ok(()) => {
+            shared.analyzer_failures.store(0, Ordering::Relaxed);
+            true
+        }
+        Err(payload) => {
+            let consecutive = shared.analyzer_failures.fetch_add(1, Ordering::Relaxed) + 1;
+            let mut log = shared.log.lock();
+            log.push(EngineEvent::AnalyzerPanic(AnalyzerPanicEvent {
+                consecutive,
+                message: panic_message(payload.as_ref()),
+            }));
+            if consecutive >= shared.config.guardrails.max_analyzer_failures {
+                shared.degraded.store(true, Ordering::Release);
+                log.push(EngineEvent::DegradedEntered(DegradedEvent {
+                    consecutive_failures: consecutive,
+                }));
+            }
+            false
+        }
     }
 }
 
 impl Switch {
+    /// Default capacity of the engine event log — sized so the paper-scale
+    /// experiment binaries (hundreds of transitions) never drop an event.
+    pub const DEFAULT_EVENT_LOG_CAPACITY: usize = EventLog::DEFAULT_CAPACITY;
+
     /// Starts building an engine.
     pub fn builder() -> SwitchBuilder {
         SwitchBuilder::default()
@@ -321,6 +540,11 @@ impl Switch {
     /// The engine's window configuration.
     pub fn window_config(&self) -> WindowConfig {
         self.shared.config.window
+    }
+
+    /// The engine's guardrail configuration.
+    pub fn guardrails(&self) -> &GuardrailConfig {
+        &self.shared.config.guardrails
     }
 
     fn next_id(&self) -> u64 {
@@ -340,11 +564,12 @@ impl Switch {
         default: ListKind,
         name: impl Into<String>,
     ) -> ListContext<T> {
-        let core = Arc::new(ContextCore::new(
+        let core = Arc::new(ContextCore::with_freeze(
             self.next_id(),
             name.into(),
             default,
             self.shared.config.window,
+            Arc::clone(&self.shared.degraded),
         ));
         self.shared.registry.lock().lists.push(Arc::clone(&core));
         ListContext::from_core(core)
@@ -361,11 +586,12 @@ impl Switch {
         default: SetKind,
         name: impl Into<String>,
     ) -> SetContext<T> {
-        let core = Arc::new(ContextCore::new(
+        let core = Arc::new(ContextCore::with_freeze(
             self.next_id(),
             name.into(),
             default,
             self.shared.config.window,
+            Arc::clone(&self.shared.degraded),
         ));
         self.shared.registry.lock().sets.push(Arc::clone(&core));
         SetContext::from_core(core)
@@ -382,11 +608,12 @@ impl Switch {
         default: MapKind,
         name: impl Into<String>,
     ) -> MapContext<K, V> {
-        let core = Arc::new(ContextCore::new(
+        let core = Arc::new(ContextCore::with_freeze(
             self.next_id(),
             name.into(),
             default,
             self.shared.config.window,
+            Arc::clone(&self.shared.degraded),
         ));
         self.shared.registry.lock().maps.push(Arc::clone(&core));
         MapContext::from_core(core)
@@ -394,7 +621,8 @@ impl Switch {
 
     /// Runs one synchronous analysis pass over every registered context —
     /// the deterministic alternative to the background analyzer, used by
-    /// tests and benchmarks.
+    /// tests and benchmarks. Panics in the pass are contained exactly as
+    /// they are for the background analyzer; a degraded engine no-ops.
     pub fn analyze_now(&self) {
         analyze_shared(&self.shared);
     }
@@ -405,14 +633,44 @@ impl Switch {
         r.lists.len() + r.sets.len() + r.maps.len()
     }
 
-    /// A copy of the transition log (feeds the paper's Table 6).
+    /// A copy of the transition log (feeds the paper's Table 6): the
+    /// [`EngineEvent::Transition`] entries of the event log, in order.
     pub fn transition_log(&self) -> Vec<TransitionEvent> {
-        self.shared.log.lock().clone()
+        self.shared
+            .log
+            .lock()
+            .events()
+            .filter_map(|e| e.as_transition().cloned())
+            .collect()
+    }
+
+    /// A copy of the full event log: transitions plus every guardrail
+    /// decision (rollbacks, quarantines, model fallbacks, analyzer panics,
+    /// degraded-mode entry), oldest first.
+    pub fn event_log(&self) -> Vec<EngineEvent> {
+        self.shared.log.lock().events().cloned().collect()
+    }
+
+    /// Events discarded because the bounded event log overflowed.
+    pub fn events_dropped(&self) -> u64 {
+        self.shared.log.lock().dropped()
     }
 
     /// Clears the transition log.
     pub fn clear_transition_log(&self) {
         self.shared.log.lock().clear();
+    }
+
+    /// Whether the engine froze adaptation after repeated analyzer
+    /// failures. A degraded engine keeps serving every site's last-known
+    /// variant but samples and switches nothing.
+    pub fn is_degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::Acquire)
+    }
+
+    /// Transitions claimed against the global budget so far.
+    pub fn transitions_used(&self) -> u64 {
+        self.shared.budget.used()
     }
 
     /// Whether a background analyzer is running.
@@ -464,13 +722,14 @@ impl fmt::Display for ContextSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} [{}]: {} -> {} (rounds {}, switches {}, history {})",
+            "{} [{}]: {} -> {} (rounds {}, switches {}, rollbacks {}, history {})",
             self.name,
             self.abstraction,
             self.default_kind,
             self.current_kind,
             self.stats.rounds,
             self.stats.switches,
+            self.stats.rollbacks,
             self.stats.history_instances
         )
     }

@@ -1,5 +1,13 @@
-//! Transition events: the framework's trace of variant switches.
+//! Engine events: the framework's trace of variant switches and guardrail
+//! decisions.
+//!
+//! The paper's logging mitigation (§4.4) records transitions so developers
+//! can diagnose the framework's choices. The guarded engine extends the same
+//! trace with every *defensive* decision it takes — rollbacks, quarantines,
+//! model fallbacks, analyzer panics, degraded-mode entry — so that an
+//! adaptation gone wrong is always explainable after the fact.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use cs_collections::Abstraction;
@@ -69,6 +77,218 @@ impl fmt::Display for TransitionEvent {
     }
 }
 
+/// A switch that post-switch verification judged harmful and undid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollbackEvent {
+    /// Id of the allocation context rolled back.
+    pub context_id: u64,
+    /// Human-readable context name.
+    pub context_name: String,
+    /// The abstraction of the site.
+    pub abstraction: Abstraction,
+    /// The variant being abandoned (the one the failed switch installed).
+    pub from: String,
+    /// The variant being restored (pre-switch).
+    pub to: String,
+    /// Cost ratio the model predicted for the switch (new/old, < 1 is an
+    /// improvement).
+    pub predicted_ratio: f64,
+    /// Cost-per-operation ratio actually observed in the verification
+    /// window (new/old).
+    pub realized_ratio: f64,
+    /// Monitoring round in which the rollback happened.
+    pub round: u64,
+}
+
+impl fmt::Display for RollbackEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} rollback {} -> {} (predicted {:.2}, realized {:.2}, round {})",
+            self.context_name,
+            self.abstraction,
+            self.from,
+            self.to,
+            self.predicted_ratio,
+            self.realized_ratio,
+            self.round
+        )
+    }
+}
+
+/// A (site, candidate) pair barred from reselection after a failed switch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuarantineEvent {
+    /// Id of the allocation context.
+    pub context_id: u64,
+    /// Human-readable context name.
+    pub context_name: String,
+    /// The abstraction of the site.
+    pub abstraction: Abstraction,
+    /// The candidate variant under quarantine.
+    pub candidate: String,
+    /// First round at which the candidate becomes selectable again.
+    pub until_round: u64,
+    /// How many times this candidate has now failed verification here.
+    pub strikes: u32,
+    /// Monitoring round in which the quarantine was (re)imposed.
+    pub round: u64,
+}
+
+impl fmt::Display for QuarantineEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} quarantine {} until round {} (strike {}, round {})",
+            self.context_name, self.abstraction, self.candidate, self.until_round, self.strikes, self.round
+        )
+    }
+}
+
+/// A persisted model file that failed validation and was replaced by the
+/// built-in analytic model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelFallbackEvent {
+    /// The model file that was rejected (e.g. `"lists.model"`).
+    pub file: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for ModelFallbackEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model fallback for {}: {}", self.file, self.reason)
+    }
+}
+
+/// One caught panic inside an analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AnalyzerPanicEvent {
+    /// Consecutive failures so far (resets on a clean pass).
+    pub consecutive: u32,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl fmt::Display for AnalyzerPanicEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analyzer panic #{}: {}", self.consecutive, self.message)
+    }
+}
+
+/// The engine froze adaptation after repeated analyzer failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DegradedEvent {
+    /// Consecutive analyzer failures that triggered degraded mode.
+    pub consecutive_failures: u32,
+}
+
+impl fmt::Display for DegradedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "engine degraded after {} consecutive analyzer failures",
+            self.consecutive_failures
+        )
+    }
+}
+
+/// Any event the engine records: ordinary transitions plus guardrail
+/// decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// An allocation context switched variants.
+    Transition(TransitionEvent),
+    /// A switch failed post-switch verification and was undone.
+    Rollback(RollbackEvent),
+    /// A candidate was barred from reselection at a site.
+    Quarantine(QuarantineEvent),
+    /// A persisted model was rejected; analytic fallback installed.
+    ModelFallback(ModelFallbackEvent),
+    /// An analysis pass panicked and was contained.
+    AnalyzerPanic(AnalyzerPanicEvent),
+    /// The engine entered degraded mode (adaptation frozen).
+    DegradedEntered(DegradedEvent),
+}
+
+impl EngineEvent {
+    /// The plain transition record, when this is a transition.
+    pub fn as_transition(&self) -> Option<&TransitionEvent> {
+        match self {
+            EngineEvent::Transition(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EngineEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineEvent::Transition(e) => e.fmt(f),
+            EngineEvent::Rollback(e) => e.fmt(f),
+            EngineEvent::Quarantine(e) => e.fmt(f),
+            EngineEvent::ModelFallback(e) => e.fmt(f),
+            EngineEvent::AnalyzerPanic(e) => e.fmt(f),
+            EngineEvent::DegradedEntered(e) => e.fmt(f),
+        }
+    }
+}
+
+/// Bounded ring buffer of [`EngineEvent`]s.
+///
+/// The unguarded engine kept an unbounded `Vec<TransitionEvent>`; a
+/// long-running host with an oscillating workload could grow it without
+/// limit. The ring drops the *oldest* events past `capacity` and counts the
+/// drops, trading perfect history for bounded memory — the same policy as
+/// the bounded [`ProfileSink`](cs_profile::ProfileSink).
+#[derive(Debug, Clone)]
+pub(crate) struct EventLog {
+    events: VecDeque<EngineEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Default capacity: large enough that the paper-scale experiment
+    /// binaries (tables 5/6, hundreds of transitions) never drop an event.
+    pub(crate) const DEFAULT_CAPACITY: usize = 16_384;
+
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log capacity must be nonzero");
+        EventLog {
+            events: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: EngineEvent) {
+        while self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    pub(crate) fn events(&self) -> impl Iterator<Item = &EngineEvent> {
+        self.events.iter()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(EventLog::DEFAULT_CAPACITY)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +297,97 @@ mod tests {
     fn edge_formats_for_aggregation() {
         let e = TransitionEvent::new(1, "s", Abstraction::Set, "chained", "open-koloboke", 0);
         assert_eq!(e.edge(), "chained -> open-koloboke");
+    }
+
+    #[test]
+    fn engine_event_displays_every_variant() {
+        let t = EngineEvent::Transition(TransitionEvent::new(
+            1,
+            "s",
+            Abstraction::List,
+            "array",
+            "linked",
+            3,
+        ));
+        assert!(t.to_string().contains("array -> linked"));
+        let r = EngineEvent::Rollback(RollbackEvent {
+            context_id: 1,
+            context_name: "s".into(),
+            abstraction: Abstraction::List,
+            from: "linked".into(),
+            to: "array".into(),
+            predicted_ratio: 0.5,
+            realized_ratio: 2.0,
+            round: 4,
+        });
+        assert!(r.to_string().contains("rollback linked -> array"));
+        let q = EngineEvent::Quarantine(QuarantineEvent {
+            context_id: 1,
+            context_name: "s".into(),
+            abstraction: Abstraction::List,
+            candidate: "linked".into(),
+            until_round: 8,
+            strikes: 1,
+            round: 4,
+        });
+        assert!(q.to_string().contains("quarantine linked until round 8"));
+        let m = EngineEvent::ModelFallback(ModelFallbackEvent {
+            file: "lists.model".into(),
+            reason: "NaN coefficient".into(),
+        });
+        assert!(m.to_string().contains("lists.model"));
+        let p = EngineEvent::AnalyzerPanic(AnalyzerPanicEvent {
+            consecutive: 2,
+            message: "boom".into(),
+        });
+        assert!(p.to_string().contains("panic #2"));
+        let d = EngineEvent::DegradedEntered(DegradedEvent {
+            consecutive_failures: 3,
+        });
+        assert!(d.to_string().contains("degraded after 3"));
+    }
+
+    #[test]
+    fn as_transition_filters() {
+        let t = EngineEvent::Transition(TransitionEvent::new(
+            1,
+            "s",
+            Abstraction::Map,
+            "array",
+            "chained",
+            0,
+        ));
+        assert!(t.as_transition().is_some());
+        let d = EngineEvent::DegradedEntered(DegradedEvent {
+            consecutive_failures: 1,
+        });
+        assert!(d.as_transition().is_none());
+    }
+
+    #[test]
+    fn event_log_ring_drops_oldest() {
+        let mut log = EventLog::new(3);
+        for round in 0..5 {
+            log.push(EngineEvent::Transition(TransitionEvent::new(
+                1,
+                "s",
+                Abstraction::List,
+                "a",
+                "b",
+                round,
+            )));
+        }
+        assert_eq!(log.events().count(), 3);
+        assert_eq!(log.dropped(), 2);
+        let rounds: Vec<u64> = log
+            .events()
+            .filter_map(|e| e.as_transition())
+            .map(|t| t.round)
+            .collect();
+        assert_eq!(rounds, vec![2, 3, 4]);
+        log.clear();
+        assert_eq!(log.events().count(), 0);
+        // Drop counter deliberately survives a clear.
+        assert_eq!(log.dropped(), 2);
     }
 }

@@ -29,9 +29,10 @@ impl Monitor {
     }
 
     #[inline]
-    fn record(&mut self, op: OpKind, size: usize) {
+    fn record(&mut self, op: OpKind, size: usize, nanos: u64) {
         self.recorder.record(op);
         self.recorder.observe_size(size);
+        self.recorder.add_nanos(nanos);
     }
 
     fn finish(self) {
@@ -40,12 +41,26 @@ impl Monitor {
     }
 }
 
-macro_rules! monitored {
-    ($self:ident, $op:expr, $len:expr) => {
-        if let Some(m) = $self.monitor.as_mut() {
-            m.record($op, $len);
+/// Runs `$body`; when the instance is monitored, additionally measures the
+/// wall time spent in it and records `(op, size, nanos)`. The size
+/// expression is evaluated *after* the body so call sites can report
+/// post-operation length. Unmonitored instances execute the body alone —
+/// no clock read, preserving the near-zero unmonitored overhead.
+macro_rules! timed {
+    ($self:ident, $op:expr, $len:expr, $body:expr) => {{
+        if $self.monitor.is_some() {
+            let __start = std::time::Instant::now();
+            let __out = $body;
+            let __nanos = __start.elapsed().as_nanos() as u64;
+            let __len = $len;
+            if let Some(m) = $self.monitor.as_mut() {
+                m.record($op, __len, __nanos);
+            }
+            __out
+        } else {
+            $body
         }
-    };
+    }};
 }
 
 /// A list handle created by a [`ListContext`](crate::ListContext).
@@ -100,8 +115,12 @@ impl<T: Eq + Hash + Clone> SwitchList<T> {
 
     /// Appends `value` (critical op: *populate*).
     pub fn push(&mut self, value: T) {
-        ListOps::push(&mut self.inner, value);
-        monitored!(self, OpKind::Populate, ListOps::len(&self.inner));
+        timed!(
+            self,
+            OpKind::Populate,
+            ListOps::len(&self.inner),
+            ListOps::push(&mut self.inner, value)
+        )
     }
 
     /// Removes and returns the last element.
@@ -115,8 +134,12 @@ impl<T: Eq + Hash + Clone> SwitchList<T> {
     ///
     /// Panics if `index > len`.
     pub fn insert(&mut self, index: usize, value: T) {
-        ListOps::list_insert(&mut self.inner, index, value);
-        monitored!(self, OpKind::Middle, ListOps::len(&self.inner));
+        timed!(
+            self,
+            OpKind::Middle,
+            ListOps::len(&self.inner),
+            ListOps::list_insert(&mut self.inner, index, value)
+        )
     }
 
     /// Removes at `index` (critical op: *middle*).
@@ -125,9 +148,12 @@ impl<T: Eq + Hash + Clone> SwitchList<T> {
     ///
     /// Panics if `index >= len`.
     pub fn remove(&mut self, index: usize) -> T {
-        let v = ListOps::list_remove(&mut self.inner, index);
-        monitored!(self, OpKind::Middle, ListOps::len(&self.inner) + 1);
-        v
+        timed!(
+            self,
+            OpKind::Middle,
+            ListOps::len(&self.inner) + 1,
+            ListOps::list_remove(&mut self.inner, index)
+        )
     }
 
     /// Returns the element at `index`, if in bounds.
@@ -146,14 +172,22 @@ impl<T: Eq + Hash + Clone> SwitchList<T> {
 
     /// Membership test (critical op: *contains*).
     pub fn contains(&mut self, value: &T) -> bool {
-        monitored!(self, OpKind::Contains, ListOps::len(&self.inner));
-        ListOps::contains(&self.inner, value)
+        timed!(
+            self,
+            OpKind::Contains,
+            ListOps::len(&self.inner),
+            ListOps::contains(&self.inner, value)
+        )
     }
 
     /// Visits every element in order (critical op: *iterate*).
     pub fn for_each(&mut self, mut f: impl FnMut(&T)) {
-        monitored!(self, OpKind::Iterate, ListOps::len(&self.inner));
-        ListOps::for_each_value(&self.inner, &mut f);
+        timed!(
+            self,
+            OpKind::Iterate,
+            ListOps::len(&self.inner),
+            ListOps::for_each_value(&self.inner, &mut f)
+        )
     }
 
     /// Copies the elements into a `Vec` (counts as an iteration).
@@ -233,27 +267,42 @@ impl<T: Eq + Hash + Clone> SwitchSet<T> {
 
     /// Adds `value` (critical op: *populate*); returns `true` if new.
     pub fn insert(&mut self, value: T) -> bool {
-        let added = SetOps::insert(&mut self.inner, value);
-        monitored!(self, OpKind::Populate, SetOps::len(&self.inner));
-        added
+        timed!(
+            self,
+            OpKind::Populate,
+            SetOps::len(&self.inner),
+            SetOps::insert(&mut self.inner, value)
+        )
     }
 
     /// Membership test (critical op: *contains*).
     pub fn contains(&mut self, value: &T) -> bool {
-        monitored!(self, OpKind::Contains, SetOps::len(&self.inner));
-        SetOps::contains(&self.inner, value)
+        timed!(
+            self,
+            OpKind::Contains,
+            SetOps::len(&self.inner),
+            SetOps::contains(&self.inner, value)
+        )
     }
 
     /// Removes `value` (critical op: *middle*); returns `true` if present.
     pub fn remove(&mut self, value: &T) -> bool {
-        monitored!(self, OpKind::Middle, SetOps::len(&self.inner));
-        SetOps::set_remove(&mut self.inner, value)
+        timed!(
+            self,
+            OpKind::Middle,
+            SetOps::len(&self.inner),
+            SetOps::set_remove(&mut self.inner, value)
+        )
     }
 
     /// Visits every element (critical op: *iterate*).
     pub fn for_each(&mut self, mut f: impl FnMut(&T)) {
-        monitored!(self, OpKind::Iterate, SetOps::len(&self.inner));
-        SetOps::for_each_value(&self.inner, &mut f);
+        timed!(
+            self,
+            OpKind::Iterate,
+            SetOps::len(&self.inner),
+            SetOps::for_each_value(&self.inner, &mut f)
+        )
     }
 
     /// Removes every element.
@@ -326,33 +375,52 @@ impl<K: Eq + Hash + Clone, V: Clone> SwitchMap<K, V> {
 
     /// Inserts or replaces (critical op: *populate*).
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
-        let old = MapOps::map_insert(&mut self.inner, key, value);
-        monitored!(self, OpKind::Populate, MapOps::len(&self.inner));
-        old
+        timed!(
+            self,
+            OpKind::Populate,
+            MapOps::len(&self.inner),
+            MapOps::map_insert(&mut self.inner, key, value)
+        )
     }
 
     /// Key lookup (critical op: *contains*).
     pub fn get(&mut self, key: &K) -> Option<&V> {
-        monitored!(self, OpKind::Contains, MapOps::len(&self.inner));
-        MapOps::map_get(&self.inner, key)
+        timed!(
+            self,
+            OpKind::Contains,
+            MapOps::len(&self.inner),
+            MapOps::map_get(&self.inner, key)
+        )
     }
 
     /// Key membership test (critical op: *contains*).
     pub fn contains_key(&mut self, key: &K) -> bool {
-        monitored!(self, OpKind::Contains, MapOps::len(&self.inner));
-        MapOps::contains_key(&self.inner, key)
+        timed!(
+            self,
+            OpKind::Contains,
+            MapOps::len(&self.inner),
+            MapOps::contains_key(&self.inner, key)
+        )
     }
 
     /// Removes the entry for `key` (critical op: *middle*).
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        monitored!(self, OpKind::Middle, MapOps::len(&self.inner));
-        MapOps::map_remove(&mut self.inner, key)
+        timed!(
+            self,
+            OpKind::Middle,
+            MapOps::len(&self.inner),
+            MapOps::map_remove(&mut self.inner, key)
+        )
     }
 
     /// Visits every entry (critical op: *iterate*).
     pub fn for_each(&mut self, mut f: impl FnMut(&K, &V)) {
-        monitored!(self, OpKind::Iterate, MapOps::len(&self.inner));
-        MapOps::for_each_entry(&self.inner, &mut f);
+        timed!(
+            self,
+            OpKind::Iterate,
+            MapOps::len(&self.inner),
+            MapOps::for_each_entry(&self.inner, &mut f)
+        )
     }
 
     /// Removes every entry.
@@ -483,6 +551,34 @@ mod tests {
         assert_eq!(p.count(OpKind::Populate), 4);
         assert_eq!(p.count(OpKind::Contains), 2);
         assert_eq!(p.count(OpKind::Middle), 1);
+    }
+
+    #[test]
+    fn monitored_handle_accumulates_wall_time() {
+        let (mut list, sink) = monitored_list();
+        for v in 0..1_000 {
+            list.push(v);
+        }
+        for v in 0..1_000 {
+            list.contains(&v);
+        }
+        drop(list);
+        let p = &sink.drain()[0];
+        assert!(
+            p.elapsed_nanos() > 0,
+            "2000 monitored ops should accumulate measurable wall time"
+        );
+    }
+
+    #[test]
+    fn unmonitored_handle_carries_no_wall_time() {
+        let sink = ProfileSink::new();
+        let mut l: SwitchList<i64> = SwitchList::new(AnyList::new(ListKind::Array), None);
+        for v in 0..100 {
+            l.push(v);
+        }
+        drop(l);
+        assert!(sink.is_empty());
     }
 
     #[test]

@@ -50,6 +50,7 @@
 mod context;
 mod engine;
 mod event;
+mod guard;
 mod handles;
 mod kind_ext;
 mod rules;
@@ -57,8 +58,12 @@ mod select;
 
 pub use context::{ContextCore, ContextStats, ListContext, MapContext, SetContext};
 pub use engine::{ContextSummary, Models, Switch, SwitchBuilder, SwitchConfig};
-pub use event::TransitionEvent;
+pub use event::{
+    AnalyzerPanicEvent, DegradedEvent, EngineEvent, ModelFallbackEvent, QuarantineEvent,
+    RollbackEvent, TransitionEvent,
+};
+pub use guard::{GuardrailConfig, TransitionBudget};
 pub use handles::{SwitchList, SwitchMap, SwitchSet};
 pub use kind_ext::Kind;
 pub use rules::{Criterion, ParseRuleError, SelectionRule};
-pub use select::{adaptive_eligible, select_variant, Selection};
+pub use select::{adaptive_eligible, select_variant, select_variant_filtered, Selection};

@@ -82,6 +82,22 @@ pub fn select_variant<K: Kind>(
     current: K,
     history: &ProfileHistogram,
 ) -> Option<Selection<K>> {
+    select_variant_filtered(model, rule, current, history, |_| true)
+}
+
+/// Like [`select_variant`], but additionally restricted to candidates that
+/// the `eligible` predicate admits.
+///
+/// The guardrail layer uses this to keep quarantined candidates — variants
+/// that recently failed post-switch verification at this site — out of the
+/// running without touching the selection algorithm itself.
+pub fn select_variant_filtered<K: Kind>(
+    model: &PerformanceModel<K>,
+    rule: &SelectionRule,
+    current: K,
+    history: &ProfileHistogram,
+    mut eligible: impl FnMut(K) -> bool,
+) -> Option<Selection<K>> {
     if history.total_ops() == 0 {
         return None;
     }
@@ -108,6 +124,9 @@ pub fn select_variant<K: Kind>(
             continue;
         }
         if candidate == adaptive && !adaptive_ok {
+            continue;
+        }
+        if !eligible(candidate) {
             continue;
         }
         if model.variant(candidate).is_none() {
@@ -358,6 +377,49 @@ mod tests {
             &hist(&[profile(0, 10, 0, 0, 5)]),
         );
         assert!(sel.is_none());
+    }
+
+    #[test]
+    fn filter_excludes_quarantined_candidates() {
+        let w = profile(500, 1_000, 0, 0, 500);
+        // Unfiltered: the lookup-heavy list goes to HashArray.
+        let unfiltered = select_variant(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &hist(std::slice::from_ref(&w)),
+        )
+        .unwrap();
+        assert_eq!(unfiltered.kind, ListKind::HashArray);
+        // With HashArray barred, the selection falls to the next best
+        // rule-satisfying candidate or to none at all — never HashArray.
+        let filtered = select_variant_filtered(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &hist(&[w]),
+            |k| k != ListKind::HashArray,
+        );
+        assert!(filtered.is_none_or(|s| s.kind != ListKind::HashArray));
+    }
+
+    #[test]
+    fn filter_admitting_everything_matches_unfiltered() {
+        let w = profile(300, 600, 5, 0, 300);
+        let a = select_variant(
+            default_models::set_model(),
+            &SelectionRule::r_time(),
+            SetKind::Chained,
+            &hist(std::slice::from_ref(&w)),
+        );
+        let b = select_variant_filtered(
+            default_models::set_model(),
+            &SelectionRule::r_time(),
+            SetKind::Chained,
+            &hist(&[w]),
+            |_| true,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Deterministic fault-injection harness for the engine's guardrail layer.
+//!
+//! Four failure scenarios, each driven end-to-end through the public API:
+//!
+//! 1. **Inverted model** — a model that claims `LinkedList` is two orders of
+//!    magnitude faster than `ArrayList` on a lookup-heavy site. The switch it
+//!    provokes makes the workload measurably slower, so post-switch
+//!    verification must roll it back and quarantine the candidate.
+//! 2. **Panicking analyzer** — a failpoint panics inside every analysis
+//!    pass. The host must keep running; after the failure allowance the
+//!    engine enters degraded mode (monitoring and adaptation freeze).
+//! 3. **Corrupt model directory** — garbage model files must not abort
+//!    `Switch` construction; the engine falls back to the built-in analytic
+//!    models (recording the substitutions) and still adapts.
+//! 4. **Phase-flipping workload** — an adversarial workload that changes its
+//!    profile every analysis round. The per-site cooldown must bound the
+//!    transition rate even with verification disabled.
+
+use std::path::PathBuf;
+
+use cs_collections::ListKind;
+use cs_core::{EngineEvent, GuardrailConfig, ListContext, SelectionRule, Switch};
+use cs_model::{CostDimension, PerformanceModel, Polynomial, VariantCostModel};
+use cs_profile::OpKind;
+
+/// A list model with a flat per-op time cost for every variant.
+fn flat_list_model(costs: &[(ListKind, f64)]) -> PerformanceModel<ListKind> {
+    let mut model = PerformanceModel::new();
+    for &(kind, cost) in costs {
+        let mut variant = VariantCostModel::new();
+        for op in OpKind::ALL {
+            variant.set_op_cost(CostDimension::Time, op, Polynomial::constant(cost));
+        }
+        model.insert_variant(kind, variant);
+    }
+    model
+}
+
+/// One monitoring round of a lookup-heavy list workload: enough instances to
+/// satisfy the default window, each scanning the list repeatedly.
+fn lookup_heavy_round(ctx: &ListContext<i64>) {
+    scan_round(ctx, 120, 256);
+}
+
+/// Like [`lookup_heavy_round`] with long scans, where the linked variant is
+/// unambiguously (~2x) slower in wall-clock time than the array variant —
+/// the signal post-switch verification measures. Shorter scans compress the
+/// measured per-op ratio toward 1 (fixed timer overhead dominates cheap
+/// ops), which would make the rollback assertion timing-sensitive.
+fn slow_scan_round(ctx: &ListContext<i64>) {
+    scan_round(ctx, 60, 1024);
+}
+
+fn scan_round(ctx: &ListContext<i64>, instances: usize, size: i64) {
+    for _ in 0..instances {
+        let mut list = ctx.create_list();
+        for v in 0..size {
+            list.push(v);
+        }
+        for v in 0..size {
+            assert!(list.contains(&v));
+        }
+    }
+}
+
+/// One monitoring round of a push/pop-only workload (no lookups), which the
+/// default time model scores in favour of the plain array variant.
+fn push_heavy_round(ctx: &ListContext<i64>) {
+    for _ in 0..120 {
+        let mut list = ctx.create_list();
+        for v in 0..150 {
+            list.push(v);
+        }
+        while list.pop().is_some() {}
+    }
+}
+
+fn count_events(engine: &Switch, pred: impl Fn(&EngineEvent) -> bool) -> usize {
+    engine.event_log().iter().filter(|e| pred(e)).count()
+}
+
+#[test]
+fn inverted_model_is_rolled_back_and_quarantined() {
+    // Array is claimed to cost 100 ns/op, Linked 1 ns/op: a predicted 100x
+    // improvement that reality will contradict. The other variants are
+    // priced out so the engine can only try the bad candidate.
+    let models = cs_core::Models {
+        list: flat_list_model(&[
+            (ListKind::Array, 100.0),
+            (ListKind::Linked, 1.0),
+            (ListKind::HashArray, 10_000.0),
+            (ListKind::Adaptive, 10_000.0),
+        ]),
+        ..Default::default()
+    };
+    let engine = Switch::builder()
+        .rule(SelectionRule::r_time())
+        .models(models)
+        .build();
+    let ctx = engine.named_list_context::<i64>(ListKind::Array, "faults/inverted");
+
+    // Round 1: baseline under Array; the model provokes a switch to Linked.
+    slow_scan_round(&ctx);
+    engine.analyze_now();
+    assert_eq!(
+        ctx.current_kind(),
+        ListKind::Linked,
+        "the inverted model must first provoke the bad switch"
+    );
+    assert_eq!(engine.transition_log().len(), 1);
+
+    // Round 2: same workload under Linked. Measured per-op time regresses
+    // far beyond the predicted improvement, so verification rolls back.
+    slow_scan_round(&ctx);
+    engine.analyze_now();
+    assert_eq!(
+        ctx.current_kind(),
+        ListKind::Array,
+        "verification must restore the pre-switch variant"
+    );
+    assert_eq!(ctx.stats().rollbacks, 1);
+    assert_eq!(
+        count_events(&engine, |e| matches!(e, EngineEvent::Rollback(_))),
+        1
+    );
+    let quarantines: Vec<_> = engine
+        .event_log()
+        .into_iter()
+        .filter_map(|e| match e {
+            EngineEvent::Quarantine(q) => Some(q),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(quarantines.len(), 1);
+    assert_eq!(quarantines[0].candidate, "linked");
+    assert_eq!(quarantines[0].strikes, 1);
+
+    // Round 3: the model still prefers Linked, but the candidate is
+    // quarantined — the site must stay on the restored variant.
+    slow_scan_round(&ctx);
+    engine.analyze_now();
+    assert_eq!(
+        ctx.current_kind(),
+        ListKind::Array,
+        "a quarantined candidate must not be re-selected"
+    );
+    assert_eq!(engine.transition_log().len(), 1, "no new transition");
+}
+
+#[test]
+fn panicking_analyzer_degrades_instead_of_crashing() {
+    let engine = Switch::builder()
+        .rule(SelectionRule::r_time())
+        .failpoint(|pass| panic!("injected failure in pass {pass}"))
+        .build();
+    let ctx = engine.list_context::<i64>(ListKind::Array);
+
+    // The host keeps driving its workload while every analysis pass dies.
+    // Default allowance is 3 consecutive failures.
+    for _ in 0..3 {
+        lookup_heavy_round(&ctx);
+        engine.analyze_now();
+    }
+
+    assert!(engine.is_degraded(), "failure allowance exhausted");
+    assert_eq!(
+        count_events(&engine, |e| matches!(e, EngineEvent::AnalyzerPanic(_))),
+        3
+    );
+    assert_eq!(
+        count_events(&engine, |e| matches!(e, EngineEvent::DegradedEntered(_))),
+        1
+    );
+    let panic_event = engine
+        .event_log()
+        .into_iter()
+        .find_map(|e| match e {
+            EngineEvent::AnalyzerPanic(p) => Some(p),
+            _ => None,
+        })
+        .expect("panic event recorded");
+    assert!(panic_event.message.contains("injected failure"));
+
+    // Degraded mode: the site froze on its last-known-good variant and
+    // monitoring is disabled, but the host can still create and use
+    // collections.
+    assert_eq!(ctx.current_kind(), ListKind::Array);
+    let mut list = ctx.create_list();
+    assert!(!list.is_monitored(), "degraded mode disables monitoring");
+    list.push(7);
+    assert!(list.contains(&7));
+
+    // Further passes are no-ops rather than fresh panics.
+    let events_before = engine.event_log().len();
+    engine.analyze_now();
+    assert_eq!(engine.event_log().len(), events_before);
+}
+
+#[test]
+fn corrupt_model_directory_falls_back_to_analytic_models() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("cs_corrupt_models");
+    std::fs::create_dir_all(&dir).expect("create temp model dir");
+    // Unparsable garbage, a file that parses numerically but carries a NaN
+    // coefficient, and a missing third file: all three must fall back.
+    std::fs::write(dir.join("lists.model"), "this is not a model\n").unwrap();
+    std::fs::write(dir.join("sets.model"), "model set\nvariant array\ntime middle poly 1.0 NaN\n")
+        .unwrap();
+    let _ = std::fs::remove_file(dir.join("maps.model"));
+
+    // Construction must succeed; the corruption surfaces as events, not
+    // as an error or a panic.
+    let engine = Switch::builder()
+        .rule(SelectionRule::r_time())
+        .models_from_dir(&dir)
+        .build();
+    let fallbacks: Vec<_> = engine
+        .event_log()
+        .into_iter()
+        .filter_map(|e| match e {
+            EngineEvent::ModelFallback(f) => Some(f),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(fallbacks.len(), 3, "every corrupt file is substituted");
+    let files: Vec<&str> = fallbacks.iter().map(|f| f.file.as_str()).collect();
+    assert!(files.contains(&"lists.model"));
+    assert!(files.contains(&"sets.model"));
+    assert!(files.contains(&"maps.model"));
+
+    // The analytic fallback models still drive adaptation: a lookup-heavy
+    // site leaves the plain array variant.
+    let ctx = engine.list_context::<i64>(ListKind::Array);
+    lookup_heavy_round(&ctx);
+    engine.analyze_now();
+    assert_ne!(ctx.current_kind(), ListKind::Array);
+    assert!(!engine.transition_log().is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cooldown_bounds_transitions_under_phase_flipping() {
+    const ROUNDS: u64 = 12;
+    const COOLDOWN: u64 = 4;
+    let engine = Switch::builder()
+        .rule(SelectionRule::r_time())
+        .guardrails(
+            GuardrailConfig::default()
+                .verify_tolerance(f64::INFINITY) // isolate the cooldown
+                .cooldown_rounds(COOLDOWN),
+        )
+        .build();
+    let ctx = engine.list_context::<i64>(ListKind::Array);
+
+    // The workload flips its profile every analysis round, inviting the
+    // engine to bounce between variants as fast as it is allowed to.
+    for round in 0..ROUNDS {
+        if round % 2 == 0 {
+            lookup_heavy_round(&ctx);
+        } else {
+            push_heavy_round(&ctx);
+        }
+        engine.analyze_now();
+    }
+
+    let transitions = engine.transition_log().len() as u64;
+    assert!(transitions >= 1, "the flipping workload must trigger adaptation");
+    assert!(
+        transitions <= ROUNDS.div_ceil(COOLDOWN),
+        "cooldown of {COOLDOWN} rounds must bound {ROUNDS} rounds to at most \
+         {} transitions, saw {transitions}",
+        ROUNDS.div_ceil(COOLDOWN)
+    );
+}

@@ -118,6 +118,32 @@ fn parse_op_kind(s: &str, line_no: usize) -> Result<OpKind, ParseModelError> {
         .ok_or_else(|| ParseModelError::new(line_no, format!("unknown op `{s}`")))
 }
 
+/// Largest magnitude accepted for any scale, coefficient, or threshold.
+///
+/// Calibrated costs are nanosecond/byte-scale figures; anything beyond this
+/// is a corrupt or adversarial file, and letting it through would let one
+/// absurd coefficient dominate (or, as `inf`/`NaN`, poison) every selection
+/// the engine makes. Note that `"NaN".parse::<f64>()` *succeeds* and NaN
+/// compares false to everything, so a plain `scale <= 0.0` check silently
+/// admits NaN — magnitudes must be validated with `is_finite` explicitly.
+const MAX_MAGNITUDE: f64 = 1e12;
+
+fn validate_magnitude(value: f64, what: &str, line_no: usize) -> Result<(), ParseModelError> {
+    if !value.is_finite() {
+        return Err(ParseModelError::new(
+            line_no,
+            format!("{what} must be finite, got {value}"),
+        ));
+    }
+    if value.abs() > MAX_MAGNITUDE {
+        return Err(ParseModelError::new(
+            line_no,
+            format!("{what} magnitude {value:e} exceeds {MAX_MAGNITUDE:e}"),
+        ));
+    }
+    Ok(())
+}
+
 fn parse_poly(tokens: &[&str], line_no: usize) -> Result<Polynomial, ParseModelError> {
     if tokens.len() < 2 {
         return Err(ParseModelError::new(line_no, "missing scale or coefficients"));
@@ -125,14 +151,18 @@ fn parse_poly(tokens: &[&str], line_no: usize) -> Result<Polynomial, ParseModelE
     let scale: f64 = tokens[0]
         .parse()
         .map_err(|e| ParseModelError::new(line_no, format!("bad scale: {e}")))?;
+    validate_magnitude(scale, "scale", line_no)?;
     if scale <= 0.0 {
         return Err(ParseModelError::new(line_no, "scale must be positive"));
     }
     let coeffs: Vec<f64> = tokens[1..]
         .iter()
         .map(|c| {
-            c.parse()
-                .map_err(|e| ParseModelError::new(line_no, format!("bad coefficient: {e}")))
+            let coeff: f64 = c
+                .parse()
+                .map_err(|e| ParseModelError::new(line_no, format!("bad coefficient: {e}")))?;
+            validate_magnitude(coeff, "coefficient", line_no)?;
+            Ok(coeff)
         })
         .collect::<Result<_, _>>()?;
     Ok(Polynomial::from_parts(coeffs, scale))
@@ -148,9 +178,7 @@ fn parse_curve(tokens: &[&str], line_no: usize) -> Result<CostCurve, ParseModelE
             let threshold: f64 = tokens[1]
                 .parse()
                 .map_err(|e| ParseModelError::new(line_no, format!("bad threshold: {e}")))?;
-            if !threshold.is_finite() {
-                return Err(ParseModelError::new(line_no, "threshold must be finite"));
-            }
+            validate_magnitude(threshold, "threshold", line_no)?;
             let rest = &tokens[2..];
             let sep = rest
                 .iter()
@@ -338,6 +366,50 @@ mod tests {
     #[test]
     fn unknown_curve_form_is_an_error() {
         let text = "op array time contains spline 1 1.0\n";
+        assert!(from_text::<ListKind>(text).is_err());
+    }
+
+    #[test]
+    fn nan_scale_is_an_error() {
+        // `"NaN".parse::<f64>()` succeeds, and NaN <= 0.0 is false — this
+        // line sailed through the pre-validation parser.
+        let text = "op array time contains poly NaN 1.0\n";
+        let err = from_text::<ListKind>(text).unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+    }
+
+    #[test]
+    fn nan_coefficient_is_an_error() {
+        let text = "op array time contains poly 1 NaN\n";
+        assert!(from_text::<ListKind>(text).is_err());
+    }
+
+    #[test]
+    fn infinite_values_are_errors() {
+        for text in [
+            "op array time contains poly inf 1.0\n",
+            "op array time contains poly 1 -inf\n",
+            "op adaptive time contains pw inf 1 1.0 | 1 9.0\n",
+        ] {
+            let err = from_text::<ListKind>(text).unwrap_err();
+            assert!(err.to_string().contains("finite"), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn absurd_magnitudes_are_errors() {
+        for text in [
+            "op array time contains poly 1e13 1.0\n",
+            "op array time contains poly 1 -5e250\n",
+        ] {
+            let err = from_text::<ListKind>(text).unwrap_err();
+            assert!(err.to_string().contains("exceeds"), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn nan_piecewise_branch_is_an_error() {
+        let text = "op adaptive time contains pw 40 NaN 1.0 | 1 9.0\n";
         assert!(from_text::<ListKind>(text).is_err());
     }
 }

@@ -211,6 +211,10 @@ fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>, FitError> {
             if factor == 0.0 {
                 continue;
             }
+            // Indexing (not iterators): `a[row]` and `a[col]` are two
+            // rows of the same matrix, which split mutable borrows can't
+            // express without restructuring the elimination.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= factor * a[col][k];
             }

@@ -51,6 +51,7 @@ pub struct ProfileHistogram {
     buckets: Vec<Option<BucketAgg>>,
     instances: u64,
     totals: OpCounters,
+    total_nanos: u64,
 }
 
 impl ProfileHistogram {
@@ -60,6 +61,7 @@ impl ProfileHistogram {
             buckets: vec![None; BUCKETS],
             instances: 0,
             totals: OpCounters::new(),
+            total_nanos: 0,
         }
     }
 
@@ -99,6 +101,7 @@ impl ProfileHistogram {
         }
         self.instances += 1;
         self.totals.merge(profile.counters());
+        self.total_nanos = self.total_nanos.saturating_add(profile.elapsed_nanos());
     }
 
     /// Number of instances aggregated.
@@ -119,6 +122,12 @@ impl ProfileHistogram {
     /// Total critical operations over all aggregated instances.
     pub fn total_ops(&self) -> u64 {
         self.totals.total()
+    }
+
+    /// Total measured wall time (nanoseconds) over all aggregated instances;
+    /// 0 when the profiles carried no timing.
+    pub fn total_nanos(&self) -> u64 {
+        self.total_nanos
     }
 
     /// Largest max-size observed, or 0 if empty.
@@ -164,6 +173,7 @@ impl ProfileHistogram {
         }
         self.instances = scale(self.instances);
         self.totals = self.totals.scaled(factor);
+        self.total_nanos = scale(self.total_nanos);
     }
 
     /// Resets the histogram.
@@ -173,6 +183,7 @@ impl ProfileHistogram {
         }
         self.instances = 0;
         self.totals = OpCounters::new();
+        self.total_nanos = 0;
     }
 }
 
@@ -298,6 +309,20 @@ mod tests {
     #[should_panic(expected = "decay factor")]
     fn decay_rejects_out_of_range_factor() {
         ProfileHistogram::new().decay(1.5);
+    }
+
+    #[test]
+    fn total_nanos_accumulates_decays_and_clears() {
+        let mut h = ProfileHistogram::new();
+        let mut c = OpCounters::new();
+        c.add(OpKind::Contains, 1);
+        h.add(&WorkloadProfile::with_nanos(c, 10, 600));
+        h.add(&WorkloadProfile::with_nanos(c, 10, 400));
+        assert_eq!(h.total_nanos(), 1000);
+        h.decay(0.5);
+        assert_eq!(h.total_nanos(), 500);
+        h.clear();
+        assert_eq!(h.total_nanos(), 0);
     }
 
     #[test]

@@ -153,6 +153,7 @@ impl OpCounters {
 pub struct OpRecorder {
     counters: OpCounters,
     max_size: usize,
+    elapsed_nanos: u64,
 }
 
 impl OpRecorder {
@@ -175,6 +176,14 @@ impl OpRecorder {
         }
     }
 
+    /// Adds wall time spent inside critical operations. The selection
+    /// guardrails use the accumulated nanos to verify that a switch
+    /// realized the improvement the cost model predicted.
+    #[inline]
+    pub fn add_nanos(&mut self, nanos: u64) {
+        self.elapsed_nanos = self.elapsed_nanos.saturating_add(nanos);
+    }
+
     /// Current counters.
     pub fn counters(&self) -> &OpCounters {
         &self.counters
@@ -185,9 +194,14 @@ impl OpRecorder {
         self.max_size
     }
 
+    /// Wall time accumulated via [`OpRecorder::add_nanos`].
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.elapsed_nanos
+    }
+
     /// Consumes the recorder into an immutable [`WorkloadProfile`](crate::WorkloadProfile).
     pub fn finish(self) -> crate::WorkloadProfile {
-        crate::WorkloadProfile::new(self.counters, self.max_size)
+        crate::WorkloadProfile::with_nanos(self.counters, self.max_size, self.elapsed_nanos)
     }
 }
 
@@ -257,5 +271,16 @@ mod tests {
         let p = r.finish();
         assert_eq!(p.count(OpKind::Contains), 2);
         assert_eq!(p.max_size(), 4);
+    }
+
+    #[test]
+    fn nanos_accumulate_and_saturate() {
+        let mut r = OpRecorder::new();
+        r.add_nanos(40);
+        r.add_nanos(2);
+        assert_eq!(r.elapsed_nanos(), 42);
+        r.add_nanos(u64::MAX);
+        assert_eq!(r.elapsed_nanos(), u64::MAX);
+        assert_eq!(r.finish().elapsed_nanos(), u64::MAX);
     }
 }

@@ -21,12 +21,34 @@ use crate::op::{OpCounters, OpKind};
 pub struct WorkloadProfile {
     counters: OpCounters,
     max_size: usize,
+    elapsed_nanos: u64,
 }
 
 impl WorkloadProfile {
     /// Builds a profile from operation counters and a maximum size.
     pub fn new(counters: OpCounters, max_size: usize) -> Self {
-        WorkloadProfile { counters, max_size }
+        WorkloadProfile {
+            counters,
+            max_size,
+            elapsed_nanos: 0,
+        }
+    }
+
+    /// Builds a profile that also carries measured wall time spent in
+    /// critical operations (what monitored handles record).
+    pub fn with_nanos(counters: OpCounters, max_size: usize, elapsed_nanos: u64) -> Self {
+        WorkloadProfile {
+            counters,
+            max_size,
+            elapsed_nanos,
+        }
+    }
+
+    /// Measured wall time (nanoseconds) spent in critical operations over
+    /// the instance's lifetime; 0 when timing was not recorded.
+    #[inline]
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.elapsed_nanos
     }
 
     /// The count for `op` over the instance's lifetime.
@@ -62,6 +84,7 @@ impl WorkloadProfile {
     pub fn merge(&mut self, other: &WorkloadProfile) {
         self.counters.merge(&other.counters);
         self.max_size = self.max_size.max(other.max_size);
+        self.elapsed_nanos = self.elapsed_nanos.saturating_add(other.elapsed_nanos);
     }
 }
 
@@ -98,6 +121,16 @@ mod tests {
         let p = WorkloadProfile::default();
         assert_eq!(p.total_ops(), 0);
         assert_eq!(p.max_size(), 0);
+        assert_eq!(p.elapsed_nanos(), 0);
         assert!(!p.is_lookup_heavy());
+    }
+
+    #[test]
+    fn merge_sums_elapsed_nanos() {
+        let mut a = WorkloadProfile::with_nanos(OpCounters::new(), 3, 100);
+        let b = WorkloadProfile::with_nanos(OpCounters::new(), 5, 50);
+        a.merge(&b);
+        assert_eq!(a.elapsed_nanos(), 150);
+        assert_eq!(a.max_size(), 5);
     }
 }

@@ -1,10 +1,20 @@
 //! Concurrent collection point for finished workload profiles.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::WorkloadProfile;
+
+#[derive(Debug, Default)]
+struct SinkInner {
+    queue: VecDeque<WorkloadProfile>,
+    /// `None` = unbounded (the historical behaviour).
+    capacity: Option<usize>,
+    /// Profiles discarded because the queue was full.
+    dropped: u64,
+}
 
 /// A cheaply clonable, thread-safe sink that monitored handles push their
 /// [`WorkloadProfile`] into when they finish (the paper's feedback channel
@@ -12,9 +22,15 @@ use crate::WorkloadProfile;
 ///
 /// Handles may be moved across threads and dropped anywhere; the periodic
 /// analyzer drains the sink from its own thread. A `parking_lot` mutex over
-/// a `Vec` is faster here than a lock-free queue would be: pushes are rare
+/// a queue is faster here than a lock-free queue would be: pushes are rare
 /// (only monitored instances, only at end-of-life) and the critical section
 /// is a few nanoseconds.
+///
+/// A sink built with [`ProfileSink::bounded`] caps the pending-profile
+/// queue: when the analyzer stalls (or dies) while instances keep finishing,
+/// the oldest profiles are dropped first and counted in
+/// [`ProfileSink::dropped`], so monitoring degrades to a bounded-memory
+/// sliding window instead of growing without limit.
 ///
 /// # Examples
 ///
@@ -32,23 +48,48 @@ use crate::WorkloadProfile;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ProfileSink {
-    inner: Arc<Mutex<Vec<WorkloadProfile>>>,
+    inner: Arc<Mutex<SinkInner>>,
 }
 
 impl ProfileSink {
-    /// Creates an empty sink.
+    /// Creates an empty, unbounded sink.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Pushes a finished profile.
+    /// Creates an empty sink that retains at most `capacity` pending
+    /// profiles, dropping the oldest on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "sink capacity must be nonzero");
+        ProfileSink {
+            inner: Arc::new(Mutex::new(SinkInner {
+                queue: VecDeque::new(),
+                capacity: Some(capacity),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Pushes a finished profile, evicting the oldest pending profile if a
+    /// capacity is configured and reached.
     pub fn push(&self, profile: WorkloadProfile) {
-        self.inner.lock().push(profile);
+        let mut inner = self.inner.lock();
+        if let Some(cap) = inner.capacity {
+            while inner.queue.len() >= cap {
+                inner.queue.pop_front();
+                inner.dropped += 1;
+            }
+        }
+        inner.queue.push_back(profile);
     }
 
     /// Number of profiles currently buffered.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().queue.len()
     }
 
     /// Returns `true` if no profiles are buffered.
@@ -56,9 +97,20 @@ impl ProfileSink {
         self.len() == 0
     }
 
-    /// Removes and returns all buffered profiles.
+    /// Number of profiles dropped to overflow since creation (always 0 for
+    /// unbounded sinks).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// The configured capacity, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.lock().capacity
+    }
+
+    /// Removes and returns all buffered profiles, oldest first.
     pub fn drain(&self) -> Vec<WorkloadProfile> {
-        std::mem::take(&mut *self.inner.lock())
+        std::mem::take(&mut self.inner.lock().queue).into()
     }
 
     /// Copies the buffered profiles without removing them.
@@ -67,7 +119,7 @@ impl ProfileSink {
     /// ratio is reached, while instances may still be reporting; `snapshot`
     /// supports that read-without-consume pattern.
     pub fn snapshot(&self) -> Vec<WorkloadProfile> {
-        self.inner.lock().clone()
+        self.inner.lock().queue.iter().cloned().collect()
     }
 }
 
@@ -126,5 +178,38 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(sink.len(), 800);
+    }
+
+    #[test]
+    fn unbounded_sink_never_drops() {
+        let sink = ProfileSink::new();
+        for _ in 0..5_000 {
+            sink.push(OpRecorder::new().finish());
+        }
+        assert_eq!(sink.len(), 5_000);
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.capacity(), None);
+    }
+
+    #[test]
+    fn bounded_sink_drops_oldest_and_counts() {
+        let sink = ProfileSink::bounded(3);
+        for i in 0..7usize {
+            let mut r = OpRecorder::new();
+            r.observe_size(i);
+            sink.push(r.finish());
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 4);
+        assert_eq!(sink.capacity(), Some(3));
+        // The newest three survive, oldest first.
+        let kept: Vec<usize> = sink.drain().iter().map(|p| p.max_size()).collect();
+        assert_eq!(kept, vec![4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_is_rejected() {
+        let _ = ProfileSink::bounded(0);
     }
 }

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace pins its
+//! external dependencies to local shims. Everything in this repository that
+//! uses randomness wants *deterministic, seeded* randomness (workload
+//! generators seeded per run so benchmarks and tests are reproducible), so a
+//! small splitmix64-based generator covers the whole API surface actually
+//! used: `StdRng::seed_from_u64`, `gen_range` over integer ranges, and
+//! `gen_bool`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Trait for seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed. Identical seeds produce
+    /// identical streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sample a value uniformly from a range. Mirrors `rand`'s
+/// `SampleRange`, implemented for the integer range types this workspace
+/// draws from.
+pub trait SampleRange<T> {
+    /// Draws one sample from `self` using `rng`.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Minimal core-generator trait: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`. Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        // 53 random bits give a uniform float in [0, 1).
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reduce(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (reduce(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(reduce(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(reduce(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(usize, u64, u32, u16, u8);
+impl_sample_int!(isize => usize, i64 => u64, i32 => u32, i16 => u16, i8 => u8);
+
+/// Uniform value in `[0, span)` via 128-bit multiply-shift (Lemire), which is
+/// bias-free enough for workload generation and avoids modulo bias.
+fn reduce(rng: &mut impl RngCore, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// Generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// Not cryptographically secure — this repo only uses it to generate
+    /// reproducible synthetic workloads.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Prelude, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-50_i64..50);
+            assert!((-50..50).contains(&v));
+            let u = r.gen_range(3_usize..=9);
+            assert!((3..=9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0_usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_middle() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "p=0.5 gave {hits}/10000");
+    }
+}

@@ -118,12 +118,18 @@ pub fn bloat(scale: usize) -> AppSpec {
             "bloat/VisitedSet",
             SiteKind::Set(SetKind::Chained),
             350 * scale,
+            // large_prob 0.07 balances two failure modes of the selection
+            // contest: below ~6% a monitoring window often samples only
+            // small instances (array set wins and locks in, since nothing
+            // beats an array on cumulative allocation afterwards); above
+            // ~8% the large instances carry enough byte mass that a fixed
+            // open hash undercuts the adaptive variant.
             SizeDist::Bimodal {
                 small_lo: 2,
                 small_hi: 24,
                 large_lo: 48,
                 large_hi: 120,
-                large_prob: 0.05,
+                large_prob: 0.07,
             },
             lookups(3.0),
         ),

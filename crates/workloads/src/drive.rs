@@ -105,6 +105,10 @@ pub trait DriveSet<T: Eq + Hash + Clone> {
     fn iterate(&mut self) -> usize;
     /// Current size.
     fn len(&self) -> usize;
+    /// Returns `true` if empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     /// Current heap footprint in bytes.
     fn heap_bytes(&self) -> usize;
     /// Cumulative allocated bytes.
@@ -175,6 +179,10 @@ pub trait DriveMap<K: Eq + Hash + Clone, V: Clone> {
     fn iterate(&mut self) -> usize;
     /// Current size.
     fn len(&self) -> usize;
+    /// Returns `true` if empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     /// Current heap footprint in bytes.
     fn heap_bytes(&self) -> usize;
     /// Cumulative allocated bytes.

@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use cs_collections::{AnyList, AnyMap, AnySet, ListKind, MapKind, SetKind};
-use cs_core::{SelectionRule, Switch, TransitionEvent};
+use cs_core::{EngineEvent, SelectionRule, Switch, TransitionEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -70,6 +70,11 @@ pub struct RunResult {
     pub allocated_bytes: u64,
     /// Transitions performed (empty outside FullAdap).
     pub transitions: Vec<TransitionEvent>,
+    /// Switches undone by post-switch verification (zero outside FullAdap).
+    pub rollbacks: u64,
+    /// Candidates quarantined after a failed verification (zero outside
+    /// FullAdap).
+    pub quarantines: u64,
     /// Per-site details.
     pub sites: Vec<SiteResult>,
     /// Operation checksum — identical across modes for the same seed, which
@@ -205,7 +210,7 @@ fn run_site(
     let mut tick = || {
         local += 1;
         if let Some(engine) = engine {
-            if (count_base + local) % ANALYZE_EVERY == 0 {
+            if (count_base + local).is_multiple_of(ANALYZE_EVERY) {
                 engine.analyze_now();
             }
         }
@@ -347,13 +352,31 @@ pub fn run_app(app: &AppSpec, mode: Mode, seed: u64) -> RunResult {
     }
     let wall_time = start.elapsed();
 
+    let (transitions, rollbacks, quarantines) = match engine {
+        Some(engine) => {
+            let mut rollbacks = 0u64;
+            let mut quarantines = 0u64;
+            for event in engine.event_log() {
+                match event {
+                    EngineEvent::Rollback(_) => rollbacks += 1,
+                    EngineEvent::Quarantine(_) => quarantines += 1,
+                    _ => {}
+                }
+            }
+            (engine.transition_log(), rollbacks, quarantines)
+        }
+        None => (Vec::new(), 0, 0),
+    };
+
     RunResult {
         app: app.name.clone(),
         mode: mode.label(),
         wall_time,
         peak_bytes: peak,
         allocated_bytes: allocated,
-        transitions: engine.map(|e| e.transition_log()).unwrap_or_default(),
+        transitions,
+        rollbacks,
+        quarantines,
         sites,
         checksum,
     }
@@ -445,6 +468,13 @@ mod tests {
             adaptive.peak_bytes,
             original.peak_bytes
         );
+    }
+
+    #[test]
+    fn original_mode_reports_no_guardrail_activity() {
+        let r = run_app(&tiny_app(), Mode::Original, 9);
+        assert_eq!(r.rollbacks, 0);
+        assert_eq!(r.quarantines, 0);
     }
 
     #[test]

@@ -47,8 +47,8 @@ pub mod prelude {
         AnyList, AnyMap, AnySet, ListKind, ListOps, MapKind, MapOps, SetKind, SetOps,
     };
     pub use cs_core::{
-        ListContext, MapContext, SelectionRule, SetContext, Switch, SwitchList, SwitchMap,
-        SwitchSet,
+        EngineEvent, GuardrailConfig, ListContext, MapContext, SelectionRule, SetContext, Switch,
+        SwitchList, SwitchMap, SwitchSet,
     };
     pub use cs_model::{CostDimension, PerformanceModel};
 }
