@@ -1,0 +1,215 @@
+//! Thread-sweep benchmark of the concurrent selection runtime.
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin runtime_sweep
+//! ```
+//!
+//! Sweeps a closed-loop Zipf read-heavy workload (`cs_workloads::concurrent`)
+//! over 1 → N threads on one [`ConcurrentMap`] site, with the engine's
+//! analyzer running concurrently, and writes `BENCH_runtime.json` (schema in
+//! EXPERIMENTS.md): per-thread-count throughput, p50/p99 op latency, and the
+//! runtime's flush/contention/transition counters. Every run cross-checks
+//! the zero-lost-ops invariant (generator tallies == site totals) before its
+//! row is emitted.
+//!
+//! Environment knobs:
+//!
+//! | Variable | Default | Meaning |
+//! |---|---|---|
+//! | `CS_BENCH_THREADS` | `1,2,4,8` | Comma-separated thread counts |
+//! | `CS_BENCH_OPS` | `400000` | Ops per thread |
+//! | `CS_BENCH_KEYS` | `16384` | Zipf key-space size |
+//! | `CS_BENCH_QUICK` | unset | `1`: tiny CI budget (2k ops, 1,2 threads) |
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cs_collections::MapKind;
+use cs_core::Switch;
+use cs_runtime::{Runtime, RuntimeConfig, SiteStats};
+use cs_workloads::{run_concurrent_load, ConcurrentLoad, LoadReport};
+
+fn env_usize(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_threads(default: &[usize]) -> Vec<usize> {
+    match std::env::var("CS_BENCH_THREADS") {
+        Ok(v) => v
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&t| t > 0)
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+struct Row {
+    threads: usize,
+    report: LoadReport,
+    stats: SiteStats,
+}
+
+fn run_one(threads: usize, ops_per_thread: u64, keys: u64) -> Row {
+    // A fresh runtime per thread count: each row measures the same site
+    // lifecycle (empty map, cold shards) at a different concurrency.
+    let rt = Runtime::with_config(
+        Switch::builder().build(),
+        RuntimeConfig {
+            shards: 64,
+            flush_ops: 1024,
+            ..RuntimeConfig::default()
+        },
+    );
+    let map = rt.named_concurrent_map::<u64, u64>(MapKind::Chained, "sweep");
+
+    // The analyzer runs for the whole measurement, as it would in a
+    // service: selection rounds and (possible) shard migrations are part of
+    // the measured steady state, not excluded from it.
+    let stop = Arc::new(AtomicBool::new(false));
+    let analyzer = {
+        let rt = rt.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                rt.analyze_now();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    let report = run_concurrent_load(
+        &map,
+        ConcurrentLoad {
+            threads,
+            keys: keys as usize,
+            zipf_exponent: 0.99,
+            read_fraction: 0.9,
+            ops_per_thread,
+            phase_flip_every: None,
+            latency_sample_mask: 127,
+            seed: 42,
+        },
+    );
+    stop.store(true, Ordering::Relaxed);
+    analyzer.join().expect("analyzer thread panicked");
+
+    let stats = map.stats();
+    // Zero lost ops: a bench row is only worth reporting if the runtime's
+    // accounting is exact under this thread count.
+    assert_eq!(
+        stats.ops, report.per_op_totals,
+        "site totals diverged from generator tallies at {threads} threads"
+    );
+    Row {
+        threads,
+        report,
+        stats,
+    }
+}
+
+fn json_row(row: &Row) -> String {
+    let r = &row.report;
+    let s = &row.stats;
+    let mut out = String::new();
+    write!(
+        out,
+        "    {{\"threads\": {}, \"total_ops\": {}, \"elapsed_secs\": {:.6}, \
+         \"throughput_ops_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
+         \"max_ns\": {}, \"latency_samples\": {}, \"flushes\": {}, \
+         \"contended\": {}, \"rounds\": {}, \"switches\": {}, \
+         \"rollbacks\": {}, \"final_kind\": \"{}\"}}",
+        row.threads,
+        r.total_ops,
+        r.elapsed.as_secs_f64(),
+        r.throughput_ops_per_sec,
+        r.p50_ns(),
+        r.p99_ns(),
+        r.max_ns(),
+        r.latencies_ns.len(),
+        s.flushes,
+        s.contended,
+        s.rounds,
+        s.switches,
+        s.rollbacks,
+        s.current_kind,
+    )
+    .unwrap();
+    out
+}
+
+fn main() {
+    let quick = std::env::var("CS_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (threads, ops_per_thread, keys) = if quick {
+        (env_threads(&[1, 2]), env_usize("CS_BENCH_OPS", 2_000), 1_024)
+    } else {
+        (
+            env_threads(&[1, 2, 4, 8]),
+            env_usize("CS_BENCH_OPS", 400_000),
+            env_usize("CS_BENCH_KEYS", 16_384),
+        )
+    };
+
+    println!("# runtime thread sweep: Zipf(0.99) 90% reads, {ops_per_thread} ops/thread, {keys} keys");
+    println!("threads\tMops/s\tp50_ns\tp99_ns\tflushes\tcontended\trounds\tswitches");
+
+    let rows: Vec<Row> = threads
+        .iter()
+        .map(|&t| {
+            let row = run_one(t, ops_per_thread, keys);
+            println!(
+                "{}\t{:.3}\t{}\t{}\t{}\t{}\t{}\t{}",
+                row.threads,
+                row.report.throughput_ops_per_sec / 1e6,
+                row.report.p50_ns(),
+                row.report.p99_ns(),
+                row.stats.flushes,
+                row.stats.contended,
+                row.stats.rounds,
+                row.stats.switches,
+            );
+            row
+        })
+        .collect();
+
+    let base = rows
+        .first()
+        .map(|r| r.report.throughput_ops_per_sec)
+        .unwrap_or(0.0);
+    let peak = rows
+        .iter()
+        .map(|r| r.report.throughput_ops_per_sec)
+        .fold(0.0f64, f64::max);
+    let scaling = if base > 0.0 { peak / base } else { 0.0 };
+    println!();
+    println!("# peak/1-thread throughput scaling: {scaling:.2}x over {} hw threads", cpus());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"runtime_sweep\",");
+    let _ = writeln!(json, "  \"workload\": {{\"zipf_exponent\": 0.99, \"read_fraction\": 0.9, \"ops_per_thread\": {ops_per_thread}, \"keys\": {keys}}},");
+    let _ = writeln!(json, "  \"hw_threads\": {},", cpus());
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"scaling_peak_over_single\": {scaling:.4},");
+    json.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&json_row(row));
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::env::var("CS_BENCH_OUT").unwrap_or_else(|_| "BENCH_runtime.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_runtime.json");
+    println!("# wrote {path}");
+}
+
+fn cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -19,8 +19,11 @@ use crate::traits::HeapSize;
 /// `ConcurrentHashMap`-style member of the library (not a switch candidate —
 /// the framework's handles are single-owner by design).
 ///
-/// Lookups return clones (`V: Clone`) because references cannot outlive the
-/// shard lock.
+/// Owned lookups ([`ShardedHashMap::get`]) return clones (`V: Clone`)
+/// because references cannot outlive the shard lock; the closure-based
+/// [`ShardedHashMap::read`] borrows the value in place under the lock and
+/// works for any `V` — it is what the runtime hot paths use to avoid a
+/// clone per lookup.
 ///
 /// # Examples
 ///
@@ -52,7 +55,7 @@ pub struct ShardedHashMap<K, V> {
 
 const DEFAULT_SHARDS: usize = 16;
 
-impl<K: Eq + Hash, V: Clone> ShardedHashMap<K, V> {
+impl<K: Eq + Hash, V> ShardedHashMap<K, V> {
     /// Creates a map with the default shard count (16).
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
@@ -101,9 +104,11 @@ impl<K: Eq + Hash, V: Clone> ShardedHashMap<K, V> {
         self.lock_shard(shard).insert(key, value)
     }
 
-    /// Returns a clone of the value for `key`, if present.
-    pub fn get(&self, key: &K) -> Option<V> {
-        self.lock_shard(self.shard_of(key)).get(key).cloned()
+    /// Applies `f` to the value for `key` under the shard lock, returning
+    /// its result — the clone-free lookup. `f` must not call back into the
+    /// same map (the shard lock is held while it runs).
+    pub fn read<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.lock_shard(self.shard_of(key)).get(key).map(f)
     }
 
     /// Returns `true` if `key` has an entry.
@@ -114,26 +119,6 @@ impl<K: Eq + Hash, V: Clone> ShardedHashMap<K, V> {
     /// Removes the entry for `key`, returning its value if present.
     pub fn remove(&self, key: &K) -> Option<V> {
         self.lock_shard(self.shard_of(key)).remove(key)
-    }
-
-    /// Applies `f` to the value for `key` (inserting `default()` first if
-    /// absent) and returns a clone of the updated value.
-    ///
-    /// The whole update runs under the shard lock, so concurrent updates to
-    /// the same key never lose increments.
-    pub fn update(&self, key: K, default: impl FnOnce() -> V, f: impl FnOnce(&mut V)) -> V
-    where
-        K: Clone,
-    {
-        let shard = self.shard_of(&key);
-        let mut guard = self.lock_shard(shard);
-        if guard.get(&key).is_none() {
-            let d = default();
-            guard.insert(key.clone(), d);
-        }
-        let slot = guard.get_mut(&key).expect("present or just inserted");
-        f(slot);
-        slot.clone()
     }
 
     /// Total entries over all shards (a point-in-time sum; other threads may
@@ -169,13 +154,43 @@ impl<K: Eq + Hash, V: Clone> ShardedHashMap<K, V> {
     }
 }
 
-impl<K: Eq + Hash, V: Clone> Default for ShardedHashMap<K, V> {
+impl<K: Eq + Hash, V: Clone> ShardedHashMap<K, V> {
+    /// Returns a clone of the value for `key`, if present.
+    ///
+    /// Hot paths that only need to *look at* the value should prefer
+    /// [`ShardedHashMap::read`], which borrows in place instead of cloning.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.lock_shard(self.shard_of(key)).get(key).cloned()
+    }
+
+    /// Applies `f` to the value for `key` (inserting `default()` first if
+    /// absent) and returns a clone of the updated value.
+    ///
+    /// The whole update runs under the shard lock, so concurrent updates to
+    /// the same key never lose increments.
+    pub fn update(&self, key: K, default: impl FnOnce() -> V, f: impl FnOnce(&mut V)) -> V
+    where
+        K: Clone,
+    {
+        let shard = self.shard_of(&key);
+        let mut guard = self.lock_shard(shard);
+        if guard.get(&key).is_none() {
+            let d = default();
+            guard.insert(key.clone(), d);
+        }
+        let slot = guard.get_mut(&key).expect("present or just inserted");
+        f(slot);
+        slot.clone()
+    }
+}
+
+impl<K: Eq + Hash, V> Default for ShardedHashMap<K, V> {
     fn default() -> Self {
         ShardedHashMap::new()
     }
 }
 
-impl<K: Eq + Hash + fmt::Debug, V: Clone + fmt::Debug> fmt::Debug for ShardedHashMap<K, V> {
+impl<K: Eq + Hash + fmt::Debug, V: fmt::Debug> fmt::Debug for ShardedHashMap<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut map = f.debug_map();
         self.for_each(|k, v| {
@@ -185,7 +200,7 @@ impl<K: Eq + Hash + fmt::Debug, V: Clone + fmt::Debug> fmt::Debug for ShardedHas
     }
 }
 
-impl<K: Eq + Hash, V: Clone> HeapSize for ShardedHashMap<K, V> {
+impl<K: Eq + Hash, V> HeapSize for ShardedHashMap<K, V> {
     fn heap_bytes(&self) -> usize {
         self.shards
             .iter()
@@ -221,6 +236,29 @@ mod tests {
             assert_eq!(m.remove(&k), Some(k * 2));
         }
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn read_borrows_without_cloning() {
+        // A value type that is deliberately NOT Clone: only the closure
+        // accessor can look at it, which is the point of the API.
+        struct NotClone(u64);
+        let m: ShardedHashMap<i64, NotClone> = ShardedHashMap::new();
+        m.insert(7, NotClone(42));
+        assert_eq!(m.read(&7, |v| v.0), Some(42));
+        assert_eq!(m.read(&8, |v| v.0), None);
+        assert_eq!(m.len(), 1);
+        assert!(m.remove(&7).is_some());
+    }
+
+    #[test]
+    fn read_sees_latest_value() {
+        let m = ShardedHashMap::new();
+        m.insert(1_i64, 10_i64);
+        m.insert(1, 20);
+        assert_eq!(m.read(&1, |v| *v), Some(20));
+        // get still clones for Clone values.
+        assert_eq!(m.get(&1), Some(20));
     }
 
     #[test]

@@ -145,6 +145,29 @@ impl<K: Kind> ContextCore<K> {
             .then(|| Monitor::new(self.sink.clone()))
     }
 
+    /// Ingests an externally accumulated [`WorkloadProfile`] as one finished
+    /// monitored "instance" of this site.
+    ///
+    /// This is the feedback channel for *long-lived concurrent* collections
+    /// (the `cs-runtime` crate): instead of one profile per short-lived
+    /// handle, worker threads flush their thread-local window buffers here
+    /// on epoch boundaries. Each flush claims a monitoring slot (best
+    /// effort — a full window still accepts the profile, it just does not
+    /// grow the round's `started` count) and lands in the sink, so
+    /// [`ContextCore::analyze_guarded`] sees epochs exactly as it sees
+    /// finished instances: same round-readiness rule, same verification
+    /// arithmetic, same rollback and quarantine semantics.
+    ///
+    /// Returns `false` (dropping the profile) when the context is frozen.
+    pub fn ingest_profile(&self, profile: cs_profile::WorkloadProfile) -> bool {
+        if self.is_frozen() {
+            return false;
+        }
+        self.window.try_claim_slot(self.config.window_size);
+        self.sink.push(profile);
+        true
+    }
+
     /// Runs one analysis pass (paper §3.1): if the monitoring round is ready
     /// (finished ratio reached), evaluate the accumulated workload under
     /// `rule` and switch the current variant if a better candidate exists.
@@ -626,6 +649,50 @@ mod tests {
             core.sink
                 .push(WorkloadProfile::with_nanos(c, 50, nanos_per_profile));
         }
+    }
+
+    #[test]
+    fn ingested_profiles_drive_analysis_rounds() {
+        let core = list_core();
+        for _ in 0..10 {
+            let mut c = OpCounters::new();
+            c.add(OpKind::Contains, 100);
+            assert!(core.ingest_profile(WorkloadProfile::with_nanos(c, 50, 1_000)));
+        }
+        let event = core
+            .analyze(default_models::list_model(), &SelectionRule::r_time())
+            .expect("10 ingested lookup-heavy epochs make a ready round");
+        assert_eq!(event.to, "hasharray");
+        assert_eq!(core.stats().history_instances, 10);
+    }
+
+    #[test]
+    fn ingest_beyond_window_still_lands_in_history() {
+        let core = list_core(); // window_size 10
+        for _ in 0..25 {
+            let mut c = OpCounters::new();
+            c.add(OpKind::Contains, 10);
+            assert!(core.ingest_profile(WorkloadProfile::new(c, 5)));
+        }
+        core.analyze(default_models::list_model(), &SelectionRule::r_time());
+        // All 25 profiles were aggregated even though only 10 window slots
+        // exist: the window bounds round cadence, not data retention.
+        assert_eq!(core.stats().history_instances, 25);
+    }
+
+    #[test]
+    fn frozen_context_rejects_ingested_profiles() {
+        let frozen = Arc::new(AtomicBool::new(false));
+        let core = ContextCore::with_freeze(
+            1,
+            "site".into(),
+            ListKind::Array,
+            test_config(),
+            Arc::clone(&frozen),
+        );
+        frozen.store(true, Ordering::Release);
+        assert!(!core.ingest_profile(WorkloadProfile::default()));
+        assert_eq!(core.sink.len(), 0);
     }
 
     #[test]

@@ -289,6 +289,14 @@ impl Default for EventLog {
     }
 }
 
+// The log sits behind the engine's mutex and is drained from arbitrary
+// threads; a non-Send payload sneaking into an event variant must fail the
+// build here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EventLog>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

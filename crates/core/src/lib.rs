@@ -67,3 +67,21 @@ pub use handles::{SwitchList, SwitchMap, SwitchSet};
 pub use kind_ext::Kind;
 pub use rules::{Criterion, ParseRuleError, SelectionRule};
 pub use select::{adaptive_eligible, select_variant, select_variant_filtered, Selection};
+
+// Compile-time thread-safety contract: the engine and everything the
+// concurrent runtime (`cs-runtime`) shares across threads must stay
+// `Send + Sync`. If a future change smuggles an `Rc`/`RefCell`/raw pointer
+// into one of these types, the build fails here — not at some distant call
+// site inside another crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Switch>();
+    assert_send_sync::<ContextCore<cs_collections::ListKind>>();
+    assert_send_sync::<ContextCore<cs_collections::SetKind>>();
+    assert_send_sync::<ContextCore<cs_collections::MapKind>>();
+    assert_send_sync::<ListContext<u64>>();
+    assert_send_sync::<SetContext<u64>>();
+    assert_send_sync::<MapContext<u64, u64>>();
+    assert_send_sync::<TransitionBudget>();
+    assert_send_sync::<EngineEvent>();
+};

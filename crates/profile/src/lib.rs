@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod buffer;
 mod histogram;
 mod op;
 mod profile;
 mod sink;
 mod window;
 
+pub use buffer::LocalWindowBuffer;
 pub use histogram::{BucketAgg, ProfileHistogram};
 pub use op::{OpCounters, OpKind, OpRecorder};
 pub use profile::WorkloadProfile;

@@ -1,0 +1,218 @@
+//! The runtime front door: engine + sharded site registry + handle factory.
+
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cs_collections::{MapKind, SetKind, ShardedHashMap};
+use cs_core::Switch;
+
+use crate::map::ConcurrentMap;
+use crate::set::ConcurrentSet;
+use crate::site::{CoreRef, FlushPolicy, SiteShared, SiteStats};
+use crate::tlb;
+
+/// Tuning knobs for a [`Runtime`] — shard fan-out for the handles it
+/// creates, and the flush policy stamped onto every site.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Lock-striped shards per concurrent handle (rounded up to a power of
+    /// two). More shards, less contention, more per-handle memory.
+    pub shards: usize,
+    /// Count trigger: a thread-local buffer flushes once it holds this many
+    /// ops. One flush is one "finished monitored instance" to the engine,
+    /// so this is the runtime's analogue of the monitoring window size.
+    pub flush_ops: u64,
+    /// Time trigger: a buffer older than this flushes on the next op that
+    /// probes the clock (every 64 ops). Bounds staleness on quiet threads.
+    pub flush_interval: Duration,
+    /// Timing sample rate as a power of two: 1 op in `1 << sample_shift` is
+    /// wall-clocked and scaled up. `0` times every op.
+    pub sample_shift: u32,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            shards: 16,
+            flush_ops: 1024,
+            flush_interval: Duration::from_millis(10),
+            sample_shift: 3,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    fn policy(&self) -> FlushPolicy {
+        FlushPolicy {
+            flush_ops: self.flush_ops.max(1),
+            flush_nanos: u64::try_from(self.flush_interval.as_nanos()).unwrap_or(u64::MAX),
+            sample_mask: (1u64 << self.sample_shift.min(63)) - 1,
+        }
+    }
+}
+
+/// The concurrent selection runtime: wraps a [`Switch`] engine with a
+/// sharded site registry and hands out `Send + Sync` monitored collections.
+///
+/// The engine's guarded adaptation (verification, rollback, quarantine,
+/// degraded mode) applies to runtime sites unchanged: every thread-local
+/// buffer flush feeds the site's engine context as one finished monitored
+/// instance, and [`Runtime::analyze_now`] (or the engine's background
+/// analyzer) drives switches.
+///
+/// ```
+/// use cs_collections::MapKind;
+/// use cs_core::Switch;
+/// use cs_runtime::Runtime;
+///
+/// let runtime = Runtime::new(Switch::builder().build());
+/// let map = runtime.named_concurrent_map::<u64, String>(MapKind::Chained, "session-cache");
+/// map.insert(7, "alpha".to_string());
+/// assert_eq!(map.get(&7).as_deref(), Some("alpha"));
+///
+/// runtime.flush_thread(); // publish this thread's buffered ops
+/// let stats = runtime.site_stats(map.id()).unwrap();
+/// assert_eq!(stats.total_ops, 2);
+/// ```
+#[derive(Clone)]
+pub struct Runtime {
+    engine: Switch,
+    config: RuntimeConfig,
+    registry: Arc<ShardedHashMap<u64, Arc<SiteShared>>>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("sites", &self.registry.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Wraps `engine` with the default [`RuntimeConfig`].
+    pub fn new(engine: Switch) -> Self {
+        Runtime::with_config(engine, RuntimeConfig::default())
+    }
+
+    /// Wraps `engine` with an explicit config.
+    pub fn with_config(engine: Switch, config: RuntimeConfig) -> Self {
+        Runtime {
+            engine,
+            config,
+            registry: Arc::new(ShardedHashMap::new()),
+        }
+    }
+
+    /// The wrapped engine (for event/transition logs, degraded-mode checks,
+    /// or registering single-owner handles alongside concurrent ones).
+    pub fn engine(&self) -> &Switch {
+        &self.engine
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> RuntimeConfig {
+        self.config
+    }
+
+    fn register(&self, site: Arc<SiteShared>) {
+        self.registry.insert(site.id(), site);
+    }
+
+    /// Creates an anonymous concurrent map site starting at `default`.
+    pub fn concurrent_map<K, V>(&self, default: MapKind) -> ConcurrentMap<K, V>
+    where
+        K: Eq + Hash + Clone,
+        V: Clone,
+    {
+        self.named_concurrent_map(default, format!("cmap-{}", self.registry.len()))
+    }
+
+    /// Creates a named concurrent map site starting at `default`. The site
+    /// registers with the engine (so the analyzer sees it) and with the
+    /// runtime's registry (so [`Runtime::site_stats`] can find it).
+    pub fn named_concurrent_map<K, V>(
+        &self,
+        default: MapKind,
+        name: impl Into<String>,
+    ) -> ConcurrentMap<K, V>
+    where
+        K: Eq + Hash + Clone,
+        V: Clone,
+    {
+        let name = name.into();
+        let ctx = self
+            .engine
+            .named_map_context::<K, V>(default, name.clone());
+        let core = Arc::clone(ctx.core());
+        let shared = Arc::new(SiteShared::new(
+            ctx.id(),
+            name,
+            CoreRef::Map(Arc::clone(&core)),
+            self.config.policy(),
+        ));
+        self.register(Arc::clone(&shared));
+        ConcurrentMap::new(shared, core, self.config.shards)
+    }
+
+    /// Creates an anonymous concurrent set site starting at `default`.
+    pub fn concurrent_set<T>(&self, default: SetKind) -> ConcurrentSet<T>
+    where
+        T: Eq + Hash + Clone,
+    {
+        self.named_concurrent_set(default, format!("cset-{}", self.registry.len()))
+    }
+
+    /// Creates a named concurrent set site starting at `default`.
+    pub fn named_concurrent_set<T>(
+        &self,
+        default: SetKind,
+        name: impl Into<String>,
+    ) -> ConcurrentSet<T>
+    where
+        T: Eq + Hash + Clone,
+    {
+        let name = name.into();
+        let ctx = self.engine.named_set_context::<T>(default, name.clone());
+        let core = Arc::clone(ctx.core());
+        let shared = Arc::new(SiteShared::new(
+            ctx.id(),
+            name,
+            CoreRef::Set(Arc::clone(&core)),
+            self.config.policy(),
+        ));
+        self.register(Arc::clone(&shared));
+        ConcurrentSet::new(shared, core, self.config.shards)
+    }
+
+    /// Runs one guarded analysis round over every engine context, runtime
+    /// sites included. Flush first (per thread) if the round should see the
+    /// latest ops.
+    pub fn analyze_now(&self) {
+        self.engine.analyze_now();
+    }
+
+    /// Flushes the *calling* thread's buffered ops into their sites. Each
+    /// worker thread flushes its own buffers (or lets its thread-exit
+    /// destructor do it); there is no cross-thread flush by design — that
+    /// would reintroduce the shared hot path the buffers exist to avoid.
+    pub fn flush_thread(&self) {
+        tlb::flush_current_thread();
+    }
+
+    /// Snapshot of one site's counters, by site id. Reads the registry
+    /// entry in place ([`ShardedHashMap::read`]) — no clone on this path.
+    pub fn site_stats(&self, id: u64) -> Option<SiteStats> {
+        self.registry.read(&id, |site| site.stats())
+    }
+
+    /// Snapshots of every runtime site, sorted by site id.
+    pub fn sites(&self) -> Vec<SiteStats> {
+        let mut out = Vec::with_capacity(self.registry.len());
+        self.registry.for_each(|_, site| out.push(site.stats()));
+        out.sort_by_key(|s| s.id);
+        out
+    }
+}

@@ -1,0 +1,181 @@
+//! The concurrent adaptive set handle — [`ConcurrentMap`](crate::ConcurrentMap)'s
+//! sibling over [`AnySet`]/[`SetKind`]. See the map module for the design
+//! notes (lock striping, lazy shard migration, thread-local op recording);
+//! everything here is the same protocol with set ops.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use cs_collections::{hash_one, AnySet, SetKind, SetOps};
+use cs_core::ContextCore;
+use cs_profile::OpKind;
+use parking_lot::Mutex;
+
+use crate::site::SiteShared;
+use crate::tlb;
+
+pub(crate) struct SetInner<T: Eq + Hash + Clone> {
+    pub(crate) shared: Arc<SiteShared>,
+    pub(crate) core: Arc<ContextCore<SetKind>>,
+    shards: Box<[Mutex<AnySet<T>>]>,
+    mask: u64,
+}
+
+/// A thread-safe adaptive set bound to one runtime site.
+///
+/// Cloning is cheap (shared state); clones refer to the same set. The
+/// engine switches the site's variant under guarded adaptation exactly as
+/// for single-owner handles; shards migrate lazily under their own lock.
+pub struct ConcurrentSet<T: Eq + Hash + Clone> {
+    inner: Arc<SetInner<T>>,
+}
+
+impl<T: Eq + Hash + Clone> Clone for ConcurrentSet<T> {
+    fn clone(&self) -> Self {
+        ConcurrentSet {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Eq + Hash + Clone> std::fmt::Debug for ConcurrentSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentSet")
+            .field("site", &self.inner.shared.name())
+            .field("shards", &self.inner.shards.len())
+            .field("kind", &self.inner.core.current_kind())
+            .finish()
+    }
+}
+
+fn migrate_shard<T: Eq + Hash + Clone>(shard: &mut AnySet<T>, want: SetKind) {
+    let old = std::mem::replace(shard, AnySet::new(SetKind::Array));
+    *shard = old.switched_to(want);
+}
+
+impl<T: Eq + Hash + Clone> ConcurrentSet<T> {
+    pub(crate) fn new(
+        shared: Arc<SiteShared>,
+        core: Arc<ContextCore<SetKind>>,
+        shards: usize,
+    ) -> Self {
+        let n = shards.next_power_of_two();
+        let kind = core.current_kind();
+        ConcurrentSet {
+            inner: Arc::new(SetInner {
+                shared,
+                core,
+                shards: (0..n).map(|_| Mutex::new(AnySet::new(kind))).collect(),
+                mask: (n - 1) as u64,
+            }),
+        }
+    }
+
+    #[inline]
+    fn op<R>(&self, op: OpKind, hash: u64, f: impl FnOnce(&mut AnySet<T>) -> R) -> R {
+        let inner = &self.inner;
+        let shard = &inner.shards[((hash >> 48) & inner.mask) as usize];
+        tlb::site_op(&inner.shared, op, || {
+            let mut guard = match shard.try_lock() {
+                Some(g) => g,
+                None => {
+                    inner.shared.note_contended();
+                    shard.lock()
+                }
+            };
+            let want = inner.core.current_kind();
+            if guard.kind() != want {
+                migrate_shard(&mut guard, want);
+            }
+            let out = f(&mut guard);
+            (out, guard.len())
+        })
+    }
+
+    /// Inserts `value`, returning `true` if it was not already present
+    /// (critical op: *populate*).
+    pub fn insert(&self, value: T) -> bool {
+        let h = hash_one(&value);
+        self.op(OpKind::Populate, h, |s| s.insert(value))
+    }
+
+    /// Returns `true` if `value` is in the set (critical op: *contains*).
+    pub fn contains(&self, value: &T) -> bool {
+        self.op(OpKind::Contains, hash_one(value), |s| s.contains(value))
+    }
+
+    /// Removes `value`, returning `true` if it was present (critical op:
+    /// *middle*).
+    pub fn remove(&self, value: &T) -> bool {
+        self.op(OpKind::Middle, hash_one(value), |s| s.set_remove(value))
+    }
+
+    /// Visits every value, shard by shard (critical op: *iterate*; each
+    /// shard is locked only while it is visited).
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        for shard in self.inner.shards.iter() {
+            tlb::site_op(&self.inner.shared, OpKind::Iterate, || {
+                let mut guard = match shard.try_lock() {
+                    Some(g) => g,
+                    None => {
+                        self.inner.shared.note_contended();
+                        shard.lock()
+                    }
+                };
+                let want = self.inner.core.current_kind();
+                if guard.kind() != want {
+                    migrate_shard(&mut guard, want);
+                }
+                guard.for_each_value(&mut |v| f(v));
+                ((), guard.len())
+            });
+        }
+    }
+
+    /// Total values over all shards (not recorded as a critical op).
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Returns `true` if no shard holds values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every value (not recorded as a critical op).
+    pub fn clear(&self) {
+        for shard in self.inner.shards.iter() {
+            shard.lock().clear();
+        }
+    }
+
+    /// Number of lock-striped shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The variant the site currently instantiates.
+    pub fn current_kind(&self) -> SetKind {
+        self.inner.core.current_kind()
+    }
+
+    /// The site's id within its engine.
+    pub fn id(&self) -> u64 {
+        self.inner.shared.id()
+    }
+
+    /// The site's allocation-site label.
+    pub fn name(&self) -> &str {
+        self.inner.shared.name()
+    }
+
+    /// A snapshot of the site's counters.
+    pub fn stats(&self) -> crate::SiteStats {
+        self.inner.shared.stats()
+    }
+
+    /// Flushes the *calling thread's* buffered ops for every site.
+    pub fn flush(&self) {
+        tlb::flush_current_thread();
+    }
+}

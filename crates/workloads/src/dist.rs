@@ -1,6 +1,6 @@
-//! Collection-size distributions for workload generation.
+//! Collection-size and key distributions for workload generation.
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// A distribution over collection sizes.
 ///
@@ -72,6 +72,68 @@ impl SizeDist {
     }
 }
 
+/// A Zipf (power-law) distribution over the keys `0..n` — the skewed
+/// key-popularity shape of caches and session stores, where a handful of
+/// hot keys absorb most of the traffic. Used by the concurrent load
+/// generator so contended shards and hot-key effects are represented.
+///
+/// Sampling inverts a precomputed CDF with a binary search: O(n) memory at
+/// construction, O(log n) per sample, no floating-point accumulation on the
+/// sampling path.
+///
+/// # Examples
+///
+/// ```
+/// use cs_workloads::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let zipf = Zipf::new(1_000, 1.1);
+/// let hot = (0..10_000).filter(|_| zipf.sample(&mut rng) < 10).count();
+/// assert!(hot > 4_000, "the 1% hottest keys draw most samples, got {hot}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `0..n` with exponent `s` (`s = 0` is
+    /// uniform; larger is more skewed; ~0.99–1.1 matches YCSB-style key
+    /// popularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty key space");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of keys in the distribution's support.
+    pub fn key_space(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a key in `0..n`; key `0` is the hottest.
+    pub fn sample(&self, rng: &mut impl RngCore) -> u64 {
+        // 53 uniform mantissa bits -> f64 in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +160,39 @@ mod tests {
             seen_hi |= s == 9;
         }
         assert!(seen_lo && seen_hi, "bounds must be reachable");
+    }
+
+    #[test]
+    fn zipf_covers_space_and_skews_to_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let zipf = Zipf::new(100, 1.0);
+        assert_eq!(zipf.key_space(), 100);
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            let k = zipf.sample(&mut rng) as usize;
+            assert!(k < 100, "sample out of range: {k}");
+            counts[k] += 1;
+        }
+        assert!(counts[0] > counts[50], "rank 0 must beat rank 50");
+        assert!(counts[0] > counts[99], "rank 0 must beat rank 99");
+        // Harmonic(100) ~ 5.19: rank 0 carries ~19% of the mass.
+        assert!(counts[0] > 7_000, "rank 0 drew only {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let zipf = Zipf::new(10, 0.0);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (1_500..2_500).contains(&c),
+                "uniform key {i} drew {c} of 20000"
+            );
+        }
     }
 
     #[test]

@@ -37,12 +37,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod apps;
+pub mod concurrent;
 pub mod dist;
 pub mod drive;
 pub mod phases;
 pub mod runner;
 pub mod site;
 
-pub use dist::SizeDist;
+pub use concurrent::{run_concurrent_load, ConcurrentLoad, LoadReport};
+pub use dist::{SizeDist, Zipf};
 pub use runner::{run_app, Mode, RunResult};
 pub use site::{AppSpec, OpMix, SiteKind, SiteSpec};

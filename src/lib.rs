@@ -7,6 +7,8 @@
 //! * [`profile`] — workload profiling primitives ([`cs_profile`]).
 //! * [`model`] — performance models and the model builder ([`cs_model`]).
 //! * [`core`] — the adaptive selection framework ([`cs_core`]).
+//! * [`runtime`] — the sharded, thread-local-buffered concurrent selection
+//!   runtime ([`cs_runtime`]).
 //! * [`workloads`] — workload generators and synthetic applications
 //!   ([`cs_workloads`]).
 //!
@@ -39,6 +41,7 @@ pub use cs_collections as collections;
 pub use cs_core as core;
 pub use cs_model as model;
 pub use cs_profile as profile;
+pub use cs_runtime as runtime;
 pub use cs_workloads as workloads;
 
 /// Commonly used items, re-exported in one place.
@@ -51,4 +54,5 @@ pub mod prelude {
         SwitchList, SwitchMap, SwitchSet,
     };
     pub use cs_model::{CostDimension, PerformanceModel};
+    pub use cs_runtime::{ConcurrentMap, ConcurrentSet, Runtime, RuntimeConfig};
 }
