@@ -1,7 +1,7 @@
 //! Thread-sweep benchmark of the concurrent selection runtime.
 //!
 //! ```text
-//! cargo run --release -p cs-bench --bin runtime_sweep
+//! cargo run --release -p cs-bench --bin runtime_sweep -- [--out PATH]
 //! ```
 //!
 //! Sweeps a closed-loop Zipf read-heavy workload (`cs_workloads::concurrent`)
@@ -12,6 +12,17 @@
 //! the zero-lost-ops invariant (generator tallies == site totals) before its
 //! row is emitted.
 //!
+//! Each run is fully instrumented with `cs-telemetry`: a
+//! [`MetricsSink`] subscribes to the engine, [`Runtime::export_metrics`]
+//! mirrors the runtime counters on completion, and the per-run snapshots
+//! are written alongside the results as `<out stem>.telemetry.json`. The
+//! Prometheus rendering of every snapshot is checked with
+//! [`validate_prometheus_text`] — the benchmark doubles as an end-to-end
+//! telemetry test.
+//!
+//! Output paths: `--out PATH` (or the `CS_BENCH_OUT` environment variable;
+//! the flag wins) selects the results file, default `BENCH_runtime.json`.
+//!
 //! Environment knobs:
 //!
 //! | Variable | Default | Meaning |
@@ -21,14 +32,16 @@
 //! | `CS_BENCH_KEYS` | `16384` | Zipf key-space size |
 //! | `CS_BENCH_QUICK` | unset | `1`: tiny CI budget (2k ops, 1,2 threads) |
 
-use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use cs_collections::MapKind;
 use cs_core::Switch;
-use cs_runtime::{Runtime, RuntimeConfig, SiteStats};
+use cs_runtime::{site_stats_to_json, Runtime, RuntimeConfig, SiteStats};
+use cs_telemetry::{
+    validate_prometheus_text, Json, MetricsRegistry, MetricsSink, TelemetrySnapshot,
+};
 use cs_workloads::{run_concurrent_load, ConcurrentLoad, LoadReport};
 
 fn env_usize(name: &str, default: u64) -> u64 {
@@ -49,17 +62,42 @@ fn env_threads(default: &[usize]) -> Vec<usize> {
     }
 }
 
+/// `--out PATH` wins over `CS_BENCH_OUT`; default `BENCH_runtime.json`.
+fn out_path() -> String {
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            out = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--out needs a path argument");
+                std::process::exit(2);
+            }));
+        } else if let Some(path) = arg.strip_prefix("--out=") {
+            out = Some(path.to_owned());
+        } else {
+            eprintln!("unknown argument {arg:?} (only --out PATH is supported)");
+            std::process::exit(2);
+        }
+    }
+    out.or_else(|| std::env::var("CS_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_runtime.json".into())
+}
+
 struct Row {
     threads: usize,
     report: LoadReport,
     stats: SiteStats,
+    telemetry: TelemetrySnapshot,
 }
 
 fn run_one(threads: usize, ops_per_thread: u64, keys: u64) -> Row {
     // A fresh runtime per thread count: each row measures the same site
     // lifecycle (empty map, cold shards) at a different concurrency.
+    let registry = MetricsRegistry::new();
     let rt = Runtime::with_config(
-        Switch::builder().build(),
+        Switch::builder()
+            .event_sink(Arc::new(MetricsSink::new(registry.clone())))
+            .build(),
         RuntimeConfig {
             shards: 64,
             flush_ops: 1024,
@@ -106,44 +144,36 @@ fn run_one(threads: usize, ops_per_thread: u64, keys: u64) -> Row {
         stats.ops, report.per_op_totals,
         "site totals diverged from generator tallies at {threads} threads"
     );
+
+    rt.export_metrics(&registry);
+    let telemetry = registry.snapshot();
+    if let Err(errors) = validate_prometheus_text(&telemetry.to_prometheus_text()) {
+        panic!("invalid Prometheus exposition at {threads} threads: {errors:?}");
+    }
     Row {
         threads,
         report,
         stats,
+        telemetry,
     }
 }
 
-fn json_row(row: &Row) -> String {
+fn json_row(row: &Row) -> Json {
     let r = &row.report;
-    let s = &row.stats;
-    let mut out = String::new();
-    write!(
-        out,
-        "    {{\"threads\": {}, \"total_ops\": {}, \"elapsed_secs\": {:.6}, \
-         \"throughput_ops_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
-         \"max_ns\": {}, \"latency_samples\": {}, \"flushes\": {}, \
-         \"contended\": {}, \"rounds\": {}, \"switches\": {}, \
-         \"rollbacks\": {}, \"final_kind\": \"{}\"}}",
-        row.threads,
-        r.total_ops,
-        r.elapsed.as_secs_f64(),
-        r.throughput_ops_per_sec,
-        r.p50_ns(),
-        r.p99_ns(),
-        r.max_ns(),
-        r.latencies_ns.len(),
-        s.flushes,
-        s.contended,
-        s.rounds,
-        s.switches,
-        s.rollbacks,
-        s.current_kind,
-    )
-    .unwrap();
-    out
+    Json::object()
+        .field("threads", row.threads)
+        .field("total_ops", r.total_ops)
+        .field("elapsed_secs", r.elapsed.as_secs_f64())
+        .field("throughput_ops_per_sec", r.throughput_ops_per_sec)
+        .field("p50_ns", r.p50_ns())
+        .field("p99_ns", r.p99_ns())
+        .field("max_ns", r.max_ns())
+        .field("latency_samples", r.latencies_ns.len())
+        .field("site", site_stats_to_json(&row.stats))
 }
 
 fn main() {
+    let out = out_path();
     let quick = std::env::var("CS_BENCH_QUICK").is_ok_and(|v| v == "1");
     let (threads, ops_per_thread, keys) = if quick {
         (env_threads(&[1, 2]), env_usize("CS_BENCH_OPS", 2_000), 1_024)
@@ -189,23 +219,44 @@ fn main() {
     println!();
     println!("# peak/1-thread throughput scaling: {scaling:.2}x over {} hw threads", cpus());
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"runtime_sweep\",");
-    let _ = writeln!(json, "  \"workload\": {{\"zipf_exponent\": 0.99, \"read_fraction\": 0.9, \"ops_per_thread\": {ops_per_thread}, \"keys\": {keys}}},");
-    let _ = writeln!(json, "  \"hw_threads\": {},", cpus());
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(json, "  \"scaling_peak_over_single\": {scaling:.4},");
-    json.push_str("  \"rows\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        json.push_str(&json_row(row));
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
+    let doc = Json::object()
+        .field("bench", "runtime_sweep")
+        .field(
+            "workload",
+            Json::object()
+                .field("zipf_exponent", 0.99)
+                .field("read_fraction", 0.9)
+                .field("ops_per_thread", ops_per_thread)
+                .field("keys", keys),
+        )
+        .field("hw_threads", cpus())
+        .field("quick", quick)
+        .field("scaling_peak_over_single", scaling)
+        .field("rows", Json::Array(rows.iter().map(json_row).collect()));
+    std::fs::write(&out, doc.render_pretty()).expect("write results file");
+    println!("# wrote {out}");
 
-    let path = std::env::var("CS_BENCH_OUT").unwrap_or_else(|_| "BENCH_runtime.json".into());
-    std::fs::write(&path, &json).expect("write BENCH_runtime.json");
-    println!("# wrote {path}");
+    // The per-run telemetry snapshots ride alongside the results file:
+    // `X.json` -> `X.telemetry.json`.
+    let telemetry_path = match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.telemetry.json"),
+        None => format!("{out}.telemetry.json"),
+    };
+    let telemetry_doc = Json::object().field("bench", "runtime_sweep").field(
+        "snapshots",
+        Json::Array(
+            rows.iter()
+                .map(|row| {
+                    Json::object()
+                        .field("threads", row.threads)
+                        .field("telemetry", row.telemetry.to_json())
+                })
+                .collect(),
+        ),
+    );
+    std::fs::write(&telemetry_path, telemetry_doc.render_pretty())
+        .expect("write telemetry snapshot file");
+    println!("# wrote {telemetry_path} (Prometheus rendering validated per run)");
 }
 
 fn cpus() -> usize {

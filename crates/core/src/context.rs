@@ -16,12 +16,15 @@ use cs_model::{CostDimension, PerformanceModel};
 use cs_profile::{ProfileHistogram, ProfileSink, WindowConfig, WindowState};
 use parking_lot::Mutex;
 
-use crate::event::{EngineEvent, QuarantineEvent, RollbackEvent, TransitionEvent};
+use crate::event::{
+    EngineEvent, QuarantineEvent, RollbackEvent, SelectionExplanation, SelectionOutcome,
+    TransitionEvent,
+};
 use crate::guard::{GuardState, GuardrailConfig, PendingVerification, TransitionBudget};
 use crate::handles::{Monitor, SwitchList, SwitchMap, SwitchSet};
 use crate::kind_ext::Kind;
 use crate::rules::SelectionRule;
-use crate::select::select_variant_filtered;
+use crate::select::select_variant_explained;
 
 /// Counters describing a context's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +58,9 @@ pub struct ContextCore<K: Kind> {
     switches: AtomicU64,
     rollbacks: AtomicU64,
     guard: Mutex<GuardState>,
+    /// Audit trail of the most recent selection pass that actually scored
+    /// candidates (see [`ContextCore::explain`]).
+    last_explanation: Mutex<Option<SelectionExplanation>>,
     /// Shared freeze flag: when the owning engine enters degraded mode it
     /// raises this, and the context stops sampling and analyzing — the
     /// last-known-good variant keeps being instantiated.
@@ -93,6 +99,7 @@ impl<K: Kind> ContextCore<K> {
             switches: AtomicU64::new(0),
             rollbacks: AtomicU64::new(0),
             guard: Mutex::new(GuardState::default()),
+            last_explanation: Mutex::new(None),
             frozen,
         }
     }
@@ -131,6 +138,27 @@ impl<K: Kind> ContextCore<K> {
     /// Whether the shared freeze flag is raised (engine degraded).
     pub fn is_frozen(&self) -> bool {
         self.frozen.load(Ordering::Acquire)
+    }
+
+    /// The decision audit trail of the most recent analysis pass that
+    /// scored candidates at this site (rounds skipped for cooldown, an
+    /// empty workload, or a just-performed rollback leave the previous
+    /// explanation in place). `None` until the first scored pass.
+    pub fn explain(&self) -> Option<SelectionExplanation> {
+        self.last_explanation.lock().clone()
+    }
+
+    /// Profiles delivered into this context's sink so far (monitored
+    /// instances that finished, plus ingested epoch flushes), including
+    /// profiles the bounded sink has since evicted.
+    pub fn profiles_pushed(&self) -> u64 {
+        self.sink.pushed()
+    }
+
+    /// Profiles evicted unseen because the context's bounded sink
+    /// overflowed between analysis passes.
+    pub fn profiles_dropped(&self) -> u64 {
+        self.sink.dropped()
     }
 
     /// Claims a monitoring slot for a new instance, returning the monitor
@@ -290,10 +318,10 @@ impl<K: Kind> ContextCore<K> {
         }
 
         let current = self.current_kind();
-        let selection = if !rolled_back && guard.cooldown_ok(round, guard_cfg) {
-            select_variant_filtered(model, rule, current, &history, |k| {
+        let explained = if !rolled_back && guard.cooldown_ok(round, guard_cfg) {
+            Some(select_variant_explained(model, rule, current, &history, |k| {
                 !guard.is_quarantined(k.index(), round)
-            })
+            }))
         } else {
             None
         };
@@ -305,10 +333,39 @@ impl<K: Kind> ContextCore<K> {
         // adaptation process").
         self.window.reset();
 
-        let sel = selection?;
+        let explained = explained?;
+        let mut explanation = SelectionExplanation {
+            context_id: self.id,
+            context_name: self.name.clone(),
+            abstraction: K::ABSTRACTION,
+            rule: rule.name().to_owned(),
+            round,
+            current: current.to_string(),
+            current_primary_cost: explained.current_primary_cost,
+            candidates: explained.candidates,
+            winner: explained.selection.map(|s| s.kind.to_string()),
+            winning_margin: explained
+                .selection
+                .map_or(0.0, |s| 1.0 - s.primary_ratio),
+            outcome: SelectionOutcome::NoCandidate,
+        };
+        let Some(sel) = explained.selection else {
+            // An empty-workload bail leaves no candidate rows; keep the last
+            // substantive explanation in that case.
+            if !explanation.candidates.is_empty() {
+                *self.last_explanation.lock() = Some(explanation);
+            }
+            return None;
+        };
         if !budget.try_take() {
+            explanation.outcome = SelectionOutcome::BudgetExhausted;
+            events.push(EngineEvent::Selection(explanation.clone()));
+            *self.last_explanation.lock() = Some(explanation);
             return None;
         }
+        explanation.outcome = SelectionOutcome::Switched;
+        events.push(EngineEvent::Selection(explanation.clone()));
+        *self.last_explanation.lock() = Some(explanation);
         let baseline_cpo = if window_ops > 0 {
             window_nanos as f64 / window_ops as f64
         } else {
@@ -340,6 +397,7 @@ impl<K: Kind> ContextCore<K> {
         self.sink.drain();
         self.window.reset();
         self.guard.lock().clear();
+        *self.last_explanation.lock() = None;
         self.current
             .store(self.default_kind.index(), Ordering::Release);
     }
@@ -712,7 +770,14 @@ mod tests {
             .expect("inverted model must trigger a switch");
         assert_eq!(t.to, "linked");
         assert_eq!(core.current_kind(), ListKind::Linked);
-        assert!(events.is_empty());
+        // The switch leaves its audit trail, but no guardrail event yet.
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, EngineEvent::Selection(_))));
+        let sel = events[0].as_selection().expect("selection audit recorded");
+        assert_eq!(sel.winner.as_deref(), Some("linked"));
+        assert_eq!(sel.outcome, crate::event::SelectionOutcome::Switched);
+        assert!(sel.winning_margin > 0.0);
 
         // Round 1: the realized window is 10× slower (100 ns/op) —
         // verification must undo the switch and quarantine Linked.
@@ -767,7 +832,12 @@ mod tests {
         core.analyze_guarded(&model, &rule, &cfg, &budget, &mut events);
         assert_eq!(core.current_kind(), ListKind::Linked);
         assert_eq!(core.stats().rollbacks, 0);
-        assert!(events.is_empty());
+        assert!(
+            events
+                .iter()
+                .all(|e| matches!(e, EngineEvent::Selection(_))),
+            "a verified good switch leaves only its audit trail"
+        );
     }
 
     #[test]
@@ -832,6 +902,52 @@ mod tests {
         assert!(t.is_none());
         assert_eq!(core.current_kind(), ListKind::Array);
         assert_eq!(core.stats().switches, 0);
+        // The rejected decision is still audited.
+        let sel = events
+            .iter()
+            .find_map(|e| e.as_selection())
+            .expect("budget-blocked selection audited");
+        assert_eq!(sel.outcome, crate::event::SelectionOutcome::BudgetExhausted);
+        assert_eq!(sel.winner.as_deref(), Some("linked"));
+        let exp = core.explain().expect("explanation stored");
+        assert_eq!(exp.outcome, crate::event::SelectionOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn explain_keeps_latest_scored_pass() {
+        let core = list_core();
+        assert!(core.explain().is_none(), "no pass scored yet");
+        let model = inverted_list_model();
+        let rule = SelectionRule::r_time();
+        let cfg = GuardrailConfig::disabled();
+        let budget = TransitionBudget::new(None);
+        let mut events = Vec::new();
+
+        feed_window(&core, 10, 100, 1_000);
+        core.analyze_guarded(&model, &rule, &cfg, &budget, &mut events)
+            .expect("switch");
+        let exp = core.explain().expect("switched pass explained");
+        assert_eq!(exp.winner.as_deref(), Some("linked"));
+        assert_eq!(exp.outcome, crate::event::SelectionOutcome::Switched);
+        assert_eq!(exp.current, "array");
+        assert!(exp.winning_margin > 0.8, "flat 100 -> 10 model: margin 0.9");
+        assert!(exp
+            .candidates
+            .iter()
+            .any(|c| c.variant == "linked" && c.satisfied));
+
+        // A pass with no satisfying candidate still refreshes the trail.
+        feed_window(&core, 10, 100, 1_000);
+        assert!(core
+            .analyze_guarded(&model, &rule, &cfg, &budget, &mut events)
+            .is_none());
+        let exp = core.explain().expect("kept-variant pass explained");
+        assert_eq!(exp.winner, None);
+        assert_eq!(exp.outcome, crate::event::SelectionOutcome::NoCandidate);
+        assert_eq!(exp.current, "linked");
+
+        core.reset();
+        assert!(core.explain().is_none(), "reset clears the audit trail");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use cs_collections::{ListKind, MapKind, SetKind};
 use cs_model::{default_models, PerformanceModel};
@@ -13,11 +14,13 @@ use parking_lot::Mutex;
 
 use crate::context::{ContextCore, ListContext, MapContext, SetContext};
 use crate::event::{
-    AnalyzerPanicEvent, DegradedEvent, EngineEvent, EventLog, ModelFallbackEvent, TransitionEvent,
+    AnalyzerPanicEvent, DegradedEvent, EngineEvent, EventLog, ModelFallbackEvent,
+    SelectionExplanation, TransitionEvent,
 };
 use crate::guard::{GuardrailConfig, TransitionBudget};
 use crate::kind_ext::Kind;
 use crate::rules::SelectionRule;
+use crate::subscriber::{EngineEventSink, SinkRegistry};
 
 /// The three performance models the engine selects against.
 ///
@@ -211,9 +214,35 @@ struct Shared {
     degraded: Arc<AtomicBool>,
     /// Consecutive failed analysis passes (reset by a clean pass).
     analyzer_failures: AtomicU32,
+    /// Total analyzer panics over the engine's lifetime (never reset; the
+    /// consecutive counter above drives degraded mode, this one drives
+    /// telemetry).
+    analyzer_panics_total: AtomicU64,
     /// Monotonic analysis-pass counter (feeds the failpoint).
     passes: AtomicU64,
+    /// Cumulative wall-clock nanoseconds spent inside analysis passes.
+    pass_nanos_total: AtomicU64,
+    /// Registered event subscribers (telemetry sinks).
+    sinks: SinkRegistry,
     failpoint: Option<FailpointHook>,
+}
+
+impl Shared {
+    /// Records `events` in the bounded log, then delivers them to every
+    /// subscriber. The log lock is released before any sink runs, so a slow
+    /// or re-entrant sink cannot stall event recording on other threads.
+    fn record_and_dispatch(&self, events: Vec<EngineEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        {
+            let mut log = self.log.lock();
+            for event in &events {
+                log.push(event.clone());
+            }
+        }
+        self.sinks.dispatch(&events);
+    }
 }
 
 /// The CollectionSwitch engine: creates allocation contexts, runs the
@@ -301,14 +330,25 @@ impl Drop for AnalyzerHandle {
 ///     .build();
 /// assert_eq!(engine.rule().name(), "R_alloc");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct SwitchBuilder {
     config: SwitchConfig,
     models: Option<Models>,
     background: bool,
     event_log_capacity: Option<usize>,
     pending_fallbacks: Vec<ModelFallbackEvent>,
+    pending_sinks: Vec<Arc<dyn EngineEventSink>>,
     failpoint: Option<FailpointHook>,
+}
+
+impl fmt::Debug for SwitchBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwitchBuilder")
+            .field("config", &self.config)
+            .field("background", &self.background)
+            .field("pending_sinks", &self.pending_sinks.len())
+            .finish()
+    }
 }
 
 impl SwitchBuilder {
@@ -355,6 +395,14 @@ impl SwitchBuilder {
         self
     }
 
+    /// Registers an [`EngineEventSink`] before the engine starts, so not
+    /// even build-time events (model fallbacks) are missed. Equivalent to
+    /// [`Switch::subscribe`] for sinks added later.
+    pub fn event_sink(mut self, sink: Arc<dyn EngineEventSink>) -> Self {
+        self.pending_sinks.push(sink);
+        self
+    }
+
     /// Test hook: runs `hook(pass_number)` at the start of every analysis
     /// pass, *inside* the panic isolation boundary. Lets the fault harness
     /// inject deterministic analyzer panics.
@@ -373,14 +421,15 @@ impl SwitchBuilder {
 
     /// Builds the engine.
     pub fn build(self) -> Switch {
-        let mut log = EventLog::new(
+        let log = EventLog::new(
             self.event_log_capacity
                 .unwrap_or(Switch::DEFAULT_EVENT_LOG_CAPACITY),
         );
-        for fallback in self.pending_fallbacks {
-            log.push(EngineEvent::ModelFallback(fallback));
-        }
         let budget = TransitionBudget::new(self.config.guardrails.max_transitions);
+        let sinks = SinkRegistry::default();
+        for sink in self.pending_sinks {
+            sinks.subscribe(sink);
+        }
         let shared = Arc::new(Shared {
             config: self.config,
             models: self.models.unwrap_or_default(),
@@ -391,9 +440,18 @@ impl SwitchBuilder {
             stop: AtomicBool::new(false),
             degraded: Arc::new(AtomicBool::new(false)),
             analyzer_failures: AtomicU32::new(0),
+            analyzer_panics_total: AtomicU64::new(0),
             passes: AtomicU64::new(0),
+            pass_nanos_total: AtomicU64::new(0),
+            sinks,
             failpoint: self.failpoint,
         });
+        shared.record_and_dispatch(
+            self.pending_fallbacks
+                .into_iter()
+                .map(EngineEvent::ModelFallback)
+                .collect(),
+        );
         let analyzer = if self.background {
             let rate = shared.config.window.monitoring_rate;
             let thread_shared = Arc::clone(&shared);
@@ -476,6 +534,7 @@ fn analyze_shared(shared: &Shared) -> bool {
         return false;
     }
     let pass = shared.passes.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if let Some(hook) = &shared.failpoint {
             (hook.0)(pass);
@@ -492,34 +551,36 @@ fn analyze_shared(shared: &Shared) -> bool {
             analyze_core(core, &shared.models.map, shared, &mut events);
         }
         drop(registry);
-        if !events.is_empty() {
-            let mut log = shared.log.lock();
-            for event in events {
-                log.push(event);
-            }
-        }
+        shared.record_and_dispatch(events);
     }));
-    match outcome {
+    let elapsed = started.elapsed();
+    shared
+        .pass_nanos_total
+        .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    let clean = match outcome {
         Ok(()) => {
             shared.analyzer_failures.store(0, Ordering::Relaxed);
             true
         }
         Err(payload) => {
+            shared.analyzer_panics_total.fetch_add(1, Ordering::Relaxed);
             let consecutive = shared.analyzer_failures.fetch_add(1, Ordering::Relaxed) + 1;
-            let mut log = shared.log.lock();
-            log.push(EngineEvent::AnalyzerPanic(AnalyzerPanicEvent {
+            let mut events = vec![EngineEvent::AnalyzerPanic(AnalyzerPanicEvent {
                 consecutive,
                 message: panic_message(payload.as_ref()),
-            }));
+            })];
             if consecutive >= shared.config.guardrails.max_analyzer_failures {
                 shared.degraded.store(true, Ordering::Release);
-                log.push(EngineEvent::DegradedEntered(DegradedEvent {
+                events.push(EngineEvent::DegradedEntered(DegradedEvent {
                     consecutive_failures: consecutive,
                 }));
             }
+            shared.record_and_dispatch(events);
             false
         }
-    }
+    };
+    shared.sinks.dispatch_pass(elapsed);
+    clean
 }
 
 impl Switch {
@@ -656,6 +717,110 @@ impl Switch {
         self.shared.log.lock().dropped()
     }
 
+    /// Total events ever recorded (including entries since evicted from the
+    /// bounded log and entries removed by [`Switch::clear_transition_log`]).
+    pub fn events_recorded(&self) -> u64 {
+        self.shared.log.lock().recorded()
+    }
+
+    /// Registers an event subscriber. Every subsequent [`EngineEvent`] is
+    /// delivered to `sink` at record time, in record order; see
+    /// [`EngineEventSink`] for the full contract. A sink that panics is
+    /// disconnected and counted in [`EngineHealth::sink_disconnects`] —
+    /// it can never poison the engine.
+    pub fn subscribe(&self, sink: Arc<dyn EngineEventSink>) {
+        self.shared.sinks.subscribe(sink);
+    }
+
+    /// Number of currently connected event subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.shared.sinks.len()
+    }
+
+    /// Subscribers forcibly disconnected because they panicked during
+    /// delivery.
+    pub fn sink_disconnects(&self) -> u64 {
+        self.shared.sinks.disconnects()
+    }
+
+    /// The audit trail of the most recent *scored* analysis pass for the
+    /// allocation site with context id `site_id` (as reported by the
+    /// context handle's `id()`), or `None` if the site is unknown or no
+    /// pass has reached selection yet.
+    ///
+    /// The explanation lists every candidate's estimated cost, the
+    /// exclusion reason for candidates that were never scored, the winner
+    /// (if any) and its margin — the paper's "why did it switch?"
+    /// diagnosis surface, machine-readable.
+    pub fn explain(&self, site_id: u64) -> Option<SelectionExplanation> {
+        let registry = self.shared.registry.lock();
+        for core in &registry.lists {
+            if core.id() == site_id {
+                return core.explain();
+            }
+        }
+        for core in &registry.sets {
+            if core.id() == site_id {
+                return core.explain();
+            }
+        }
+        for core in &registry.maps {
+            if core.id() == site_id {
+                return core.explain();
+            }
+        }
+        None
+    }
+
+    /// Completed analysis passes (clean or panicked) since construction.
+    pub fn analysis_passes(&self) -> u64 {
+        self.shared.passes.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wall-clock time spent inside analysis passes.
+    pub fn analysis_time_total(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.shared.pass_nanos_total.load(Ordering::Relaxed))
+    }
+
+    /// One-stop liveness summary for dashboards and fault triage: is the
+    /// engine still adapting, and what has it lost along the way?
+    pub fn health(&self) -> EngineHealth {
+        let (profiles_ingested, profiles_dropped) = {
+            let registry = self.shared.registry.lock();
+            let mut ingested = 0u64;
+            let mut dropped = 0u64;
+            for core in &registry.lists {
+                ingested += core.profiles_pushed();
+                dropped += core.profiles_dropped();
+            }
+            for core in &registry.sets {
+                ingested += core.profiles_pushed();
+                dropped += core.profiles_dropped();
+            }
+            for core in &registry.maps {
+                ingested += core.profiles_pushed();
+                dropped += core.profiles_dropped();
+            }
+            (ingested, dropped)
+        };
+        let (events_recorded, events_dropped) = {
+            let log = self.shared.log.lock();
+            (log.recorded(), log.dropped())
+        };
+        EngineHealth {
+            degraded: self.is_degraded(),
+            contexts: self.context_count(),
+            analysis_passes: self.analysis_passes(),
+            transitions_used: self.transitions_used(),
+            events_recorded,
+            events_dropped,
+            profiles_ingested,
+            profiles_dropped,
+            analyzer_panics: self.shared.analyzer_panics_total.load(Ordering::Relaxed),
+            sink_disconnects: self.sink_disconnects(),
+        }
+    }
+
     /// Clears the transition log.
     pub fn clear_transition_log(&self) {
         self.shared.log.lock().clear();
@@ -700,6 +865,68 @@ impl Switch {
         out.extend(registry.sets.iter().map(|c| summarize(c)));
         out.extend(registry.maps.iter().map(|c| summarize(c)));
         out
+    }
+}
+
+/// Liveness summary returned by [`Switch::health`].
+///
+/// Everything here is monotone except `degraded` and `contexts`, so hosts
+/// can diff two snapshots to get rates. The dropped/panic counters answer
+/// the operational question the event log alone cannot: *how much did
+/// observability itself lose?*
+///
+/// # Examples
+///
+/// ```
+/// use cs_core::Switch;
+///
+/// let engine = Switch::builder().build();
+/// let health = engine.health();
+/// assert!(!health.degraded);
+/// assert_eq!(health.analyzer_panics, 0);
+/// println!("{health}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EngineHealth {
+    /// Whether adaptation is frozen after repeated analyzer failures.
+    pub degraded: bool,
+    /// Registered allocation contexts.
+    pub contexts: usize,
+    /// Completed analysis passes (clean or panicked).
+    pub analysis_passes: u64,
+    /// Transitions claimed against the global budget.
+    pub transitions_used: u64,
+    /// Events ever recorded in the engine log.
+    pub events_recorded: u64,
+    /// Events lost to the bounded log's eviction.
+    pub events_dropped: u64,
+    /// Workload profiles accepted by per-site sinks.
+    pub profiles_ingested: u64,
+    /// Workload profiles discarded by bounded per-site sinks.
+    pub profiles_dropped: u64,
+    /// Lifetime analyzer panics (not reset by clean passes).
+    pub analyzer_panics: u64,
+    /// Event subscribers disconnected because they panicked.
+    pub sink_disconnects: u64,
+}
+
+impl fmt::Display for EngineHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} contexts, {} passes, {} transitions | events {}/{} dropped, \
+             profiles {}/{} dropped | {} analyzer panics, {} sink disconnects",
+            if self.degraded { "DEGRADED" } else { "healthy" },
+            self.contexts,
+            self.analysis_passes,
+            self.transitions_used,
+            self.events_dropped,
+            self.events_recorded,
+            self.profiles_dropped,
+            self.profiles_ingested,
+            self.analyzer_panics,
+            self.sink_disconnects,
+        )
     }
 }
 

@@ -77,6 +77,114 @@ impl fmt::Display for TransitionEvent {
     }
 }
 
+/// The estimated cost of one candidate variant in a selection pass — one
+/// row of the decision audit trail ([`SelectionExplanation`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateEstimate {
+    /// Candidate variant name.
+    pub variant: String,
+    /// Estimated total cost `TC(V)` on the rule's primary dimension, over
+    /// the aggregated workload history.
+    pub primary_cost: f64,
+    /// `TC(candidate) / TC(current)` on the primary dimension (< 1 is an
+    /// improvement).
+    pub primary_ratio: f64,
+    /// Whether the candidate satisfied every criterion of the rule.
+    pub satisfied: bool,
+    /// Why the candidate was never scored, when it was excluded up front
+    /// (`"quarantined"`, `"adaptive-gate"`, `"uncalibrated"`).
+    pub excluded: Option<&'static str>,
+}
+
+/// Outcome of one audited selection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionOutcome {
+    /// A candidate won and the site switched to it.
+    Switched,
+    /// A candidate won but the global transition budget was exhausted, so
+    /// the switch was rejected.
+    BudgetExhausted,
+    /// No candidate satisfied the rule; the site kept its variant.
+    NoCandidate,
+}
+
+impl fmt::Display for SelectionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SelectionOutcome::Switched => "switched",
+            SelectionOutcome::BudgetExhausted => "budget-exhausted",
+            SelectionOutcome::NoCandidate => "no-candidate",
+        })
+    }
+}
+
+/// The decision audit trail of one selection pass at one site: the
+/// per-candidate estimated costs the analyzer compared, the winner (if
+/// any), and the predicted improvement margin.
+///
+/// Retrieved with [`Switch::explain`](crate::Switch::explain) (latest pass
+/// per site) and recorded as [`EngineEvent::Selection`] whenever a pass
+/// produced a winner — the "profile-guided decisions must be inspectable"
+/// requirement: every switch can be traced back to the exact cost estimates
+/// that justified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionExplanation {
+    /// Id of the allocation context analyzed.
+    pub context_id: u64,
+    /// Human-readable context name.
+    pub context_name: String,
+    /// The abstraction of the site.
+    pub abstraction: Abstraction,
+    /// Name of the selection rule applied.
+    pub rule: String,
+    /// Monitoring round of the pass (0-based).
+    pub round: u64,
+    /// The variant the site held going into the pass.
+    pub current: String,
+    /// Estimated total cost of the current variant on the rule's primary
+    /// dimension.
+    pub current_primary_cost: f64,
+    /// Every candidate considered (current variant not included).
+    pub candidates: Vec<CandidateEstimate>,
+    /// The winning candidate, when one satisfied the rule.
+    pub winner: Option<String>,
+    /// Predicted improvement of the winner over the current variant on the
+    /// primary dimension: `1 - primary_ratio` (0 when there is no winner).
+    pub winning_margin: f64,
+    /// What the pass did with the winner.
+    pub outcome: SelectionOutcome,
+}
+
+impl fmt::Display for SelectionExplanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.winner {
+            Some(winner) => write!(
+                f,
+                "{}: {} {} selection {} -> {} (margin {:.1}%, {} candidates, round {}, {})",
+                self.context_name,
+                self.abstraction,
+                self.rule,
+                self.current,
+                winner,
+                self.winning_margin * 100.0,
+                self.candidates.len(),
+                self.round,
+                self.outcome,
+            ),
+            None => write!(
+                f,
+                "{}: {} {} keeps {} ({} candidates, round {})",
+                self.context_name,
+                self.abstraction,
+                self.rule,
+                self.current,
+                self.candidates.len(),
+                self.round,
+            ),
+        }
+    }
+}
+
 /// A switch that post-switch verification judged harmful and undid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RollbackEvent {
@@ -199,6 +307,9 @@ impl fmt::Display for DegradedEvent {
 pub enum EngineEvent {
     /// An allocation context switched variants.
     Transition(TransitionEvent),
+    /// A selection pass produced a winner: the audit trail of the decision
+    /// (per-candidate estimated costs and the winning margin).
+    Selection(SelectionExplanation),
     /// A switch failed post-switch verification and was undone.
     Rollback(RollbackEvent),
     /// A candidate was barred from reselection at a site.
@@ -219,12 +330,35 @@ impl EngineEvent {
             _ => None,
         }
     }
+
+    /// The selection audit record, when this is a selection.
+    pub fn as_selection(&self) -> Option<&SelectionExplanation> {
+        match self {
+            EngineEvent::Selection(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Stable snake_case tag naming the event type — the label metric
+    /// families and the JSONL stream key on.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EngineEvent::Transition(_) => "transition",
+            EngineEvent::Selection(_) => "selection",
+            EngineEvent::Rollback(_) => "rollback",
+            EngineEvent::Quarantine(_) => "quarantine",
+            EngineEvent::ModelFallback(_) => "model_fallback",
+            EngineEvent::AnalyzerPanic(_) => "analyzer_panic",
+            EngineEvent::DegradedEntered(_) => "degraded_entered",
+        }
+    }
 }
 
 impl fmt::Display for EngineEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineEvent::Transition(e) => e.fmt(f),
+            EngineEvent::Selection(e) => e.fmt(f),
             EngineEvent::Rollback(e) => e.fmt(f),
             EngineEvent::Quarantine(e) => e.fmt(f),
             EngineEvent::ModelFallback(e) => e.fmt(f),
@@ -246,6 +380,7 @@ pub(crate) struct EventLog {
     events: VecDeque<EngineEvent>,
     capacity: usize,
     dropped: u64,
+    recorded: u64,
 }
 
 impl EventLog {
@@ -259,6 +394,7 @@ impl EventLog {
             events: VecDeque::new(),
             capacity,
             dropped: 0,
+            recorded: 0,
         }
     }
 
@@ -268,6 +404,7 @@ impl EventLog {
             self.dropped += 1;
         }
         self.events.push_back(event);
+        self.recorded += 1;
     }
 
     pub(crate) fn events(&self) -> impl Iterator<Item = &EngineEvent> {
@@ -276,6 +413,11 @@ impl EventLog {
 
     pub(crate) fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Events ever recorded, including ones the ring has since evicted.
+    pub(crate) fn recorded(&self) -> u64 {
+        self.recorded
     }
 
     pub(crate) fn clear(&mut self) {
@@ -353,6 +495,46 @@ mod tests {
             consecutive_failures: 3,
         });
         assert!(d.to_string().contains("degraded after 3"));
+        let s = EngineEvent::Selection(SelectionExplanation {
+            context_id: 1,
+            context_name: "s".into(),
+            abstraction: Abstraction::List,
+            rule: "R_time".into(),
+            round: 2,
+            current: "array".into(),
+            current_primary_cost: 100.0,
+            candidates: vec![CandidateEstimate {
+                variant: "hasharray".into(),
+                primary_cost: 40.0,
+                primary_ratio: 0.4,
+                satisfied: true,
+                excluded: None,
+            }],
+            winner: Some("hasharray".into()),
+            winning_margin: 0.6,
+            outcome: SelectionOutcome::Switched,
+        });
+        assert!(s.to_string().contains("selection array -> hasharray"));
+        assert!(s.to_string().contains("60.0%"));
+        assert_eq!(s.kind_name(), "selection");
+    }
+
+    #[test]
+    fn explanation_without_winner_displays_keeps() {
+        let e = SelectionExplanation {
+            context_id: 9,
+            context_name: "site".into(),
+            abstraction: Abstraction::Map,
+            rule: "R_alloc".into(),
+            round: 0,
+            current: "chained".into(),
+            current_primary_cost: 10.0,
+            candidates: Vec::new(),
+            winner: None,
+            winning_margin: 0.0,
+            outcome: SelectionOutcome::NoCandidate,
+        };
+        assert!(e.to_string().contains("keeps chained"));
     }
 
     #[test]
@@ -387,6 +569,7 @@ mod tests {
         }
         assert_eq!(log.events().count(), 3);
         assert_eq!(log.dropped(), 2);
+        assert_eq!(log.recorded(), 5);
         let rounds: Vec<u64> = log
             .events()
             .filter_map(|e| e.as_transition())

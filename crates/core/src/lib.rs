@@ -55,18 +55,23 @@ mod handles;
 mod kind_ext;
 mod rules;
 mod select;
+mod subscriber;
 
 pub use context::{ContextCore, ContextStats, ListContext, MapContext, SetContext};
-pub use engine::{ContextSummary, Models, Switch, SwitchBuilder, SwitchConfig};
+pub use engine::{ContextSummary, EngineHealth, Models, Switch, SwitchBuilder, SwitchConfig};
 pub use event::{
-    AnalyzerPanicEvent, DegradedEvent, EngineEvent, ModelFallbackEvent, QuarantineEvent,
-    RollbackEvent, TransitionEvent,
+    AnalyzerPanicEvent, CandidateEstimate, DegradedEvent, EngineEvent, ModelFallbackEvent,
+    QuarantineEvent, RollbackEvent, SelectionExplanation, SelectionOutcome, TransitionEvent,
 };
 pub use guard::{GuardrailConfig, TransitionBudget};
 pub use handles::{SwitchList, SwitchMap, SwitchSet};
 pub use kind_ext::Kind;
 pub use rules::{Criterion, ParseRuleError, SelectionRule};
-pub use select::{adaptive_eligible, select_variant, select_variant_filtered, Selection};
+pub use select::{
+    adaptive_eligible, select_variant, select_variant_explained, select_variant_filtered,
+    ExplainedSelection, Selection,
+};
+pub use subscriber::EngineEventSink;
 
 // Compile-time thread-safety contract: the engine and everything the
 // concurrent runtime (`cs-runtime`) shares across threads must stay

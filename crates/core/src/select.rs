@@ -3,6 +3,7 @@
 use cs_model::PerformanceModel;
 use cs_profile::ProfileHistogram;
 
+use crate::event::CandidateEstimate;
 use crate::kind_ext::Kind;
 use crate::rules::SelectionRule;
 
@@ -96,10 +97,49 @@ pub fn select_variant_filtered<K: Kind>(
     rule: &SelectionRule,
     current: K,
     history: &ProfileHistogram,
-    mut eligible: impl FnMut(K) -> bool,
+    eligible: impl FnMut(K) -> bool,
 ) -> Option<Selection<K>> {
+    select_variant_explained(model, rule, current, history, eligible).selection
+}
+
+/// The fully explained outcome of one selection pass: the winner (if any)
+/// plus the audit rows behind the decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainedSelection<K> {
+    /// The winning candidate, exactly as [`select_variant_filtered`] would
+    /// have returned it.
+    pub selection: Option<Selection<K>>,
+    /// One audit row per candidate considered (the current variant is not a
+    /// candidate). Empty when the pass bailed before scoring — empty
+    /// workload or a degenerate (zero-cost) current variant.
+    pub candidates: Vec<CandidateEstimate>,
+    /// Estimated total cost of the current variant on the rule's primary
+    /// dimension (0 when the pass bailed before scoring).
+    pub current_primary_cost: f64,
+}
+
+/// Like [`select_variant_filtered`], but also returns the decision audit
+/// trail: every candidate's estimated cost on the rule's primary dimension,
+/// its cost ratio against the current variant, whether it satisfied the
+/// rule, and why it was excluded when it never got scored.
+///
+/// This is the single implementation of the paper's selection algorithm —
+/// [`select_variant`] and [`select_variant_filtered`] are thin wrappers —
+/// so the audit trail can never drift from the actual decision.
+pub fn select_variant_explained<K: Kind>(
+    model: &PerformanceModel<K>,
+    rule: &SelectionRule,
+    current: K,
+    history: &ProfileHistogram,
+    mut eligible: impl FnMut(K) -> bool,
+) -> ExplainedSelection<K> {
+    let bail = ExplainedSelection {
+        selection: None,
+        candidates: Vec::new(),
+        current_primary_cost: 0.0,
+    };
     if history.total_ops() == 0 {
-        return None;
+        return bail;
     }
 
     let primary = rule.primary();
@@ -115,21 +155,33 @@ pub fn select_variant_filtered<K: Kind>(
         .iter()
         .any(|c| current_cost(c.dimension) <= 0.0)
     {
-        return None;
+        return bail;
     }
 
+    let current_primary_cost = current_cost(primary.dimension);
+    let mut candidates = Vec::new();
     let mut best: Option<Selection<K>> = None;
     for &candidate in K::all() {
         if candidate == current {
             continue;
         }
-        if candidate == adaptive && !adaptive_ok {
-            continue;
-        }
-        if !eligible(candidate) {
-            continue;
-        }
-        if model.variant(candidate).is_none() {
+        let excluded = if candidate == adaptive && !adaptive_ok {
+            Some("adaptive-gate")
+        } else if !eligible(candidate) {
+            Some("quarantined")
+        } else if model.variant(candidate).is_none() {
+            Some("uncalibrated")
+        } else {
+            None
+        };
+        if let Some(reason) = excluded {
+            candidates.push(CandidateEstimate {
+                variant: candidate.to_string(),
+                primary_cost: f64::NAN,
+                primary_ratio: f64::NAN,
+                satisfied: false,
+                excluded: Some(reason),
+            });
             continue;
         }
         let satisfied = rule.satisfied(|dim| {
@@ -139,11 +191,18 @@ pub fn select_variant_filtered<K: Kind>(
             }
             model.histogram_cost(candidate, dim, history) / cur
         });
+        let primary_cost = model.histogram_cost(candidate, primary.dimension, history);
+        let primary_ratio = primary_cost / current_primary_cost;
+        candidates.push(CandidateEstimate {
+            variant: candidate.to_string(),
+            primary_cost,
+            primary_ratio,
+            satisfied,
+            excluded: None,
+        });
         if !satisfied {
             continue;
         }
-        let primary_ratio = model.histogram_cost(candidate, primary.dimension, history)
-            / model.histogram_cost(current, primary.dimension, history);
         let better = match &best {
             None => true,
             Some(b) => primary_ratio < b.primary_ratio,
@@ -155,7 +214,11 @@ pub fn select_variant_filtered<K: Kind>(
             });
         }
     }
-    best
+    ExplainedSelection {
+        selection: best,
+        candidates,
+        current_primary_cost,
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +483,79 @@ mod tests {
             |_| true,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explained_selection_matches_filtered_and_records_candidates() {
+        let w = profile(500, 1_000, 0, 0, 500);
+        let history = hist(&[w]);
+        let explained = select_variant_explained(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &history,
+            |_| true,
+        );
+        let plain = select_variant(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &history,
+        );
+        assert_eq!(explained.selection, plain);
+        assert!(explained.current_primary_cost > 0.0);
+        // Every non-current variant appears exactly once in the audit rows.
+        assert_eq!(explained.candidates.len(), ListKind::all().len() - 1);
+        let winner = explained.selection.unwrap();
+        let row = explained
+            .candidates
+            .iter()
+            .find(|c| c.variant == winner.kind.to_string())
+            .expect("winner has an audit row");
+        assert!(row.satisfied);
+        assert!((row.primary_ratio - winner.primary_ratio).abs() < 1e-12);
+        assert!(
+            (row.primary_cost - winner.primary_ratio * explained.current_primary_cost).abs()
+                < 1e-6 * row.primary_cost.abs().max(1.0)
+        );
+    }
+
+    #[test]
+    fn explained_selection_marks_exclusions() {
+        // Uniform large sizes close the adaptive gate; quarantine HashArray.
+        let uniform: Vec<WorkloadProfile> =
+            (0..10).map(|_| profile(100, 500, 0, 0, 500)).collect();
+        let explained = select_variant_explained(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &hist(&uniform),
+            |k| k != ListKind::HashArray,
+        );
+        let by_name = |name: &str| {
+            explained
+                .candidates
+                .iter()
+                .find(|c| c.variant == name)
+                .unwrap()
+        };
+        assert_eq!(by_name("adaptive").excluded, Some("adaptive-gate"));
+        assert_eq!(by_name("hasharray").excluded, Some("quarantined"));
+        assert!(by_name("linked").excluded.is_none());
+    }
+
+    #[test]
+    fn explained_selection_bails_on_empty_workload() {
+        let explained = select_variant_explained(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &hist(&[profile(0, 0, 0, 0, 10)]),
+            |_| true,
+        );
+        assert!(explained.selection.is_none());
+        assert!(explained.candidates.is_empty());
+        assert_eq!(explained.current_primary_cost, 0.0);
     }
 
     #[test]

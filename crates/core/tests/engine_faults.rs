@@ -145,6 +145,17 @@ fn inverted_model_is_rolled_back_and_quarantined() {
         "a quarantined candidate must not be re-selected"
     );
     assert_eq!(engine.transition_log().len(), 1, "no new transition");
+
+    // The health summary tells the same story without trawling the log.
+    let health = engine.health();
+    assert!(!health.degraded);
+    assert_eq!(health.contexts, 1);
+    assert_eq!(health.analysis_passes, 3);
+    assert_eq!(health.transitions_used, 1);
+    assert_eq!(health.analyzer_panics, 0);
+    assert_eq!(health.events_dropped, 0);
+    assert_eq!(health.events_recorded, engine.event_log().len() as u64);
+    assert!(health.profiles_ingested > 0, "monitored instances reported");
 }
 
 #[test]
@@ -194,6 +205,18 @@ fn panicking_analyzer_degrades_instead_of_crashing() {
     let events_before = engine.event_log().len();
     engine.analyze_now();
     assert_eq!(engine.event_log().len(), events_before);
+
+    // health() is the triage surface for exactly this scenario: one call
+    // shows the freeze, the lifetime panic count, and that nothing was
+    // silently lost on the way down.
+    let health = engine.health();
+    assert!(health.degraded);
+    assert_eq!(health.analyzer_panics, 3);
+    assert_eq!(health.analysis_passes, 3, "degraded passes do not count");
+    assert_eq!(health.transitions_used, 0);
+    assert_eq!(health.events_dropped, 0);
+    assert_eq!(health.events_recorded, 4, "3 panics + 1 degraded-entered");
+    assert!(health.to_string().starts_with("DEGRADED"));
 }
 
 #[test]

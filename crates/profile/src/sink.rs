@@ -14,6 +14,8 @@ struct SinkInner {
     capacity: Option<usize>,
     /// Profiles discarded because the queue was full.
     dropped: u64,
+    /// Profiles ever pushed (accepted), including ones later evicted.
+    pushed: u64,
 }
 
 /// A cheaply clonable, thread-safe sink that monitored handles push their
@@ -70,6 +72,7 @@ impl ProfileSink {
                 queue: VecDeque::new(),
                 capacity: Some(capacity),
                 dropped: 0,
+                pushed: 0,
             })),
         }
     }
@@ -85,6 +88,14 @@ impl ProfileSink {
             }
         }
         inner.queue.push_back(profile);
+        inner.pushed += 1;
+    }
+
+    /// Number of profiles ever pushed into this sink, including profiles
+    /// later evicted by the capacity bound. `pushed() - dropped()` is the
+    /// number of profiles the analyzer actually got to see.
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().pushed
     }
 
     /// Number of profiles currently buffered.
@@ -188,6 +199,7 @@ mod tests {
         }
         assert_eq!(sink.len(), 5_000);
         assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.pushed(), 5_000);
         assert_eq!(sink.capacity(), None);
     }
 
@@ -201,6 +213,7 @@ mod tests {
         }
         assert_eq!(sink.len(), 3);
         assert_eq!(sink.dropped(), 4);
+        assert_eq!(sink.pushed(), 7, "evicted profiles still count as pushed");
         assert_eq!(sink.capacity(), Some(3));
         // The newest three survive, oldest first.
         let kept: Vec<usize> = sink.drain().iter().map(|p| p.max_size()).collect();

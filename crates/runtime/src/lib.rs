@@ -54,12 +54,14 @@ mod map;
 mod runtime;
 mod set;
 mod site;
+mod telemetry;
 mod tlb;
 
 pub use map::ConcurrentMap;
 pub use runtime::{Runtime, RuntimeConfig};
 pub use set::ConcurrentSet;
 pub use site::{SiteShared, SiteStats};
+pub use telemetry::site_stats_to_json;
 pub use tlb::flush_current_thread;
 
 // Concurrency is this crate's contract: every public handle must stay

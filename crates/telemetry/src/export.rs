@@ -1,0 +1,133 @@
+//! Pull-side exporters: mirror engine state into a [`MetricsRegistry`].
+//!
+//! The push side ([`MetricsSink`](crate::MetricsSink)) counts events as
+//! they happen; this module covers what events alone cannot — point-in-time
+//! state (degraded flag, context count) and totals maintained inside the
+//! engine (budget usage, log drops, profile drops, pass time). Call
+//! [`export_engine`] right before snapshotting, the way a Prometheus
+//! exporter refreshes on scrape.
+
+use cs_core::{EngineHealth, Switch};
+
+use crate::metrics::MetricsRegistry;
+
+/// Writes an [`EngineHealth`] into `registry` under the `cs_engine_*`
+/// families. Idempotent: repeated calls overwrite the same series.
+pub fn export_engine_health(registry: &MetricsRegistry, health: &EngineHealth) {
+    registry
+        .gauge(
+            "cs_engine_degraded",
+            "1 when adaptation is frozen after repeated analyzer failures.",
+            &[],
+        )
+        .set(i64::from(health.degraded));
+    registry
+        .gauge(
+            "cs_engine_contexts",
+            "Registered allocation contexts.",
+            &[],
+        )
+        .set(health.contexts as i64);
+    let totals: [(&str, &str, u64); 8] = [
+        (
+            "cs_engine_analysis_passes_total",
+            "Completed analysis passes (clean or panicked).",
+            health.analysis_passes,
+        ),
+        (
+            "cs_engine_transitions_used_total",
+            "Transitions claimed against the global budget.",
+            health.transitions_used,
+        ),
+        (
+            "cs_engine_events_recorded_total",
+            "Events ever recorded in the engine log.",
+            health.events_recorded,
+        ),
+        (
+            "cs_engine_events_dropped_total",
+            "Events lost to the bounded log's eviction.",
+            health.events_dropped,
+        ),
+        (
+            "cs_engine_profiles_ingested_total",
+            "Workload profiles accepted by per-site sinks.",
+            health.profiles_ingested,
+        ),
+        (
+            "cs_engine_profiles_dropped_total",
+            "Workload profiles discarded by bounded per-site sinks.",
+            health.profiles_dropped,
+        ),
+        (
+            "cs_engine_analyzer_panics_total",
+            "Lifetime analyzer panics.",
+            health.analyzer_panics,
+        ),
+        (
+            "cs_engine_sink_disconnects_total",
+            "Event subscribers disconnected because they panicked.",
+            health.sink_disconnects,
+        ),
+    ];
+    for (name, help, value) in totals {
+        registry.counter(name, help, &[]).set_total(value);
+    }
+}
+
+/// Refreshes `registry` from a live engine: [`export_engine_health`] plus
+/// cumulative analysis time.
+pub fn export_engine(registry: &MetricsRegistry, engine: &Switch) {
+    export_engine_health(registry, &engine.health());
+    registry
+        .counter(
+            "cs_engine_analysis_nanos_total",
+            "Cumulative wall-clock time spent in analysis passes, in nanoseconds.",
+            &[],
+        )
+        .set_total(engine.analysis_time_total().as_nanos() as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_export_round_trips() {
+        let health = EngineHealth {
+            degraded: true,
+            contexts: 3,
+            analysis_passes: 11,
+            transitions_used: 2,
+            events_recorded: 40,
+            events_dropped: 1,
+            profiles_ingested: 500,
+            profiles_dropped: 7,
+            analyzer_panics: 4,
+            sink_disconnects: 1,
+        };
+        let registry = MetricsRegistry::new();
+        export_engine_health(&registry, &health);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge_value("cs_engine_degraded"), Some(1));
+        assert_eq!(snap.gauge_value("cs_engine_contexts"), Some(3));
+        assert_eq!(
+            snap.counter_value("cs_engine_profiles_dropped_total"),
+            Some(7)
+        );
+        // Idempotent: a second export with fresh numbers overwrites.
+        export_engine_health(
+            &registry,
+            &EngineHealth {
+                degraded: false,
+                ..health
+            },
+        );
+        assert_eq!(
+            registry.snapshot().gauge_value("cs_engine_degraded"),
+            Some(0)
+        );
+        crate::validate_prometheus_text(&registry.snapshot().to_prometheus_text())
+            .expect("valid exposition");
+    }
+}

@@ -1,0 +1,403 @@
+//! A minimal JSON document model and serializer.
+//!
+//! The build environment pins every external dependency to a local shim, so
+//! there is no `serde`; this module is the crate's single JSON encoder,
+//! shared by the JSONL event sink, [`TelemetrySnapshot::to_json`]
+//! (crate::TelemetrySnapshot::to_json), and the bench binaries' result
+//! files. It emits strict RFC 8259 output: strings are escaped, non-finite
+//! floats become `null` (JSON has no NaN), and object key order is the
+//! insertion order so output is deterministic.
+
+use std::fmt::Write as _;
+
+use cs_core::{CandidateEstimate, EngineEvent, SelectionExplanation};
+
+/// A JSON value.
+///
+/// # Examples
+///
+/// ```
+/// use cs_telemetry::Json;
+///
+/// let doc = Json::object()
+///     .field("site", Json::str("IndexCursor:70"))
+///     .field("ops", Json::from(12_u64))
+///     .field("ratio", Json::from(0.5));
+/// assert_eq!(
+///     doc.render(),
+///     r#"{"site":"IndexCursor:70","ops":12,"ratio":0.5}"#
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (rendered without a decimal point).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float; non-finite values render as `null`.
+    Float(f64),
+    /// A string (escaped on render).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::UInt(u64::from(v))
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::String(v.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::String(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::field`] chaining.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// A string value (shorthand for `Json::from`).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::String(s.into())
+    }
+
+    /// Appends a key to an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not [`Json::Object`].
+    #[must_use]
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.into(), value.into())),
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serializes to a compact (single-line) JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation, for human-facing files.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => write_f64(out, *v),
+            Json::String(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no NaN/Infinity; `null` keeps the document parseable and
+        // makes the hole explicit instead of inventing a sentinel number.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn candidate_to_json(c: &CandidateEstimate) -> Json {
+    Json::object()
+        .field("variant", c.variant.as_str())
+        .field("primary_cost", c.primary_cost)
+        .field("primary_ratio", c.primary_ratio)
+        .field("satisfied", c.satisfied)
+        .field("excluded", c.excluded)
+}
+
+/// Serializes a [`SelectionExplanation`] — the decision audit record — with
+/// every candidate's estimate, for the JSONL stream and `explain` tooling.
+pub fn explanation_to_json(e: &SelectionExplanation) -> Json {
+    Json::object()
+        .field("context_id", e.context_id)
+        .field("context_name", e.context_name.as_str())
+        .field("abstraction", e.abstraction.to_string())
+        .field("rule", e.rule.as_str())
+        .field("round", e.round)
+        .field("current", e.current.as_str())
+        .field("current_primary_cost", e.current_primary_cost)
+        .field(
+            "candidates",
+            Json::Array(e.candidates.iter().map(candidate_to_json).collect()),
+        )
+        .field("winner", e.winner.as_deref())
+        .field("winning_margin", e.winning_margin)
+        .field("outcome", e.outcome.to_string())
+}
+
+/// Serializes any [`EngineEvent`] as a self-describing object whose `"event"`
+/// field is [`EngineEvent::kind_name`]. This is the line format of the JSONL
+/// sink, one event per line.
+///
+/// # Examples
+///
+/// ```
+/// use cs_core::{EngineEvent, ModelFallbackEvent};
+/// use cs_telemetry::event_to_json;
+///
+/// let event = EngineEvent::ModelFallback(ModelFallbackEvent {
+///     file: "lists.model".into(),
+///     reason: "garbage".into(),
+/// });
+/// assert_eq!(
+///     event_to_json(&event).render(),
+///     r#"{"event":"model_fallback","file":"lists.model","reason":"garbage"}"#
+/// );
+/// ```
+pub fn event_to_json(event: &EngineEvent) -> Json {
+    let doc = Json::object().field("event", event.kind_name());
+    match event {
+        EngineEvent::Transition(t) => doc
+            .field("context_id", t.context_id)
+            .field("context_name", t.context_name.as_str())
+            .field("abstraction", t.abstraction.to_string())
+            .field("from", t.from.as_str())
+            .field("to", t.to.as_str())
+            .field("round", t.round),
+        EngineEvent::Selection(e) => {
+            let Json::Object(audit) = explanation_to_json(e) else {
+                unreachable!("explanation_to_json returns an object");
+            };
+            let Json::Object(mut fields) = doc else {
+                unreachable!("doc is an object");
+            };
+            fields.extend(audit);
+            Json::Object(fields)
+        }
+        EngineEvent::Rollback(r) => doc
+            .field("context_id", r.context_id)
+            .field("context_name", r.context_name.as_str())
+            .field("abstraction", r.abstraction.to_string())
+            .field("from", r.from.as_str())
+            .field("to", r.to.as_str())
+            .field("predicted_ratio", r.predicted_ratio)
+            .field("realized_ratio", r.realized_ratio)
+            .field("round", r.round),
+        EngineEvent::Quarantine(q) => doc
+            .field("context_id", q.context_id)
+            .field("context_name", q.context_name.as_str())
+            .field("abstraction", q.abstraction.to_string())
+            .field("candidate", q.candidate.as_str())
+            .field("until_round", q.until_round)
+            .field("strikes", q.strikes)
+            .field("round", q.round),
+        EngineEvent::ModelFallback(m) => {
+            doc.field("file", m.file.as_str()).field("reason", m.reason.as_str())
+        }
+        EngineEvent::AnalyzerPanic(p) => doc
+            .field("consecutive", p.consecutive)
+            .field("message", p.message.as_str()),
+        EngineEvent::DegradedEntered(d) => {
+            doc.field("consecutive_failures", d.consecutive_failures)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::UInt(42).render(), "42");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\te\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nested_structures_render_compact() {
+        let doc = Json::object()
+            .field("xs", vec![1_u64, 2, 3])
+            .field("inner", Json::object().field("ok", true))
+            .field("nothing", Json::Null);
+        assert_eq!(
+            doc.render(),
+            r#"{"xs":[1,2,3],"inner":{"ok":true},"nothing":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_is_parseable_shape() {
+        let doc = Json::object().field("xs", vec![1_u64]).field("n", 2_u64);
+        let text = doc.render_pretty();
+        assert!(text.contains("\"xs\": [\n"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn option_maps_to_null() {
+        let none: Option<&str> = None;
+        assert_eq!(Json::from(none).render(), "null");
+        assert_eq!(Json::from(Some("x")).render(), "\"x\"");
+    }
+}

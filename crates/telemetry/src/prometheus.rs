@@ -1,0 +1,417 @@
+//! Prometheus text exposition (format version 0.0.4) and a strict
+//! validator for it.
+//!
+//! The renderer turns a [`TelemetrySnapshot`] into the plain-text format
+//! every Prometheus-compatible scraper accepts: `# HELP` / `# TYPE`
+//! comments followed by one sample per line, histograms expanded into
+//! cumulative `_bucket{le=…}` series plus `_sum` and `_count`. The
+//! validator re-parses that grammar from scratch — shared code would
+//! let one bug hide another — and is wired into CI so a malformed
+//! exposition fails the build, not the scrape.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::metrics::{FamilySnapshot, TelemetrySnapshot, ValueSnapshot};
+
+fn write_help_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_label_value_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders `{k="v",…}`; `extra` appends one more pair (used for `le`).
+fn write_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        write_label_value_escaped(out, v);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        write_label_value_escaped(out, v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn format_bound(bound: f64) -> String {
+    format!("{bound}")
+}
+
+fn render_family(out: &mut String, family: &FamilySnapshot) {
+    if !family.help.is_empty() {
+        out.push_str("# HELP ");
+        out.push_str(&family.name);
+        out.push(' ');
+        write_help_escaped(out, &family.help);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+    for series in &family.series {
+        match &series.value {
+            ValueSnapshot::Counter(v) => {
+                out.push_str(&family.name);
+                write_labels(out, &series.labels, None);
+                let _ = writeln!(out, " {v}");
+            }
+            ValueSnapshot::Gauge(v) => {
+                out.push_str(&family.name);
+                write_labels(out, &series.labels, None);
+                let _ = writeln!(out, " {v}");
+            }
+            ValueSnapshot::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                    cumulative += count;
+                    out.push_str(&family.name);
+                    out.push_str("_bucket");
+                    write_labels(out, &series.labels, Some(("le", &format_bound(*bound))));
+                    let _ = writeln!(out, " {cumulative}");
+                }
+                out.push_str(&family.name);
+                out.push_str("_bucket");
+                write_labels(out, &series.labels, Some(("le", "+Inf")));
+                let _ = writeln!(out, " {}", h.count);
+                out.push_str(&family.name);
+                out.push_str("_sum");
+                write_labels(out, &series.labels, None);
+                let _ = writeln!(out, " {}", h.sum);
+                out.push_str(&family.name);
+                out.push_str("_count");
+                write_labels(out, &series.labels, None);
+                let _ = writeln!(out, " {}", h.count);
+            }
+        }
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4). The output always passes
+    /// [`validate_prometheus_text`].
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            render_family(&mut out, family);
+        }
+        out
+    }
+}
+
+/// Validates a Prometheus text exposition: comment structure, metric and
+/// label grammar, parseable sample values, `# TYPE` at most once per family
+/// and before that family's samples, and no duplicate `(name, labelset)`
+/// series. Returns every violation with its 1-based line number.
+///
+/// # Errors
+///
+/// A `Vec` with one entry per violation (never empty on `Err`).
+///
+/// # Examples
+///
+/// ```
+/// use cs_telemetry::validate_prometheus_text;
+///
+/// assert!(validate_prometheus_text("# TYPE cs_up gauge\ncs_up 1\n").is_ok());
+/// assert!(validate_prometheus_text("2bad_name 1\n").is_err());
+/// ```
+pub fn validate_prometheus_text(text: &str) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    let mut typed: HashSet<String> = HashSet::new();
+    let mut sampled: HashSet<String> = HashSet::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("").trim();
+                if !is_metric_name(name) {
+                    errors.push(format!("line {lineno}: TYPE for invalid name {name:?}"));
+                    continue;
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    errors.push(format!("line {lineno}: unknown TYPE {kind:?} for {name}"));
+                }
+                if !typed.insert(name.to_owned()) {
+                    errors.push(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+                if sampled.contains(name) {
+                    errors.push(format!(
+                        "line {lineno}: TYPE for {name} after its samples"
+                    ));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !is_metric_name(name) {
+                    errors.push(format!("line {lineno}: HELP for invalid name {name:?}"));
+                }
+            }
+            // Other comments are free-form and always legal.
+            continue;
+        }
+        match parse_sample(line) {
+            Ok((name, labelset)) => {
+                let base = histogram_base(&name, &typed);
+                sampled.insert(base.to_owned());
+                let series_key = format!("{name}{{{labelset}}}");
+                if !seen_series.insert(series_key) {
+                    errors.push(format!(
+                        "line {lineno}: duplicate series {name}{{{labelset}}}"
+                    ));
+                }
+            }
+            Err(why) => errors.push(format!("line {lineno}: {why}")),
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Maps `x_bucket`/`x_sum`/`x_count` back to the histogram family `x` when
+/// `x` was declared via `# TYPE x histogram`; otherwise the sample name is
+/// its own family.
+fn histogram_base<'a>(name: &'a str, typed: &HashSet<String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if typed.contains(base) {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+fn is_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses one sample line; returns `(metric name, canonical labelset)`.
+fn parse_sample(line: &str) -> Result<(String, String), String> {
+    let mut rest = line;
+    let name_end = rest
+        .find(['{', ' '])
+        .ok_or_else(|| format!("sample has no value: {line:?}"))?;
+    let name = &rest[..name_end];
+    if !is_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    rest = &rest[name_end..];
+    let mut labels: Vec<(String, String)> = Vec::new();
+    if let Some(after_brace) = rest.strip_prefix('{') {
+        rest = after_brace;
+        loop {
+            rest = rest.trim_start_matches(',');
+            if let Some(after) = rest.strip_prefix('}') {
+                rest = after;
+                break;
+            }
+            let eq = rest
+                .find('=')
+                .ok_or_else(|| format!("label without '=' in {line:?}"))?;
+            let label = &rest[..eq];
+            if !is_label_name(label) {
+                return Err(format!("invalid label name {label:?}"));
+            }
+            rest = rest[eq + 1..]
+                .strip_prefix('"')
+                .ok_or_else(|| format!("label value for {label} not quoted"))?;
+            let mut value = String::new();
+            let mut chars = rest.char_indices();
+            let mut consumed = None;
+            while let Some((i, c)) = chars.next() {
+                match c {
+                    '"' => {
+                        consumed = Some(i + 1);
+                        break;
+                    }
+                    '\\' => match chars.next() {
+                        Some((_, 'n')) => value.push('\n'),
+                        Some((_, '\\')) => value.push('\\'),
+                        Some((_, '"')) => value.push('"'),
+                        other => {
+                            return Err(format!(
+                                "bad escape {:?} in label value",
+                                other.map(|(_, c)| c)
+                            ))
+                        }
+                    },
+                    c => value.push(c),
+                }
+            }
+            let consumed =
+                consumed.ok_or_else(|| format!("unterminated label value in {line:?}"))?;
+            rest = &rest[consumed..];
+            labels.push((label.to_owned(), value));
+        }
+    }
+    let rest = rest.trim_start();
+    let mut fields = rest.split_whitespace();
+    let value = fields
+        .next()
+        .ok_or_else(|| format!("sample has no value: {line:?}"))?;
+    let value_ok = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+    if !value_ok {
+        return Err(format!("unparseable sample value {value:?}"));
+    }
+    if let Some(ts) = fields.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("unparseable timestamp {ts:?}"));
+        }
+    }
+    if fields.next().is_some() {
+        return Err(format!("trailing garbage in {line:?}"));
+    }
+    let mut canonical: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect();
+    canonical.sort();
+    Ok((name.to_owned(), canonical.join(",")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("cs_transitions_total", "Transitions.", &[("site", "a\"b")])
+            .add(3);
+        registry.gauge("cs_degraded", "Degraded flag.", &[]).set(0);
+        let h = registry.histogram(
+            "cs_pass_seconds",
+            "Pass duration.",
+            &[],
+            &[0.001, 0.1],
+        );
+        h.observe(0.0005);
+        h.observe(0.05);
+        h.observe(3.0);
+        registry
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_validator() {
+        let text = sample_registry().snapshot().to_prometheus_text();
+        assert!(
+            validate_prometheus_text(&text).is_ok(),
+            "invalid exposition:\n{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let text = sample_registry().snapshot().to_prometheus_text();
+        assert!(text.contains("cs_pass_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("cs_pass_seconds_bucket{le=\"0.1\"} 2"));
+        assert!(text.contains("cs_pass_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("cs_pass_seconds_count 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let text = sample_registry().snapshot().to_prometheus_text();
+        assert!(text.contains(r#"cs_transitions_total{site="a\"b"} 3"#));
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_series() {
+        let text = "# TYPE cs_x counter\ncs_x{a=\"1\"} 1\ncs_x{a=\"1\"} 2\n";
+        let errors = validate_prometheus_text(text).unwrap_err();
+        assert!(errors[0].contains("duplicate series"));
+    }
+
+    #[test]
+    fn validator_rejects_type_after_samples() {
+        let text = "cs_x 1\n# TYPE cs_x counter\n";
+        let errors = validate_prometheus_text(text).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("after its samples")));
+    }
+
+    #[test]
+    fn validator_rejects_bad_names_and_values() {
+        assert!(validate_prometheus_text("2bad 1\n").is_err());
+        assert!(validate_prometheus_text("ok one\n").is_err());
+        assert!(validate_prometheus_text("ok{0l=\"x\"} 1\n").is_err());
+        assert!(validate_prometheus_text("ok{l=\"x} 1\n").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_inf_and_timestamps() {
+        assert!(validate_prometheus_text("x_bucket{le=\"+Inf\"} 4 1700000000\n").is_ok());
+    }
+
+    #[test]
+    fn histogram_children_do_not_collide_with_family_type() {
+        // _bucket/_sum/_count of a declared histogram must not be flagged
+        // as samples preceding their own TYPE line.
+        let text = sample_registry().snapshot().to_prometheus_text();
+        let doubled = format!("{text}{text}");
+        let errors = validate_prometheus_text(&doubled).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .all(|e| e.contains("duplicate") || e.contains("after its samples")),
+            "only duplication errors expected, got {errors:?}"
+        );
+    }
+}

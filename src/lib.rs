@@ -9,6 +9,8 @@
 //! * [`core`] — the adaptive selection framework ([`cs_core`]).
 //! * [`runtime`] — the sharded, thread-local-buffered concurrent selection
 //!   runtime ([`cs_runtime`]).
+//! * [`telemetry`] — metrics registry, event sinks, decision audit stream,
+//!   and Prometheus/JSON exposition ([`cs_telemetry`]).
 //! * [`workloads`] — workload generators and synthetic applications
 //!   ([`cs_workloads`]).
 //!
@@ -42,6 +44,7 @@ pub use cs_core as core;
 pub use cs_model as model;
 pub use cs_profile as profile;
 pub use cs_runtime as runtime;
+pub use cs_telemetry as telemetry;
 pub use cs_workloads as workloads;
 
 /// Commonly used items, re-exported in one place.
@@ -55,4 +58,8 @@ pub mod prelude {
     };
     pub use cs_model::{CostDimension, PerformanceModel};
     pub use cs_runtime::{ConcurrentMap, ConcurrentSet, Runtime, RuntimeConfig};
+    pub use cs_telemetry::{
+        validate_prometheus_text, JsonlSink, MetricsRegistry, MetricsSink, TelemetrySnapshot,
+        VecSink,
+    };
 }
