@@ -1,0 +1,61 @@
+//! Self-validating drift check: extract the allocation sites of *this
+//! file*, wire the same sites into a live engine, and compare the static
+//! manifest against [`cs_core::Switch::site_manifest`].
+//!
+//! Run with `cargo run -p cs-analyzer --example static_drift`. Exits
+//! non-zero if the drift check fails, so it doubles as an acceptance test:
+//! the static manifest must cover every named runtime site.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use cs_analyzer::{check_drift, drift_to_json, extract, ExtractOptions};
+use cs_collections::{ListKind, MapKind, SetKind};
+use cs_core::Switch;
+
+/// Creates the runtime contexts this file's static scan must account for:
+/// two named sites (anchored by their `named_*` literals) and one
+/// anonymous site (engine-minted name; reported, never a failure).
+fn wire_contexts(engine: &Switch) {
+    let cursor = engine.named_list_context::<i64>(ListKind::Array, "drift-demo:list");
+    let table = engine.named_map_context::<u64, u64>(MapKind::Chained, "drift-demo:map");
+    let scratch = engine.set_context::<u64>(SetKind::Chained);
+
+    // Exercise each site so the manifest reflects live, not vestigial,
+    // contexts.
+    let mut list = cursor.create_list();
+    let mut map = table.create_map();
+    let mut set = scratch.create_set();
+    for i in 0..64_i64 {
+        list.push(i);
+        map.insert(i as u64, i as u64);
+        set.insert(i as u64);
+    }
+}
+
+fn main() -> ExitCode {
+    // Static side: scan this very file, labelled with its workspace path so
+    // fingerprints look exactly like `cs-analyzer scan crates/analyzer`
+    // output.
+    let label = "crates/analyzer/examples/static_drift.rs";
+    let source_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/static_drift.rs");
+    let src = fs::read_to_string(&source_path).expect("own source readable");
+    let analysis = extract(label, &src, ExtractOptions::default());
+
+    // Dynamic side: a live engine with the contexts declared above.
+    let engine = Switch::builder().build();
+    wire_contexts(&engine);
+
+    let report = check_drift(&analysis.sites, &engine.site_manifest());
+    print!("{}", report.render());
+    println!("{}", drift_to_json(&report).render_pretty());
+
+    let anchored_both = report.matched.len() == 2 && report.anonymous.len() == 1;
+    if report.passes() && anchored_both {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("static manifest does not cover the runtime sites");
+        ExitCode::FAILURE
+    }
+}

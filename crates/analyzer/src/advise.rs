@@ -1,0 +1,295 @@
+//! The Perflint-style variant advisor.
+//!
+//! For every modeled allocation site the advisor synthesizes a workload
+//! profile from static usage evidence ([`crate::usage`]) and evaluates the
+//! calibrated [`cs_model`] cost models over every concrete variant of the
+//! site's abstraction — the same `tc_W(V) = instance(s) + Σ N_op·cost_op(s)`
+//! the dynamic engine minimizes, evaluated on synthetic counts instead of
+//! observed ones. When a different variant undercuts the declared one by at
+//! least [`AdviseOptions::min_speedup`], the site gets a recommendation:
+//!
+//! ```text
+//! site crates/app/src/filter.rs:42 — contains-dominated array list,
+//! hasharray estimated 3.1x cheaper (time)
+//! ```
+//!
+//! Adaptive variants are excluded from recommendations: a *static* advisor
+//! recommending "switch at runtime" would be abdicating, not advising.
+
+use cs_collections::{ListKind, MapKind, SetKind};
+use cs_model::{default_models, CostDimension, PerformanceModel};
+use std::fmt;
+use std::hash::Hash;
+
+use crate::extract::{DeclaredVariant, FileAnalysis, StaticSite};
+use crate::usage::{summarize, UsageSummary};
+
+/// Tuning knobs for the advisor.
+#[derive(Debug, Clone, Copy)]
+pub struct AdviseOptions {
+    /// Cost dimension to minimize.
+    pub dimension: CostDimension,
+    /// Minimum `declared_cost / best_cost` ratio before a recommendation is
+    /// emitted; below it the declared variant is considered good enough.
+    pub min_speedup: f64,
+}
+
+impl Default for AdviseOptions {
+    fn default() -> Self {
+        AdviseOptions {
+            dimension: CostDimension::Time,
+            min_speedup: 1.2,
+        }
+    }
+}
+
+/// A model-backed recommendation to change a site's declared variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The recommended variant's kind name (e.g. `hasharray`).
+    pub kind: String,
+    /// `tc_W` of the declared variant on the synthetic profile.
+    pub declared_cost: f64,
+    /// `tc_W` of the recommended variant on the same profile.
+    pub recommended_cost: f64,
+    /// `declared_cost / recommended_cost`.
+    pub speedup: f64,
+    /// The dimension the costs were evaluated on.
+    pub dimension: CostDimension,
+}
+
+/// The advisor's verdict for one site.
+#[derive(Debug, Clone)]
+pub struct SiteAdvice {
+    /// The site.
+    pub site: StaticSite,
+    /// The synthetic usage evidence behind the verdict.
+    pub summary: UsageSummary,
+    /// A recommendation, when the models found a clearly cheaper variant.
+    /// `None` means: keep the declared variant, or no usable evidence, or
+    /// the declared variant is unmodeled.
+    pub recommendation: Option<Recommendation>,
+    /// Why no recommendation was made, when applicable.
+    pub skip_reason: Option<&'static str>,
+}
+
+impl SiteAdvice {
+    /// One-line human diagnostic in the Perflint style.
+    pub fn render(&self) -> String {
+        let dominant = self
+            .summary
+            .dominant_op()
+            .map(|op| format!("{op}-dominated"))
+            .unwrap_or_else(|| "unprofiled".to_owned());
+        let declared = self
+            .site
+            .declared
+            .kind_name()
+            .unwrap_or_else(|| "unmodeled".to_owned());
+        let abstraction = self.site.declared.abstraction();
+        match &self.recommendation {
+            Some(r) => format!(
+                "site {} — {} {} {}, {} estimated {:.1}x cheaper ({})",
+                self.site.location(),
+                dominant,
+                declared,
+                abstraction,
+                r.kind,
+                r.speedup,
+                r.dimension,
+            ),
+            None => format!(
+                "site {} — {} {} {}: {}",
+                self.site.location(),
+                dominant,
+                declared,
+                abstraction,
+                self.skip_reason.unwrap_or("declared variant is best"),
+            ),
+        }
+    }
+}
+
+/// Evaluates every concrete (non-adaptive) variant of `model` against the
+/// synthetic profile, returning a recommendation when one beats `declared`
+/// by at least `min_speedup`.
+fn recommend<K>(
+    model: &PerformanceModel<K>,
+    declared: K,
+    adaptive: K,
+    summary: &UsageSummary,
+    opts: AdviseOptions,
+) -> (Option<Recommendation>, Option<&'static str>)
+where
+    K: Copy + Eq + Hash + fmt::Display,
+{
+    let Some(profile) = summary.to_profile() else {
+        return (None, Some("no usage evidence"));
+    };
+    let profiles = [profile];
+    let declared_cost = model.summed_cost(declared, opts.dimension, &profiles);
+    let best = model
+        .kinds()
+        .filter(|&k| k != adaptive)
+        .min_by(|&a, &b| {
+            model
+                .summed_cost(a, opts.dimension, &profiles)
+                .total_cmp(&model.summed_cost(b, opts.dimension, &profiles))
+        });
+    let Some(best) = best else {
+        return (None, Some("model has no variants"));
+    };
+    if best == declared {
+        return (None, None);
+    }
+    let best_cost = model.summed_cost(best, opts.dimension, &profiles);
+    if best_cost <= 0.0 || declared_cost <= 0.0 {
+        return (None, Some("degenerate model costs"));
+    }
+    let speedup = declared_cost / best_cost;
+    if speedup < opts.min_speedup {
+        return (None, None);
+    }
+    (
+        Some(Recommendation {
+            kind: best.to_string(),
+            declared_cost,
+            recommended_cost: best_cost,
+            speedup,
+            dimension: opts.dimension,
+        }),
+        None,
+    )
+}
+
+/// Runs the advisor over one extracted file.
+pub fn advise_file(analysis: &FileAnalysis, opts: AdviseOptions) -> Vec<SiteAdvice> {
+    analysis
+        .sites
+        .iter()
+        .map(|site| {
+            let summary = summarize(site, &analysis.facts);
+            let (recommendation, skip_reason) = match site.declared {
+                DeclaredVariant::List(k) => recommend(
+                    default_models::list_model(),
+                    k,
+                    ListKind::Adaptive,
+                    &summary,
+                    opts,
+                ),
+                DeclaredVariant::Set(k) => recommend(
+                    default_models::set_model(),
+                    k,
+                    SetKind::Adaptive,
+                    &summary,
+                    opts,
+                ),
+                DeclaredVariant::Map(k) => recommend(
+                    default_models::map_model(),
+                    k,
+                    MapKind::Adaptive,
+                    &summary,
+                    opts,
+                ),
+                DeclaredVariant::Unmodeled(_) => (None, Some("no cost model for this type")),
+            };
+            SiteAdvice {
+                site: site.clone(),
+                summary,
+                recommendation,
+                skip_reason,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract, ExtractOptions};
+    use cs_profile::OpKind;
+
+    fn advise_src(src: &str) -> Vec<SiteAdvice> {
+        let a = extract("t.rs", src, ExtractOptions::default());
+        advise_file(&a, AdviseOptions::default())
+    }
+
+    #[test]
+    fn contains_dominated_vec_gets_a_hash_backed_recommendation() {
+        let src = r#"
+fn filter(xs: &[u64]) -> usize {
+    let mut seen = Vec::with_capacity(512);
+    for x in xs {
+        if seen.contains(x) { continue; }
+        seen.push(*x);
+    }
+    seen.len()
+}
+"#;
+        let advice = advise_src(src);
+        assert_eq!(advice.len(), 1);
+        let rec = advice[0]
+            .recommendation
+            .as_ref()
+            .expect("contains-dominated Vec must draw a recommendation");
+        assert_eq!(rec.kind, ListKind::HashArray.to_string());
+        assert!(rec.speedup > 1.2, "speedup {}", rec.speedup);
+        assert_eq!(advice[0].summary.dominant_op(), Some(OpKind::Contains));
+        let line = advice[0].render();
+        assert!(line.contains("t.rs:3"), "{line}");
+        assert!(line.contains("hasharray"), "{line}");
+    }
+
+    #[test]
+    fn push_then_iterate_vec_is_left_alone() {
+        let src = r#"
+fn collect(xs: &[u64]) -> u64 {
+    let mut v = Vec::with_capacity(64);
+    for x in xs { v.push(*x); }
+    let mut sum = 0;
+    for x in &v { sum += *x; }
+    sum
+}
+"#;
+        let advice = advise_src(src);
+        assert_eq!(advice.len(), 1);
+        assert!(
+            advice[0].recommendation.is_none(),
+            "sequential Vec is already optimal: {:?}",
+            advice[0].recommendation
+        );
+    }
+
+    #[test]
+    fn no_evidence_sites_are_skipped_not_recommended() {
+        let advice = advise_src("fn f() { let v = Vec::new(); }");
+        assert!(advice[0].recommendation.is_none());
+        assert_eq!(advice[0].skip_reason, Some("no usage evidence"));
+    }
+
+    #[test]
+    fn unmodeled_types_are_listed_but_not_advised() {
+        let advice = advise_src("fn f() { let m = BTreeMap::new(); m.insert(1, 2); }");
+        assert_eq!(advice.len(), 1);
+        assert_eq!(advice[0].skip_reason, Some("no cost model for this type"));
+    }
+
+    #[test]
+    fn adaptive_is_never_recommended() {
+        let src = r#"
+fn f(xs: &[u64]) {
+    let mut s = HashSet::new();
+    for x in xs {
+        s.insert(*x);
+        s.contains(x);
+    }
+    for v in &s { drop(v); }
+}
+"#;
+        for a in advise_src(src) {
+            if let Some(r) = &a.recommendation {
+                assert_ne!(r.kind, "adaptive");
+            }
+        }
+    }
+}

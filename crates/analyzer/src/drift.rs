@@ -1,0 +1,205 @@
+//! Static ↔ runtime drift checking.
+//!
+//! The engine's [`site_manifest`](cs_core::Switch::site_manifest) says which
+//! allocation sites *registered at runtime*; the extractor says which sites
+//! *exist in source*. Drift between the two is how a CollectionSwitch
+//! deployment rots silently: a context created from source the analyzer
+//! cannot see (generated code, stale binaries), or instrumented sites that
+//! never run (dead feature flags) and keep paying their declared footprint.
+//!
+//! Matching is by name, strongest evidence first: a runtime site whose name
+//! equals a static site's declared `named_*` literal, its fingerprint
+//! (`path::item#ordinal`), or its location (`path:line`) is **anchored**.
+//! Auto-generated names (`list-site-3`, `cmap-0`, …) carry no source
+//! identity and are reported as **anonymous** — a warning, not a failure,
+//! because the engine mints them legitimately for anonymous contexts. A
+//! *named* runtime site matching nothing static is **unanchored** and fails
+//! the check: something registered under a name the source does not declare.
+//!
+//! The reverse direction — static context sites that never registered — is
+//! the **unexercised** list, informational by default (a scan of a library
+//! tree legitimately finds sites the example run never touches).
+
+use cs_core::SiteManifestEntry;
+
+use crate::extract::{SiteCategory, StaticSite};
+
+/// The outcome of one drift comparison.
+#[derive(Debug, Clone, Default)]
+pub struct DriftReport {
+    /// `(runtime name, static fingerprint)` pairs that anchored.
+    pub matched: Vec<(String, String)>,
+    /// Runtime sites with engine-minted anonymous names (warning).
+    pub anonymous: Vec<String>,
+    /// Named runtime sites with no static counterpart (failure).
+    pub unanchored: Vec<String>,
+    /// Static context/runtime sites that never registered (informational).
+    pub unexercised: Vec<String>,
+}
+
+impl DriftReport {
+    /// The check's pass criterion: every *named* runtime site is anchored
+    /// to a static site (static manifest ⊇ named runtime sites).
+    pub fn passes(&self) -> bool {
+        self.unanchored.is_empty()
+    }
+
+    /// Multi-line human rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "drift: {} anchored, {} anonymous, {} unanchored, {} unexercised — {}\n",
+            self.matched.len(),
+            self.anonymous.len(),
+            self.unanchored.len(),
+            self.unexercised.len(),
+            if self.passes() { "PASS" } else { "FAIL" }
+        ));
+        for (name, fp) in &self.matched {
+            out.push_str(&format!("  anchored   {name} -> {fp}\n"));
+        }
+        for name in &self.anonymous {
+            out.push_str(&format!("  anonymous  {name} (engine-minted name; no source identity)\n"));
+        }
+        for name in &self.unanchored {
+            out.push_str(&format!("  UNANCHORED {name} (no static site declares this name)\n"));
+        }
+        for fp in &self.unexercised {
+            out.push_str(&format!("  unexercised {fp} (static site never registered)\n"));
+        }
+        out
+    }
+}
+
+/// Is `name` one of the engine/runtime auto-generated site names?
+/// (`list-site-N` / `set-site-N` / `map-site-N` from the engine,
+/// `clist-N` / `cset-N` / `cmap-N` from the concurrent runtime.)
+pub fn is_auto_generated_name(name: &str) -> bool {
+    let numeric_suffix = |prefix: &str| {
+        name.strip_prefix(prefix)
+            .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+    };
+    numeric_suffix("list-site-")
+        || numeric_suffix("set-site-")
+        || numeric_suffix("map-site-")
+        || numeric_suffix("clist-")
+        || numeric_suffix("cset-")
+        || numeric_suffix("cmap-")
+}
+
+/// Compares the static site list against a runtime manifest.
+pub fn check_drift(static_sites: &[StaticSite], runtime: &[SiteManifestEntry]) -> DriftReport {
+    let mut report = DriftReport::default();
+    let mut anchored_fingerprints: Vec<String> = Vec::new();
+
+    for entry in runtime {
+        let hit = static_sites.iter().find(|s| {
+            s.declared_name.as_deref() == Some(entry.name.as_str())
+                || s.fingerprint() == entry.name
+                || s.location() == entry.name
+        });
+        match hit {
+            Some(site) => {
+                anchored_fingerprints.push(site.fingerprint());
+                report.matched.push((entry.name.clone(), site.fingerprint()));
+            }
+            None if is_auto_generated_name(&entry.name) => {
+                report.anonymous.push(entry.name.clone());
+            }
+            None => report.unanchored.push(entry.name.clone()),
+        }
+    }
+
+    // Reverse direction: static sites that *would* register (context or
+    // runtime category) but did not show up in the manifest.
+    for site in static_sites {
+        if matches!(site.category, SiteCategory::Context | SiteCategory::Runtime)
+            && !anchored_fingerprints.contains(&site.fingerprint())
+        {
+            report.unexercised.push(site.fingerprint());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract, ExtractOptions};
+    use cs_collections::Abstraction;
+
+    fn entry(name: &str, abstraction: Abstraction) -> SiteManifestEntry {
+        SiteManifestEntry {
+            id: 1,
+            name: name.to_owned(),
+            abstraction,
+            default_kind: "array".to_owned(),
+            current_kind: "array".to_owned(),
+        }
+    }
+
+    fn static_sites() -> Vec<StaticSite> {
+        let src = r#"
+fn wire(engine: &Switch) {
+    let a = engine.named_list_context::<i64>(ListKind::Array, "index-cursor");
+    let b = engine.set_context::<u64>(SetKind::Chained);
+}
+"#;
+        extract("src/wire.rs", src, ExtractOptions::default()).sites
+    }
+
+    #[test]
+    fn declared_names_anchor() {
+        let report = check_drift(
+            &static_sites(),
+            &[entry("index-cursor", Abstraction::List)],
+        );
+        assert!(report.passes());
+        assert_eq!(report.matched.len(), 1);
+        assert_eq!(report.matched[0].0, "index-cursor");
+        // The anonymous static context never registered: unexercised.
+        assert_eq!(report.unexercised, vec!["src/wire.rs::wire#1"]);
+    }
+
+    #[test]
+    fn fingerprints_and_locations_anchor_too() {
+        let sites = static_sites();
+        let by_fp = check_drift(&sites, &[entry("src/wire.rs::wire#1", Abstraction::Set)]);
+        assert!(by_fp.passes());
+        assert_eq!(by_fp.matched.len(), 1);
+
+        let by_loc = check_drift(&sites, &[entry("src/wire.rs:4", Abstraction::Set)]);
+        assert!(by_loc.passes());
+        assert_eq!(by_loc.matched.len(), 1);
+    }
+
+    #[test]
+    fn auto_generated_names_warn_but_pass() {
+        let report = check_drift(
+            &static_sites(),
+            &[
+                entry("set-site-7", Abstraction::Set),
+                entry("cmap-0", Abstraction::Map),
+            ],
+        );
+        assert!(report.passes());
+        assert_eq!(report.anonymous.len(), 2);
+    }
+
+    #[test]
+    fn unanchored_named_sites_fail() {
+        let report = check_drift(&static_sites(), &[entry("ghost-cache", Abstraction::Map)]);
+        assert!(!report.passes());
+        assert_eq!(report.unanchored, vec!["ghost-cache"]);
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn auto_name_detection_is_strict() {
+        assert!(is_auto_generated_name("list-site-12"));
+        assert!(is_auto_generated_name("cmap-0"));
+        assert!(!is_auto_generated_name("list-site-"));
+        assert!(!is_auto_generated_name("list-site-x"));
+        assert!(!is_auto_generated_name("session-cache"));
+    }
+}

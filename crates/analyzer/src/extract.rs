@@ -1,0 +1,1039 @@
+//! Allocation-site extraction and usage-fact collection.
+//!
+//! One pass over the [lexed](crate::lexer) token stream yields:
+//!
+//! * [`StaticSite`] — every collection allocation site: `std` constructors
+//!   (`Vec::new`, `HashMap::with_capacity`, …), `cs_collections` constructors
+//!   (`AnyList::new(ListKind::Array)`, adaptive wrappers), and CollectionSwitch
+//!   context/runtime registrations (`engine.named_set_context(…)`,
+//!   `runtime.concurrent_map(…)`). Each carries a *stable fingerprint* —
+//!   `path::enclosing_item#ordinal` — that survives line-number churn, plus
+//!   the exact `line:col` for diagnostics.
+//! * [`MethodFact`] — every `binding.method(…)` call and `for … in binding`
+//!   loop, with its loop-nest depth, so the [advisor](crate::advise) can
+//!   reconstruct a synthetic workload per site.
+//!
+//! The pass tracks enclosing items (`fn`/`mod`/`impl`/`trait` nesting) with a
+//! brace-depth stack and skips `#[cfg(test)]` items when asked — the
+//! self-lint must never flag a `.unwrap()` inside a test module.
+
+use std::fmt;
+
+use cs_collections::{Abstraction, ListKind, MapKind, SetKind};
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// What a site constructs, mapped into the model's kind space when possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeclaredVariant {
+    /// A list variant with a cost model.
+    List(ListKind),
+    /// A set variant with a cost model.
+    Set(SetKind),
+    /// A map variant with a cost model.
+    Map(MapKind),
+    /// A collection the models do not cover (`BTreeMap`, `VecDeque`, …):
+    /// listed in the manifest, skipped by the advisor.
+    Unmodeled(Abstraction),
+}
+
+impl DeclaredVariant {
+    /// The abstraction this site belongs to.
+    pub fn abstraction(self) -> Abstraction {
+        match self {
+            DeclaredVariant::List(_) => Abstraction::List,
+            DeclaredVariant::Set(_) => Abstraction::Set,
+            DeclaredVariant::Map(_) => Abstraction::Map,
+            DeclaredVariant::Unmodeled(a) => a,
+        }
+    }
+
+    /// The declared variant's model name, or `None` when unmodeled.
+    pub fn kind_name(self) -> Option<String> {
+        match self {
+            DeclaredVariant::List(k) => Some(k.to_string()),
+            DeclaredVariant::Set(k) => Some(k.to_string()),
+            DeclaredVariant::Map(k) => Some(k.to_string()),
+            DeclaredVariant::Unmodeled(_) => None,
+        }
+    }
+}
+
+/// How the site allocates: which API family the constructor belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteCategory {
+    /// A plain `std::collections` (or `Vec`) constructor.
+    Std,
+    /// A `cs_collections` variant constructor (`AnyList::new`, wrappers).
+    CsCollections,
+    /// An engine allocation context (`list_context`, `named_map_context`).
+    Context,
+    /// A concurrent runtime site (`concurrent_map`, `named_concurrent_set`).
+    Runtime,
+}
+
+impl fmt::Display for SiteCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SiteCategory::Std => "std",
+            SiteCategory::CsCollections => "cs-collections",
+            SiteCategory::Context => "context",
+            SiteCategory::Runtime => "runtime",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One collection allocation site found in source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticSite {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line of the constructor token.
+    pub line: u32,
+    /// 1-based column of the constructor token.
+    pub col: u32,
+    /// Enclosing item path (`mod::fn`), or `top` at file scope.
+    pub item: String,
+    /// 0-based index among the sites of the same enclosing item.
+    pub ordinal: u32,
+    /// Constructor spelling, e.g. `Vec::with_capacity` or `named_set_context`.
+    pub constructor: String,
+    /// What the site constructs.
+    pub declared: DeclaredVariant,
+    /// API family of the constructor.
+    pub category: SiteCategory,
+    /// The `let` binding the site initializes, when directly bound.
+    pub binding: Option<String>,
+    /// Capacity from a literal `with_capacity(n)` argument.
+    pub capacity_hint: Option<u64>,
+    /// Explicit site name from a literal `named_*` argument.
+    pub declared_name: Option<String>,
+    /// `true` when the site sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+impl StaticSite {
+    /// The stable fingerprint: `path::item#ordinal`. Resilient to line
+    /// drift (formatting, unrelated edits) while still unique per item.
+    pub fn fingerprint(&self) -> String {
+        format!("{}::{}#{}", self.path, self.item, self.ordinal)
+    }
+
+    /// `file:line` form for human-facing diagnostics.
+    pub fn location(&self) -> String {
+        format!("{}:{}", self.path, self.line)
+    }
+}
+
+/// One observed `receiver.method(…)` call or `for … in receiver` loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodFact {
+    /// The receiver binding name.
+    pub receiver: String,
+    /// Method name; the pseudo-method `for_in` records loop iteration.
+    pub method: String,
+    /// Enclosing item path at the call, matching [`StaticSite::item`].
+    pub item: String,
+    /// `for`/`while`/`loop` nesting depth at the call.
+    pub loop_depth: u32,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Extraction output for one source file.
+#[derive(Debug, Clone, Default)]
+pub struct FileAnalysis {
+    /// Allocation sites, in source order.
+    pub sites: Vec<StaticSite>,
+    /// Usage facts, in source order.
+    pub facts: Vec<MethodFact>,
+}
+
+/// Options for [`extract`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExtractOptions {
+    /// Skip items (and whole modules) guarded by `#[cfg(test)]`.
+    pub skip_cfg_test: bool,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            skip_cfg_test: true,
+        }
+    }
+}
+
+/// `std` / `cs_collections` type names the extractor recognizes, mapped to
+/// what their default construction yields.
+fn type_table(name: &str) -> Option<(DeclaredVariant, SiteCategory)> {
+    use DeclaredVariant as V;
+    use SiteCategory as C;
+    Some(match name {
+        "Vec" => (V::List(ListKind::Array), C::Std),
+        "LinkedList" => (V::List(ListKind::Linked), C::Std),
+        "VecDeque" => (V::Unmodeled(Abstraction::List), C::Std),
+        "HashMap" => (V::Map(MapKind::Chained), C::Std),
+        "BTreeMap" => (V::Unmodeled(Abstraction::Map), C::Std),
+        "HashSet" => (V::Set(SetKind::Chained), C::Std),
+        "BTreeSet" => (V::Unmodeled(Abstraction::Set), C::Std),
+        "AnyList" => (V::List(ListKind::Array), C::CsCollections),
+        "AnySet" => (V::Set(SetKind::Chained), C::CsCollections),
+        "AnyMap" => (V::Map(MapKind::Chained), C::CsCollections),
+        "ArrayList" => (V::List(ListKind::Array), C::CsCollections),
+        "HashArrayList" => (V::List(ListKind::HashArray), C::CsCollections),
+        "AdaptiveList" => (V::List(ListKind::Adaptive), C::CsCollections),
+        "AdaptiveSet" => (V::Set(SetKind::Adaptive), C::CsCollections),
+        "AdaptiveMap" => (V::Map(MapKind::Adaptive), C::CsCollections),
+        _ => return None,
+    })
+}
+
+/// Constructor method names accepted on a recognized type.
+fn is_constructor_method(name: &str) -> bool {
+    matches!(name, "new" | "with_capacity" | "default")
+}
+
+/// Engine/runtime site-creation methods, with abstraction and whether the
+/// first argument is the default kind.
+fn context_method(name: &str) -> Option<(Abstraction, SiteCategory, bool)> {
+    use Abstraction as A;
+    use SiteCategory as C;
+    Some(match name {
+        "list_context" => (A::List, C::Context, false),
+        "named_list_context" => (A::List, C::Context, true),
+        "set_context" => (A::Set, C::Context, false),
+        "named_set_context" => (A::Set, C::Context, true),
+        "map_context" => (A::Map, C::Context, false),
+        "named_map_context" => (A::Map, C::Context, true),
+        "concurrent_set" => (A::Set, C::Runtime, false),
+        "named_concurrent_set" => (A::Set, C::Runtime, true),
+        "concurrent_map" => (A::Map, C::Runtime, false),
+        "named_concurrent_map" => (A::Map, C::Runtime, true),
+        _ => return None,
+    })
+}
+
+/// Paper defaults declared at context creation when the kind argument cannot
+/// be parsed (`ListKind::Array`-style first arguments usually can).
+fn context_default(abstraction: Abstraction) -> DeclaredVariant {
+    match abstraction {
+        Abstraction::List => DeclaredVariant::List(ListKind::Array),
+        Abstraction::Set => DeclaredVariant::Set(SetKind::Chained),
+        Abstraction::Map => DeclaredVariant::Map(MapKind::Chained),
+    }
+}
+
+struct ItemFrame {
+    name: String,
+    depth: u32,
+    in_test: bool,
+    /// Running site ordinal within this item.
+    ordinal: u32,
+}
+
+struct Scanner<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    path: String,
+    opts: ExtractOptions,
+    depth: u32,
+    items: Vec<ItemFrame>,
+    loops: Vec<u32>,
+    /// `let` binding awaiting its initializer (cleared at `;` / `=` use).
+    pending_let: Option<String>,
+    /// `#[cfg(test)]` seen; applies to the next item at this depth.
+    pending_test_attr: bool,
+    /// Item keyword seen; its name, waiting for the opening `{`.
+    pending_item: Option<(String, bool)>,
+    /// A `for`/`while`/`loop` keyword seen; next `{` opens a loop body.
+    pending_loop: bool,
+    out: FileAnalysis,
+    file_ordinal: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn tok(&self, i: usize) -> Option<&'a Token> {
+        self.toks.get(i)
+    }
+
+    fn in_test(&self) -> bool {
+        self.items.last().is_some_and(|f| f.in_test)
+    }
+
+    fn item_path(&self) -> String {
+        if self.items.is_empty() {
+            "top".to_owned()
+        } else {
+            self.items
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>()
+                .join("::")
+        }
+    }
+
+    fn next_ordinal(&mut self) -> u32 {
+        match self.items.last_mut() {
+            Some(f) => {
+                let n = f.ordinal;
+                f.ordinal += 1;
+                n
+            }
+            None => {
+                let n = self.file_ordinal;
+                self.file_ordinal += 1;
+                n
+            }
+        }
+    }
+
+    /// `::` at `i`? (two consecutive `:` puncts)
+    fn is_path_sep(&self, i: usize) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(':'))
+            && self.tok(i + 1).is_some_and(|t| t.is_punct(':'))
+    }
+
+    /// Skips a balanced `<…>` generic-argument list starting at `i` (which
+    /// must point at `<`); returns the index just past the closing `>`.
+    /// Char literals and lifetimes are single tokens, so `<` / `>` counting
+    /// is exact here.
+    fn skip_generics(&self, mut i: usize) -> usize {
+        let mut depth = 0i32;
+        while let Some(t) = self.tok(i) {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            } else if t.is_punct('(') || t.is_punct('{') || t.is_punct(';') {
+                break; // malformed; bail out
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Matches `Type [::<…>] :: method (` with `Type` at `self.pos`.
+    /// Returns `(method index, paren index)`.
+    fn match_qualified_call(&self) -> Option<(usize, usize)> {
+        let mut i = self.pos + 1;
+        if !self.is_path_sep(i) {
+            return None;
+        }
+        i += 2;
+        if self.tok(i).is_some_and(|t| t.is_punct('<')) {
+            i = self.skip_generics(i);
+            if !self.is_path_sep(i) {
+                return None;
+            }
+            i += 2;
+        }
+        let method = self.tok(i)?;
+        if method.kind != TokenKind::Ident {
+            return None;
+        }
+        let paren = i + 1;
+        if !self.tok(paren).is_some_and(|t| t.is_punct('(')) {
+            return None;
+        }
+        Some((i, paren))
+    }
+
+    /// Parses `SomeKind::Variant` (optionally `open-`-style composites are
+    /// not spelled in source) starting at `i`, returning the declared
+    /// variant when the argument is a recognized kind path.
+    fn parse_kind_arg(&self, i: usize) -> Option<DeclaredVariant> {
+        let first = self.tok(i)?;
+        if first.kind != TokenKind::Ident || !self.is_path_sep(i + 1) {
+            return None;
+        }
+        let variant = self.tok(i + 3)?;
+        if variant.kind != TokenKind::Ident {
+            return None;
+        }
+        let name = variant.text.to_lowercase();
+        match first.text.as_str() {
+            "ListKind" => name.parse::<ListKind>().ok().map(DeclaredVariant::List),
+            "SetKind" => {
+                // `SetKind::Open(LibraryProfile::Koloboke)` spells two path
+                // segments; map the composite by probing the inner profile.
+                if name == "open" {
+                    let profile = self
+                        .tok(i + 5)
+                        .filter(|t| t.is_ident("LibraryProfile"))
+                        .and_then(|_| self.tok(i + 8))
+                        .map(|t| t.text.to_lowercase());
+                    let spelled = profile
+                        .map(|p| format!("open-{p}"))
+                        .unwrap_or_else(|| "open-koloboke".to_owned());
+                    return spelled.parse::<SetKind>().ok().map(DeclaredVariant::Set);
+                }
+                name.parse::<SetKind>().ok().map(DeclaredVariant::Set)
+            }
+            "MapKind" => {
+                if name == "open" {
+                    let profile = self
+                        .tok(i + 5)
+                        .filter(|t| t.is_ident("LibraryProfile"))
+                        .and_then(|_| self.tok(i + 8))
+                        .map(|t| t.text.to_lowercase());
+                    let spelled = profile
+                        .map(|p| format!("open-{p}"))
+                        .unwrap_or_else(|| "open-koloboke".to_owned());
+                    return spelled.parse::<MapKind>().ok().map(DeclaredVariant::Map);
+                }
+                name.parse::<MapKind>().ok().map(DeclaredVariant::Map)
+            }
+            _ => None,
+        }
+    }
+
+    /// Finds the first string literal among the call arguments starting at
+    /// the token after `(` at `paren`, scanning to the matching `)`. Used
+    /// for `named_*(…, "site-name")` capture.
+    fn literal_str_arg(&self, paren: usize) -> Option<String> {
+        let mut depth = 0i32;
+        let mut i = paren;
+        while let Some(t) = self.tok(i) {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    return None;
+                }
+            } else if t.kind == TokenKind::Str && depth == 1 {
+                return Some(t.text.clone());
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// A literal integer first argument (capacity hint), if present.
+    fn literal_int_arg(&self, paren: usize) -> Option<u64> {
+        let arg = self.tok(paren + 1)?;
+        if self.tok(paren + 2).is_some_and(|t| t.is_punct(')') || t.is_punct(',')) {
+            arg.int_value()
+        } else {
+            None
+        }
+    }
+
+    fn push_site(
+        &mut self,
+        tok: &Token,
+        constructor: String,
+        declared: DeclaredVariant,
+        category: SiteCategory,
+        capacity_hint: Option<u64>,
+        declared_name: Option<String>,
+    ) {
+        let ordinal = self.next_ordinal();
+        let site = StaticSite {
+            path: self.path.clone(),
+            line: tok.line,
+            col: tok.col,
+            item: self.item_path(),
+            ordinal,
+            constructor,
+            declared,
+            category,
+            binding: self.pending_let.clone(),
+            capacity_hint,
+            declared_name,
+            in_test: self.in_test(),
+        };
+        self.out.sites.push(site);
+    }
+
+    fn scan(&mut self) {
+        while self.pos < self.toks.len() {
+            let t = &self.toks[self.pos];
+            match t.kind {
+                TokenKind::Punct => self.scan_punct(),
+                TokenKind::Ident => self.scan_ident(),
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn scan_punct(&mut self) {
+        let t = &self.toks[self.pos];
+        match t.text.as_bytes()[0] {
+            b'{' => {
+                if let Some((name, test)) = self.pending_item.take() {
+                    if test && self.opts.skip_cfg_test {
+                        // Skip the whole item body.
+                        self.skip_balanced_braces();
+                        return;
+                    }
+                    self.items.push(ItemFrame {
+                        name,
+                        depth: self.depth,
+                        in_test: test || self.in_test(),
+                        ordinal: 0,
+                    });
+                } else if self.pending_loop {
+                    self.loops.push(self.depth);
+                }
+                self.pending_loop = false;
+                self.depth += 1;
+            }
+            b'}' => {
+                self.depth = self.depth.saturating_sub(1);
+                if self.items.last().is_some_and(|f| f.depth == self.depth) {
+                    self.items.pop();
+                }
+                if self.loops.last().copied() == Some(self.depth) {
+                    self.loops.pop();
+                }
+            }
+            b';' => {
+                self.pending_let = None;
+                self.pending_item = None;
+                self.pending_test_attr = false;
+            }
+            b'#'
+                if self.is_cfg_test_attr() => {
+                    self.pending_test_attr = true;
+                }
+            _ => {}
+        }
+        self.pos += 1;
+    }
+
+    /// `#[cfg(test)]` (or `#[cfg(any(test, …))]`) at `self.pos`?
+    fn is_cfg_test_attr(&self) -> bool {
+        if !self.tok(self.pos + 1).is_some_and(|t| t.is_punct('[')) {
+            return false;
+        }
+        if !self.tok(self.pos + 2).is_some_and(|t| t.is_ident("cfg")) {
+            return false;
+        }
+        // Scan the attribute body for a bare `test` ident.
+        let mut i = self.pos + 3;
+        let mut depth = 0i32;
+        while let Some(t) = self.tok(i) {
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                if depth == 0 {
+                    return false;
+                }
+                depth -= 1;
+            } else if t.is_ident("test") {
+                return true;
+            } else if i > self.pos + 32 {
+                return false;
+            }
+            i += 1;
+        }
+        false
+    }
+
+    /// With `self.pos` at a `{`: advances past its matching `}`.
+    fn skip_balanced_braces(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.tok(self.pos) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn scan_ident(&mut self) {
+        let t = &self.toks[self.pos];
+        match t.text.as_str() {
+            "fn" => {
+                // An item only when followed by a name (excludes `fn(i32)`
+                // pointer types).
+                if let Some(name) = self.tok(self.pos + 1).filter(|n| n.kind == TokenKind::Ident)
+                {
+                    self.pending_item = Some((name.text.clone(), self.pending_test_attr));
+                    self.pending_test_attr = false;
+                }
+                self.pos += 1;
+            }
+            "mod" | "trait" | "struct" | "enum" | "union" => {
+                if let Some(name) = self.tok(self.pos + 1).filter(|n| n.kind == TokenKind::Ident)
+                {
+                    self.pending_item = Some((name.text.clone(), self.pending_test_attr));
+                    self.pending_test_attr = false;
+                }
+                self.pos += 1;
+            }
+            "impl" => {
+                // Name the frame after the last type ident before `{`/`for`;
+                // `impl<T> Foo<T> for Bar<T>` → `Bar`.
+                let mut i = self.pos + 1;
+                let mut name = String::from("impl");
+                while let Some(t) = self.tok(i) {
+                    if t.is_punct('{') || t.is_punct(';') {
+                        break;
+                    }
+                    if t.kind == TokenKind::Ident && t.text != "for" && t.text != "where" {
+                        name = t.text.clone();
+                    }
+                    if t.is_ident("where") {
+                        break;
+                    }
+                    i += 1;
+                }
+                self.pending_item = Some((name, self.pending_test_attr));
+                self.pending_test_attr = false;
+                self.pos += 1;
+            }
+            "for" => {
+                // Loop header — unless part of `impl … for` (handled above,
+                // because `impl` consumed it in its lookahead) or an HRTB
+                // (`for<'a>`).
+                if self.pending_item.is_none()
+                    && !self.tok(self.pos + 1).is_some_and(|t| t.is_punct('<'))
+                {
+                    self.pending_loop = true;
+                    self.scan_for_in();
+                }
+                self.pos += 1;
+            }
+            "while" | "loop" => {
+                if self.pending_item.is_none() {
+                    self.pending_loop = true;
+                }
+                self.pos += 1;
+            }
+            "let" => {
+                if let Some(name) = self.let_binding_name() {
+                    self.pending_let = Some(name);
+                }
+                self.pos += 1;
+            }
+            "where" => {
+                self.pos += 1;
+            }
+            _ => self.scan_expr_ident(),
+        }
+    }
+
+    /// `let [mut] name` → the binding name; tuple/struct patterns yield
+    /// `None` (the advisor cannot attribute usage to them anyway).
+    fn let_binding_name(&self) -> Option<String> {
+        let mut i = self.pos + 1;
+        if self.tok(i).is_some_and(|t| t.is_ident("mut")) {
+            i += 1;
+        }
+        let name = self.tok(i)?;
+        if name.kind != TokenKind::Ident {
+            return None;
+        }
+        // Reject `let Some(x)`, `let (a, b)`: the next token after a plain
+        // binding is `:`, `=` or `;`.
+        match self.tok(i + 1) {
+            Some(t) if t.is_punct(':') || t.is_punct('=') || t.is_punct(';') => {
+                Some(name.text.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Records `for x in <receiver>` iteration facts (receiver is the last
+    /// plain ident of the iterated expression head: `&xs`, `xs.iter()`,
+    /// `xs` all attribute to `xs`).
+    fn scan_for_in(&mut self) {
+        let mut i = self.pos + 1;
+        // Find `in` within a short window (pattern part).
+        let mut guard = 0;
+        while let Some(t) = self.tok(i) {
+            if t.is_ident("in") {
+                break;
+            }
+            if t.is_punct('{') || guard > 24 {
+                return;
+            }
+            i += 1;
+            guard += 1;
+        }
+        // Receiver: first ident after `in`, skipping `&`/`mut`.
+        let mut j = i + 1;
+        while self
+            .tok(j)
+            .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+        {
+            j += 1;
+        }
+        if let Some(recv) = self.tok(j).filter(|t| t.kind == TokenKind::Ident) {
+            // Not a literal range or constructor call.
+            if recv.kind == TokenKind::Ident && !recv.text.is_empty() {
+                self.out.facts.push(MethodFact {
+                    receiver: recv.text.clone(),
+                    method: "for_in".to_owned(),
+                    item: self.item_path(),
+                    loop_depth: self.loops.len() as u32,
+                    line: recv.line,
+                });
+            }
+        }
+    }
+
+    /// Non-keyword ident: constructor patterns and method-call facts.
+    fn scan_expr_ident(&mut self) {
+        let t = &self.toks[self.pos];
+
+        // Pattern 1: `Type[::<…>]::method(` on a recognized collection type.
+        if let Some((decl, cat)) = type_table(&t.text) {
+            if let Some((mi, paren)) = self.match_qualified_call() {
+                let method = &self.toks[mi].text;
+                if is_constructor_method(method) {
+                    let cap = if method == "with_capacity" {
+                        self.literal_int_arg(paren)
+                    } else {
+                        None
+                    };
+                    // `AnyList::new(ListKind::Linked)` refines the declared
+                    // variant from the kind argument.
+                    let declared = if cat == SiteCategory::CsCollections {
+                        self.parse_kind_arg(paren + 1).unwrap_or(decl)
+                    } else {
+                        decl
+                    };
+                    self.push_site(
+                        t,
+                        format!("{}::{}", t.text, method),
+                        declared,
+                        cat,
+                        cap,
+                        None,
+                    );
+                    self.pos = paren + 1;
+                    return;
+                }
+            }
+        }
+
+        // Pattern 2: `recv.method(` — context creation or a usage fact.
+        if self.tok(self.pos + 1).is_some_and(|t| t.is_punct('.')) {
+            let mi = self.pos + 2;
+            let method = self.tok(mi).filter(|m| m.kind == TokenKind::Ident);
+            // Only direct `recv.method(` calls become facts, by design —
+            // chained calls (`map.entry(k).or_insert(0)`) attribute their
+            // head (`entry`).
+            if let Some(m) = method {
+                let mut paren = mi + 1;
+                // `recv.method::<T>(…)` turbofish.
+                if self.tok(paren).is_some_and(|t| t.is_punct(':'))
+                    && self.is_path_sep(paren)
+                    && self.tok(paren + 2).is_some_and(|t| t.is_punct('<'))
+                {
+                    paren = self.skip_generics(paren + 2);
+                }
+                if self.tok(paren).is_some_and(|t| t.is_punct('(')) {
+                    if let Some((abstraction, cat, named)) = context_method(&m.text) {
+                        let declared = self
+                            .parse_kind_arg(paren + 1)
+                            .unwrap_or(context_default(abstraction));
+                        let name = if named {
+                            self.literal_str_arg(paren)
+                        } else {
+                            None
+                        };
+                        self.push_site(m, m.text.clone(), declared, cat, None, name);
+                        self.pos = paren + 1;
+                        return;
+                    }
+                    self.out.facts.push(MethodFact {
+                        receiver: t.text.clone(),
+                        method: m.text.clone(),
+                        item: self.item_path(),
+                        loop_depth: self.loops.len() as u32,
+                        line: t.line,
+                    });
+                    self.pos = paren + 1;
+                    return;
+                }
+            }
+        }
+        self.pos += 1;
+    }
+}
+
+/// Extracts allocation sites and usage facts from one source file.
+///
+/// `path` is the label stamped on every site (use a workspace-relative,
+/// forward-slash path for stable fingerprints).
+///
+/// # Examples
+///
+/// ```
+/// use cs_analyzer::{extract, ExtractOptions};
+///
+/// let src = r#"
+/// fn hot(queries: &[u64]) -> usize {
+///     let mut blocked = Vec::with_capacity(512);
+///     for q in queries {
+///         if blocked.contains(q) { continue; }
+///         blocked.push(*q);
+///     }
+///     blocked.len()
+/// }
+/// "#;
+/// let analysis = extract("src/hot.rs", src, ExtractOptions::default());
+/// assert_eq!(analysis.sites.len(), 1);
+/// let site = &analysis.sites[0];
+/// assert_eq!(site.fingerprint(), "src/hot.rs::hot#0");
+/// assert_eq!(site.binding.as_deref(), Some("blocked"));
+/// assert_eq!(site.capacity_hint, Some(512));
+/// ```
+pub fn extract(path: &str, src: &str, opts: ExtractOptions) -> FileAnalysis {
+    let toks = lex(src);
+    let mut scanner = Scanner {
+        toks: &toks,
+        pos: 0,
+        path: path.to_owned(),
+        opts,
+        depth: 0,
+        items: Vec::new(),
+        loops: Vec::new(),
+        pending_let: None,
+        pending_test_attr: false,
+        pending_item: None,
+        pending_loop: false,
+        out: FileAnalysis::default(),
+        file_ordinal: 0,
+    };
+    scanner.scan();
+    scanner.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(src: &str) -> Vec<StaticSite> {
+        extract("t.rs", src, ExtractOptions::default()).sites
+    }
+
+    #[test]
+    fn std_constructors_with_fingerprints() {
+        let src = r#"
+fn build() {
+    let mut v = Vec::new();
+    let m = std::collections::HashMap::with_capacity(32);
+    v.push(m);
+}
+fn other() {
+    let s = HashSet::new();
+    drop(s);
+}
+"#;
+        let found = sites(src);
+        assert_eq!(found.len(), 3);
+        assert_eq!(found[0].fingerprint(), "t.rs::build#0");
+        assert_eq!(found[0].constructor, "Vec::new");
+        assert_eq!(found[0].binding.as_deref(), Some("v"));
+        assert_eq!(found[1].fingerprint(), "t.rs::build#1");
+        assert_eq!(found[1].capacity_hint, Some(32));
+        assert_eq!(found[2].fingerprint(), "t.rs::other#0");
+        assert_eq!(found[2].declared, DeclaredVariant::Set(SetKind::Chained));
+    }
+
+    #[test]
+    fn turbofish_and_nested_generics() {
+        let src = "fn f() { let v = Vec::<HashMap<u8, Vec<u8>>>::new(); v.clear(); }";
+        let found = sites(src);
+        // Only the outer turbofish constructor is a site; the type arguments
+        // inside `<…>` must not be mistaken for constructors.
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].constructor, "Vec::new");
+        assert_eq!(found[0].binding.as_deref(), Some("v"));
+    }
+
+    #[test]
+    fn cs_collections_kind_argument_refines_declared() {
+        let src = "fn f() { let l = AnyList::new(ListKind::Linked); }";
+        let found = sites(src);
+        assert_eq!(found[0].declared, DeclaredVariant::List(ListKind::Linked));
+        assert_eq!(found[0].category, SiteCategory::CsCollections);
+    }
+
+    #[test]
+    fn context_sites_capture_kind_and_name() {
+        let src = r#"
+fn wire(engine: &Switch) {
+    let ctx = engine.named_list_context::<i64>(ListKind::Array, "IndexCursor:70");
+    let anon = engine.set_context::<u64>(SetKind::Array);
+}
+"#;
+        let found = sites(src);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].category, SiteCategory::Context);
+        assert_eq!(found[0].declared, DeclaredVariant::List(ListKind::Array));
+        assert_eq!(found[0].declared_name.as_deref(), Some("IndexCursor:70"));
+        assert_eq!(found[1].declared, DeclaredVariant::Set(SetKind::Array));
+        assert_eq!(found[1].declared_name, None);
+    }
+
+    #[test]
+    fn runtime_sites_and_open_kinds() {
+        let src = r#"
+fn wire(rt: &Runtime) {
+    let m = rt.named_concurrent_map::<u64, u64>(
+        MapKind::Open(LibraryProfile::Koloboke),
+        "session-cache",
+    );
+}
+"#;
+        let found = sites(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].category, SiteCategory::Runtime);
+        assert_eq!(
+            found[0].declared.kind_name().as_deref(),
+            Some("open-koloboke")
+        );
+        assert_eq!(found[0].declared_name.as_deref(), Some("session-cache"));
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = r#"
+fn prod() { let v = Vec::new(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { let m = HashMap::new(); }
+}
+"#;
+        let found = sites(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].item, "prod");
+    }
+
+    #[test]
+    fn cfg_test_fn_without_module_is_skipped_too() {
+        let src = r#"
+#[cfg(test)]
+fn fixture() -> Vec<u8> { let v = Vec::new(); v }
+fn prod() { let s = HashSet::new(); }
+"#;
+        let found = sites(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].item, "prod");
+    }
+
+    #[test]
+    fn include_tests_option_keeps_them_with_flag() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn helper() { let m = HashMap::new(); }
+}
+"#;
+        let found = extract(
+            "t.rs",
+            src,
+            ExtractOptions {
+                skip_cfg_test: false,
+            },
+        )
+        .sites;
+        assert_eq!(found.len(), 1);
+        assert!(found[0].in_test);
+        assert_eq!(found[0].item, "tests::helper");
+    }
+
+    #[test]
+    fn constructors_in_strings_and_comments_are_ignored() {
+        let src = r##"
+fn f() {
+    let a = "Vec::new()";
+    let b = r#"HashMap::new()"#;
+    // let c = HashSet::new();
+    /* let d = BTreeMap::new(); */
+}
+"##;
+        assert!(sites(src).is_empty());
+    }
+
+    #[test]
+    fn method_facts_carry_loop_depth() {
+        let src = r#"
+fn scan(xs: &[u64]) {
+    let mut seen = Vec::new();
+    for x in xs {
+        if seen.contains(x) { continue; }
+        seen.push(*x);
+    }
+    for v in &seen { use_it(v); }
+    seen.sort();
+}
+"#;
+        let a = extract("t.rs", src, ExtractOptions::default());
+        let contains = a
+            .facts
+            .iter()
+            .find(|f| f.method == "contains")
+            .expect("contains fact");
+        assert_eq!(contains.receiver, "seen");
+        assert_eq!(contains.loop_depth, 1);
+        let sort = a.facts.iter().find(|f| f.method == "sort").unwrap();
+        assert_eq!(sort.loop_depth, 0);
+        let iter = a
+            .facts
+            .iter()
+            .filter(|f| f.method == "for_in" && f.receiver == "seen")
+            .count();
+        assert_eq!(iter, 1);
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = r#"
+impl Drop for Holder {
+    fn drop(&mut self) {
+        let mut v = Vec::new();
+        v.push(1);
+    }
+}
+"#;
+        let a = extract("t.rs", src, ExtractOptions::default());
+        assert_eq!(a.sites.len(), 1);
+        assert_eq!(a.sites[0].item, "Holder::drop");
+        let push = a.facts.iter().find(|f| f.method == "push").unwrap();
+        assert_eq!(push.loop_depth, 0, "impl-for must not open a loop frame");
+    }
+
+    #[test]
+    fn ordinals_are_per_item() {
+        let src = r#"
+fn a() { let x = Vec::new(); let y = Vec::new(); }
+fn b() { let z = Vec::new(); }
+"#;
+        let found = sites(src);
+        assert_eq!(
+            found.iter().map(|s| s.fingerprint()).collect::<Vec<_>>(),
+            vec!["t.rs::a#0", "t.rs::a#1", "t.rs::b#0"]
+        );
+    }
+
+    #[test]
+    fn nested_modules_compose_item_paths() {
+        let src = r#"
+mod outer {
+    mod inner {
+        fn build() { let v = Vec::new(); }
+    }
+}
+"#;
+        let found = sites(src);
+        assert_eq!(found[0].item, "outer::inner::build");
+    }
+}

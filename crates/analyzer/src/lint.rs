@@ -1,0 +1,551 @@
+//! Workspace self-lint: rules the generic clippy pass cannot express
+//! because they encode *this* codebase's invariants.
+//!
+//! Three rules, all token-level heuristics over the [lexed](crate::lexer)
+//! stream with the same item/`#[cfg(test)]` tracking the extractor uses:
+//!
+//! * [`RULE_NO_UNWRAP`] — no `.unwrap()` / `.expect(` in `cs-core`'s
+//!   engine/select/guard hot paths. A panic inside the selection engine
+//!   takes down the host application the framework promised to speed up
+//!   (the guardrail PR exists precisely because adaptation must never make
+//!   things worse).
+//! * [`RULE_NO_DISPATCH_UNDER_LOCK`] — no `.dispatch(` call while a named
+//!   lock guard is live. Sink dispatch runs arbitrary subscriber code;
+//!   doing so under an engine lock invites lock-order inversions (the
+//!   engine's `record_and_dispatch` deliberately drops the log lock first).
+//! * [`RULE_NO_UNBOUNDED_RING`] — no `VecDeque::new()` in a function with
+//!   no capacity discipline in sight. Every ring buffer in this codebase is
+//!   bounded by design (audit trails, event logs); an unbounded one is a
+//!   slow leak.
+//!
+//! Findings diff against a committed baseline keyed by
+//! `(rule, path, item, message)` — line numbers drift with every edit and
+//! would make the baseline a merge-conflict magnet.
+
+use std::collections::HashMap;
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Rule id: `.unwrap()`/`.expect(` in hot paths.
+pub const RULE_NO_UNWRAP: &str = "no-unwrap-hot-path";
+/// Rule id: sink dispatch while holding a lock guard.
+pub const RULE_NO_DISPATCH_UNDER_LOCK: &str = "no-dispatch-under-lock";
+/// Rule id: `VecDeque::new()` without capacity discipline.
+pub const RULE_NO_UNBOUNDED_RING: &str = "no-unbounded-ring";
+
+/// Paths (workspace-relative, forward slashes) subject to the unwrap rule.
+/// The engine, selection, and guard modules are the in-process hot path of
+/// every host application; everything else may justify a panic.
+fn unwrap_rule_applies(path: &str) -> bool {
+    path.starts_with("crates/core/src/")
+        && ["engine.rs", "select.rs", "guard.rs", "context.rs", "handles.rs"]
+            .iter()
+            .any(|f| path.ends_with(f))
+}
+
+/// The lock and ring rules apply to the whole engine/runtime/telemetry
+/// stack — anywhere subscriber code or ring buffers live.
+fn stack_rule_applies(path: &str) -> bool {
+    path.starts_with("crates/core/")
+        || path.starts_with("crates/runtime/")
+        || path.starts_with("crates/telemetry/")
+}
+
+/// One self-lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Rule id (one of the `RULE_*` constants).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line (informational; not part of the baseline key).
+    pub line: u32,
+    /// Enclosing item path.
+    pub item: String,
+    /// Human-readable finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The baseline key: everything except the line number, so formatting
+    /// and unrelated edits do not invalidate the committed baseline.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}|{}", self.rule, self.path, self.item, self.message)
+    }
+
+    /// Renders as `path:line [rule] (item) message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{} [{}] ({}) {}",
+            self.path, self.line, self.rule, self.item, self.message
+        )
+    }
+}
+
+/// A live lock guard: binding name and the brace depth of its block.
+struct Guard {
+    name: String,
+    depth: u32,
+}
+
+struct Linter<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    path: &'a str,
+    depth: u32,
+    items: Vec<(String, u32)>,
+    pending_item: Option<String>,
+    pending_test: bool,
+    guards: Vec<Guard>,
+    /// Per-item: does the item mention a `capacity`-flavoured identifier?
+    capacity_evidence: HashMap<String, bool>,
+    /// Deferred `VecDeque::new` findings resolved after the pass.
+    ring_sites: Vec<(String, u32)>,
+    out: Vec<Diagnostic>,
+}
+
+impl<'a> Linter<'a> {
+    fn tok(&self, i: usize) -> Option<&'a Token> {
+        self.toks.get(i)
+    }
+
+    fn item_path(&self) -> String {
+        if self.items.is_empty() {
+            "top".to_owned()
+        } else {
+            self.items
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>()
+                .join("::")
+        }
+    }
+
+    fn is_path_sep(&self, i: usize) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(':'))
+            && self.tok(i + 1).is_some_and(|t| t.is_punct(':'))
+    }
+
+    fn emit(&mut self, rule: &str, line: u32, message: String) {
+        self.out.push(Diagnostic {
+            rule: rule.to_owned(),
+            path: self.path.to_owned(),
+            line,
+            item: self.item_path(),
+            message,
+        });
+    }
+
+    /// `#[cfg(test)]`-guard detection, mirroring the extractor's.
+    fn is_cfg_test_attr(&self) -> bool {
+        if !self.tok(self.pos + 1).is_some_and(|t| t.is_punct('[')) {
+            return false;
+        }
+        if !self.tok(self.pos + 2).is_some_and(|t| t.is_ident("cfg")) {
+            return false;
+        }
+        let mut i = self.pos + 3;
+        while let Some(t) = self.tok(i) {
+            if t.is_punct(']') {
+                return false;
+            }
+            if t.is_ident("test") {
+                return true;
+            }
+            if i > self.pos + 32 {
+                return false;
+            }
+            i += 1;
+        }
+        false
+    }
+
+    fn skip_balanced_braces(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.tok(self.pos) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// `let [mut] name = … .lock() …;` starting at a `let` keyword: returns
+    /// the guard binding when the initializer acquires a lock.
+    fn lock_guard_binding(&self) -> Option<String> {
+        let mut i = self.pos + 1;
+        if self.tok(i).is_some_and(|t| t.is_ident("mut")) {
+            i += 1;
+        }
+        let name = self.tok(i).filter(|t| t.kind == TokenKind::Ident)?;
+        // Scan the initializer up to `;` for `.lock(` / `.read(` / `.write(`.
+        let mut saw_lock = false;
+        let mut j = i + 1;
+        let mut brace_guard = 0u32;
+        while let Some(t) = self.tok(j) {
+            if t.is_punct(';') && brace_guard == 0 {
+                break;
+            }
+            if t.is_punct('{') {
+                brace_guard += 1;
+            }
+            if t.is_punct('}') {
+                if brace_guard == 0 {
+                    break;
+                }
+                brace_guard -= 1;
+            }
+            // Only a lock acquired at the statement's own nesting level
+            // makes the binding a guard: in `let x = { ….lock()… }` the
+            // guard lives and dies inside the block expression.
+            if brace_guard == 0
+                && t.is_punct('.')
+                && self
+                    .tok(j + 1)
+                    .is_some_and(|m| m.is_ident("lock") || m.is_ident("read") || m.is_ident("write"))
+                && self.tok(j + 2).is_some_and(|p| p.is_punct('('))
+            {
+                saw_lock = true;
+            }
+            j += 1;
+        }
+        if saw_lock {
+            Some(name.text.clone())
+        } else {
+            None
+        }
+    }
+
+    fn scan(&mut self) {
+        while self.pos < self.toks.len() {
+            let t = &self.toks[self.pos];
+            match t.kind {
+                TokenKind::Punct => self.scan_punct(),
+                TokenKind::Ident => self.scan_ident(),
+                _ => self.pos += 1,
+            }
+        }
+        // Resolve deferred ring-buffer findings now that capacity evidence
+        // for every item is complete.
+        let rings = std::mem::take(&mut self.ring_sites);
+        for (item, line) in rings {
+            if !self.capacity_evidence.get(&item).copied().unwrap_or(false) {
+                self.out.push(Diagnostic {
+                    rule: RULE_NO_UNBOUNDED_RING.to_owned(),
+                    path: self.path.to_owned(),
+                    line,
+                    item: item.clone(),
+                    message: "VecDeque::new() with no capacity discipline in the enclosing item"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+
+    fn scan_punct(&mut self) {
+        let t = &self.toks[self.pos];
+        match t.text.as_bytes()[0] {
+            b'{' => {
+                if let Some(name) = self.pending_item.take() {
+                    self.items.push((name, self.depth));
+                }
+                self.depth += 1;
+            }
+            b'}' => {
+                self.depth = self.depth.saturating_sub(1);
+                while self
+                    .guards
+                    .last()
+                    .is_some_and(|g| g.depth > self.depth)
+                {
+                    self.guards.pop();
+                }
+                if self.items.last().is_some_and(|(_, d)| *d == self.depth) {
+                    self.items.pop();
+                }
+            }
+            b';' => {
+                self.pending_item = None;
+                self.pending_test = false;
+            }
+            b'#'
+                if self.is_cfg_test_attr() => {
+                    self.pending_test = true;
+                }
+            b'.' => {
+                self.scan_dot();
+            }
+            _ => {}
+        }
+        self.pos += 1;
+    }
+
+    /// `.method(` checks: unwrap/expect and dispatch-under-lock.
+    fn scan_dot(&mut self) {
+        let Some(m) = self.tok(self.pos + 1).filter(|m| m.kind == TokenKind::Ident) else {
+            return;
+        };
+        if !self.tok(self.pos + 2).is_some_and(|p| p.is_punct('(')) {
+            return;
+        }
+        let line = m.line;
+        match m.text.as_str() {
+            "unwrap" | "expect" if unwrap_rule_applies(self.path) => {
+                let msg = format!("`.{}()` on an engine hot path — return an error or degrade instead of panicking", m.text);
+                self.emit(RULE_NO_UNWRAP, line, msg);
+            }
+            "dispatch" if stack_rule_applies(self.path) && !self.guards.is_empty() => {
+                let holding = self
+                    .guards
+                    .iter()
+                    .map(|g| g.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let msg = format!(
+                    "sink dispatch while holding lock guard(s) `{holding}` — drop the guard before dispatching"
+                );
+                self.emit(RULE_NO_DISPATCH_UNDER_LOCK, line, msg);
+            }
+            _ => {}
+        }
+    }
+
+    fn scan_ident(&mut self) {
+        let t = &self.toks[self.pos];
+        match t.text.as_str() {
+            "fn" | "mod" | "trait" | "struct" | "enum" | "union" => {
+                if self.pending_test {
+                    // Skip the guarded item wholesale: find its `{` and jump
+                    // past the matching `}`. Items ending in `;` fall out of
+                    // the pending state naturally.
+                    self.pending_test = false;
+                    while let Some(t) = self.tok(self.pos) {
+                        if t.is_punct('{') {
+                            self.skip_balanced_braces();
+                            return;
+                        }
+                        if t.is_punct(';') {
+                            return;
+                        }
+                        self.pos += 1;
+                    }
+                    return;
+                }
+                if let Some(name) = self.tok(self.pos + 1).filter(|n| n.kind == TokenKind::Ident)
+                {
+                    self.pending_item = Some(name.text.clone());
+                }
+                self.pos += 1;
+            }
+            "impl" => {
+                let mut i = self.pos + 1;
+                let mut name = String::from("impl");
+                while let Some(t) = self.tok(i) {
+                    if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+                        break;
+                    }
+                    if t.kind == TokenKind::Ident && t.text != "for" {
+                        name = t.text.clone();
+                    }
+                    i += 1;
+                }
+                self.pending_item = Some(name);
+                self.pos += 1;
+            }
+            "let" => {
+                if let Some(guard) = self.lock_guard_binding() {
+                    self.guards.push(Guard {
+                        name: guard,
+                        depth: self.depth,
+                    });
+                }
+                self.pos += 1;
+            }
+            "drop" => {
+                // `drop(guard)` releases it early.
+                if self.tok(self.pos + 1).is_some_and(|t| t.is_punct('(')) {
+                    if let Some(arg) = self.tok(self.pos + 2) {
+                        self.guards.retain(|g| g.name != arg.text);
+                    }
+                }
+                self.pos += 1;
+            }
+            "VecDeque" => {
+                if self.is_path_sep(self.pos + 1)
+                    && self.tok(self.pos + 3).is_some_and(|t| t.is_ident("new"))
+                    && self.tok(self.pos + 4).is_some_and(|t| t.is_punct('('))
+                    && stack_rule_applies(self.path)
+                {
+                    self.ring_sites.push((self.item_path(), t.line));
+                }
+                self.pos += 1;
+            }
+            other => {
+                if other.to_ascii_lowercase().contains("capacity") {
+                    let item = self.item_path();
+                    self.capacity_evidence.insert(item, true);
+                }
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+/// Lints one source file; `path` decides which rules apply.
+pub fn lint_file(path: &str, src: &str) -> Vec<Diagnostic> {
+    let toks = lex(src);
+    let mut linter = Linter {
+        toks: &toks,
+        pos: 0,
+        path,
+        depth: 0,
+        items: Vec::new(),
+        pending_item: None,
+        pending_test: false,
+        guards: Vec::new(),
+        capacity_evidence: HashMap::new(),
+        ring_sites: Vec::new(),
+        out: Vec::new(),
+    };
+    linter.scan();
+    linter.out
+}
+
+/// Splits `current` findings into `(new, fixed)` relative to a baseline of
+/// [`Diagnostic::key`]s: `new` are findings absent from the baseline (CI
+/// failure), `fixed` are baseline keys no longer found (prune the baseline).
+pub fn diff_against_baseline(
+    current: &[Diagnostic],
+    baseline: &[String],
+) -> (Vec<Diagnostic>, Vec<String>) {
+    let current_keys: Vec<String> = current.iter().map(|d| d.key()).collect();
+    let fresh = current
+        .iter()
+        .filter(|d| !baseline.contains(&d.key()))
+        .cloned()
+        .collect();
+    let fixed = baseline
+        .iter()
+        .filter(|k| !current_keys.contains(k))
+        .cloned()
+        .collect();
+    (fresh, fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_engine_hot_path_is_flagged() {
+        let src = r#"
+fn select(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#;
+        let d = lint_file("crates/core/src/select.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_NO_UNWRAP);
+        assert_eq!(d[0].item, "select");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_outside_hot_paths_is_fine() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(lint_file("crates/workloads/src/runner.rs", src).is_empty());
+        assert!(lint_file("crates/core/src/event.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_tests_is_fine_even_in_hot_path_files() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn helper(x: Option<u32>) -> u32 { x.unwrap() }
+}
+"#;
+        assert!(lint_file("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn dispatch_under_lock_is_flagged() {
+        let src = r#"
+fn notify(&self) {
+    let log = self.log.lock();
+    self.sinks.dispatch(&log.last());
+}
+"#;
+        let d = lint_file("crates/core/src/event.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_NO_DISPATCH_UNDER_LOCK);
+        assert!(d[0].message.contains("`log`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn dispatch_after_scoped_lock_is_fine() {
+        // The engine's actual `record_and_dispatch` shape: lock in an inner
+        // block, dispatch after it closes.
+        let src = r#"
+fn notify(&self) {
+    let event = {
+        let log = self.log.lock();
+        log.last()
+    };
+    self.sinks.dispatch(&event);
+}
+"#;
+        assert!(lint_file("crates/core/src/event.rs", src).is_empty());
+    }
+
+    #[test]
+    fn dispatch_after_explicit_drop_is_fine() {
+        let src = r#"
+fn notify(&self) {
+    let log = self.log.lock();
+    let event = log.last();
+    drop(log);
+    self.sinks.dispatch(&event);
+}
+"#;
+        assert!(lint_file("crates/core/src/event.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_ring_is_flagged_and_capacity_evidence_clears_it() {
+        let bad = "fn make() -> VecDeque<u32> { VecDeque::new() }";
+        let d = lint_file("crates/core/src/event.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_NO_UNBOUNDED_RING);
+
+        let good = r#"
+fn make(capacity: usize) -> VecDeque<u32> {
+    let mut q = VecDeque::new();
+    q.reserve(capacity);
+    q
+}
+"#;
+        assert!(lint_file("crates/core/src/event.rs", good).is_empty());
+    }
+
+    #[test]
+    fn baseline_diff_separates_new_from_fixed() {
+        let d = lint_file(
+            "crates/core/src/select.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        );
+        let baseline = vec![d[0].key(), "stale|key|gone|msg".to_owned()];
+        let (fresh, fixed) = diff_against_baseline(&d, &baseline);
+        assert!(fresh.is_empty(), "baselined finding must not re-fire");
+        assert_eq!(fixed, vec!["stale|key|gone|msg".to_owned()]);
+
+        let (fresh2, _) = diff_against_baseline(&d, &[]);
+        assert_eq!(fresh2.len(), 1);
+    }
+}

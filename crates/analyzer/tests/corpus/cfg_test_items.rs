@@ -1,0 +1,32 @@
+//! Corpus: `#[cfg(test)]` exclusion. Sites inside test-gated items must
+//! not appear in the production manifest.
+
+fn production() -> Vec<u64> {
+    let mut out = Vec::with_capacity(8);
+    out.push(1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_allocates() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u8, 2u8);
+        assert_eq!(production().len(), 1);
+    }
+}
+
+#[cfg(test)]
+fn fixture_only() -> std::collections::HashSet<u8> {
+    let mut s = std::collections::HashSet::new();
+    s.insert(7);
+    s
+}
+
+fn also_production() {
+    let pairs = std::collections::HashMap::with_capacity(4);
+    let _: std::collections::HashMap<u8, u8> = pairs;
+}

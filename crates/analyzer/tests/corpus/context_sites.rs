@@ -1,0 +1,25 @@
+//! Corpus: CollectionSwitch context and runtime sites — declared kinds,
+//! declared names, and `cs_collections` constructors with kind arguments.
+
+fn wire_engine(engine: &cs_core::Switch) {
+    let cursor = engine.named_list_context::<i64>(ListKind::Array, "IndexCursor:70");
+    let scratch = engine.set_context::<u64>(SetKind::Compact);
+    let lookup = engine.named_map_context::<u64, u64>(
+        MapKind::Open(LibraryProfile::Eclipse),
+        "symbol-table",
+    );
+    drop((cursor, scratch, lookup));
+}
+
+fn wire_runtime(rt: &cs_runtime::Runtime) {
+    let cache = rt.named_concurrent_map::<u64, u64>(MapKind::Chained, "session-cache");
+    let seen = rt.concurrent_set::<u64>(SetKind::Chained);
+    drop((cache, seen));
+}
+
+fn wrappers() {
+    let any_list = AnyList::new(ListKind::Linked);
+    let any_set = AnySet::new(SetKind::Array);
+    let adaptive = AdaptiveMap::new(MapKind::Adaptive);
+    drop((any_list, any_set, adaptive));
+}

@@ -1,0 +1,46 @@
+//! Corpus: lexer hazards surrounding real allocation sites. Every
+//! constructor spelled inside a string or comment is a decoy and must NOT
+//! become a site.
+
+/* Outer block comment /* nested block */ still a comment: Vec::new() */
+
+fn raw_strings() -> usize {
+    let decoy = r#"HashSet::new() inside a raw string"#;
+    let deeper = r##"nested "# hash guard "##;
+    let mut real = Vec::new();
+    real.push(decoy.len());
+    real.push(deeper.len());
+    real.len()
+}
+
+fn generics_and_turbofish() {
+    let grid = Vec::<Vec<HashMap<u8, Vec<u8>>>>::new();
+    let boxed: Vec<Box<dyn Fn(u8) -> u8>> = Vec::new();
+    drop((grid, boxed));
+}
+
+fn lifetimes_and_chars<'a>(input: &'a str) -> (char, usize) {
+    let marker: char = 'x';
+    let escaped = '\'';
+    let unicode = '\u{1F600}';
+    let lifetime_ref: &'static str = "static decoy: BTreeSet::new()";
+    let mut chars = Vec::with_capacity(3);
+    chars.push(marker);
+    chars.push(escaped);
+    chars.push(unicode);
+    (chars[0], input.len() + lifetime_ref.len())
+}
+
+// line comment decoy: BTreeMap::new()
+fn comments_and_bytes() -> usize {
+    /* HashMap::with_capacity(999) */
+    let raw_ident = r#type_size();
+    let bytes = b"LinkedList::new()";
+    let real = HashSet::new();
+    let _: HashSet<u8> = real;
+    bytes.len() + raw_ident
+}
+
+fn r#type_size() -> usize {
+    4
+}

@@ -866,6 +866,63 @@ impl Switch {
         out.extend(registry.maps.iter().map(|c| summarize(c)));
         out
     }
+
+    /// The engine's *site manifest*: one row per registered allocation
+    /// context, sorted by site id. This is the dynamic side of the static
+    /// drift check — `cs-analyzer` compares it against the allocation sites
+    /// it finds in source, reporting static sites never exercised at
+    /// runtime and dynamic sites with no static counterpart.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cs_collections::{Abstraction, SetKind};
+    /// use cs_core::Switch;
+    ///
+    /// let engine = Switch::builder().build();
+    /// let _ctx = engine.named_set_context::<u64>(SetKind::Chained, "dedup-cache");
+    /// let manifest = engine.site_manifest();
+    /// assert_eq!(manifest.len(), 1);
+    /// assert_eq!(manifest[0].name, "dedup-cache");
+    /// assert_eq!(manifest[0].abstraction, Abstraction::Set);
+    /// assert_eq!(manifest[0].default_kind, "chained");
+    /// ```
+    pub fn site_manifest(&self) -> Vec<SiteManifestEntry> {
+        let registry = self.shared.registry.lock();
+        let mut out = Vec::with_capacity(
+            registry.lists.len() + registry.sets.len() + registry.maps.len(),
+        );
+        fn entry<K: Kind>(core: &ContextCore<K>) -> SiteManifestEntry {
+            SiteManifestEntry {
+                id: core.id(),
+                name: core.name().to_owned(),
+                abstraction: K::ABSTRACTION,
+                default_kind: core.default_kind().to_string(),
+                current_kind: core.current_kind().to_string(),
+            }
+        }
+        out.extend(registry.lists.iter().map(|c| entry(c)));
+        out.extend(registry.sets.iter().map(|c| entry(c)));
+        out.extend(registry.maps.iter().map(|c| entry(c)));
+        out.sort_by_key(|e| e.id);
+        out
+    }
+}
+
+/// One row of [`Switch::site_manifest`]: the identity of a registered
+/// allocation site, without the activity counters of [`ContextSummary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteManifestEntry {
+    /// Engine-assigned site id (monotone per engine).
+    pub id: u64,
+    /// Site label (developer-declared or auto-generated `*-site-N`).
+    pub name: String,
+    /// The site's abstraction.
+    pub abstraction: cs_collections::Abstraction,
+    /// Developer-declared default variant.
+    pub default_kind: String,
+    /// Variant currently instantiated.
+    pub current_kind: String,
 }
 
 /// Liveness summary returned by [`Switch::health`].

@@ -58,7 +58,9 @@ mod select;
 mod subscriber;
 
 pub use context::{ContextCore, ContextStats, ListContext, MapContext, SetContext};
-pub use engine::{ContextSummary, EngineHealth, Models, Switch, SwitchBuilder, SwitchConfig};
+pub use engine::{
+    ContextSummary, EngineHealth, Models, SiteManifestEntry, Switch, SwitchBuilder, SwitchConfig,
+};
 pub use event::{
     AnalyzerPanicEvent, CandidateEstimate, DegradedEvent, EngineEvent, ModelFallbackEvent,
     QuarantineEvent, RollbackEvent, SelectionExplanation, SelectionOutcome, TransitionEvent,

@@ -242,6 +242,25 @@ mod tests {
     }
 
     #[test]
+    fn site_manifest_reports_registered_sites() {
+        let rt = runtime();
+        let named = rt.named_concurrent_map::<u64, u64>(MapKind::Chained, "session-cache");
+        let anon = rt.concurrent_set::<u64>(SetKind::Chained);
+        let manifest = rt.site_manifest();
+        assert_eq!(manifest.len(), 2);
+        // Sorted by id, mirroring Switch::site_manifest.
+        assert_eq!(manifest[0].id, named.id());
+        assert_eq!(manifest[0].name, "session-cache");
+        assert_eq!(manifest[0].abstraction, cs_collections::Abstraction::Map);
+        assert_eq!(manifest[0].default_kind, "chained");
+        assert_eq!(manifest[0].current_kind, "chained");
+        assert_eq!(manifest[1].id, anon.id());
+        // Anonymous sites carry the runtime's auto-minted name.
+        assert_eq!(manifest[1].name, "cset-1");
+        assert_eq!(manifest[1].abstraction, cs_collections::Abstraction::Set);
+    }
+
+    #[test]
     fn handles_are_cheap_shared_clones() {
         let rt = runtime();
         let map = rt.concurrent_map::<u64, u64>(MapKind::Chained);

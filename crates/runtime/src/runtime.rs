@@ -215,4 +215,20 @@ impl Runtime {
         out.sort_by_key(|s| s.id);
         out
     }
+
+    /// The runtime's *site manifest*: identity rows for every registered
+    /// concurrent site, sorted by site id — the concurrent analogue of
+    /// [`Switch::site_manifest`]. `cs-analyzer`'s drift check matches these
+    /// rows against the allocation sites it extracts from source.
+    ///
+    /// Note the engine's own manifest already includes runtime sites (each
+    /// concurrent handle registers an engine context); this accessor exists
+    /// for hosts that run the runtime registry without engine access.
+    pub fn site_manifest(&self) -> Vec<cs_core::SiteManifestEntry> {
+        let mut out = Vec::with_capacity(self.registry.len());
+        self.registry
+            .for_each(|_, site| out.push(site.manifest_entry()));
+        out.sort_by_key(|e| e.id);
+        out
+    }
 }

@@ -74,6 +74,22 @@ impl CoreRef {
             CoreRef::Map(c) => c.current_kind().to_string(),
         }
     }
+
+    fn default_kind(&self) -> String {
+        match self {
+            CoreRef::List(c) => c.default_kind().to_string(),
+            CoreRef::Set(c) => c.default_kind().to_string(),
+            CoreRef::Map(c) => c.default_kind().to_string(),
+        }
+    }
+
+    fn abstraction(&self) -> cs_collections::Abstraction {
+        match self {
+            CoreRef::List(_) => cs_collections::Abstraction::List,
+            CoreRef::Set(_) => cs_collections::Abstraction::Set,
+            CoreRef::Map(_) => cs_collections::Abstraction::Map,
+        }
+    }
 }
 
 /// Shared state of one runtime site: exact cumulative op totals (updated in
@@ -124,6 +140,17 @@ impl SiteShared {
 
     pub(crate) fn policy(&self) -> FlushPolicy {
         self.policy
+    }
+
+    /// This site's row in [`Runtime::site_manifest`](crate::Runtime::site_manifest).
+    pub fn manifest_entry(&self) -> cs_core::SiteManifestEntry {
+        cs_core::SiteManifestEntry {
+            id: self.id,
+            name: self.name.clone(),
+            abstraction: self.core.abstraction(),
+            default_kind: self.core.default_kind(),
+            current_kind: self.core.current_kind(),
+        }
     }
 
     /// Folds one flushed thread-local buffer into the shared state: exact

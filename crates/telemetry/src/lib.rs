@@ -68,7 +68,7 @@ mod prometheus;
 mod sinks;
 
 pub use export::{export_engine, export_engine_health};
-pub use json::{event_to_json, explanation_to_json, Json};
+pub use json::{event_to_json, explanation_to_json, Json, JsonParseError};
 pub use metrics::{
     Counter, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricsRegistry,
     SeriesSnapshot, TelemetrySnapshot, ValueSnapshot,

@@ -1,0 +1,74 @@
+//! Advisor demo corpus: allocation sites with statically visible usage
+//! patterns, exercised by `cs-analyzer`'s golden tests and by
+//! `cargo run -p cs-analyzer -- advise crates/workloads`.
+//!
+//! Each function is an honest, runnable specimen of a pattern the paper's
+//! cost models price differently across variants:
+//!
+//! * [`blocked_senders`] — the classic Perflint finding: a `Vec` used as a
+//!   membership set, `contains` in the hot loop. The models price the
+//!   hash-indexed `hasharray` list far below the plain array here.
+//! * [`ordered_log`] — append-then-scan, the pattern `Vec` is *for*; the
+//!   advisor must leave it alone (zero false positives).
+//! * [`routing_table`] — a `HashMap` that is populated once and iterated
+//!   repeatedly; iteration-friendly variants undercut chained hashing.
+
+use std::collections::HashMap;
+
+/// A membership filter built on `Vec` — `contains` inside the request loop
+/// makes every lookup a linear scan. The advisor should recommend the
+/// hash-indexed list variant.
+fn blocked_senders(requests: &[u64]) -> usize {
+    let mut blocked = Vec::with_capacity(512);
+    let mut rejected = 0;
+    for req in requests {
+        if blocked.contains(req) {
+            rejected += 1;
+            continue;
+        }
+        if req % 7 == 0 {
+            blocked.push(*req);
+        }
+    }
+    rejected + blocked.len()
+}
+
+/// Append-only log drained by a single ordered scan: the array list is
+/// already the right call, and the advisor must not invent a finding here.
+fn ordered_log(events: &[u64]) -> u64 {
+    let mut log = Vec::with_capacity(256);
+    for e in events {
+        log.push(*e);
+    }
+    let mut checksum = 0u64;
+    for e in &log {
+        checksum = checksum.wrapping_mul(31).wrapping_add(*e);
+    }
+    checksum
+}
+
+/// A routing table populated once, then iterated per tick: iteration
+/// dominates, which the models price in favour of iteration-friendly
+/// variants over chained hashing.
+fn routing_table(ticks: usize) -> u64 {
+    let mut routes = HashMap::new();
+    for r in 0..64u64 {
+        routes.insert(r, r * 10);
+    }
+    let mut forwarded = 0u64;
+    for _ in 0..ticks {
+        for _ in 0..ticks {
+            for (_, next_hop) in routes.iter() {
+                forwarded = forwarded.wrapping_add(*next_hop);
+            }
+        }
+    }
+    forwarded
+}
+
+fn main() {
+    let requests: Vec<u64> = (0..4096).map(|i| i % 997).collect();
+    println!("blocked_senders: {}", blocked_senders(&requests));
+    println!("ordered_log: {}", ordered_log(&requests));
+    println!("routing_table: {}", routing_table(16));
+}

@@ -13,6 +13,8 @@
 //!   and Prometheus/JSON exposition ([`cs_telemetry`]).
 //! * [`workloads`] — workload generators and synthetic applications
 //!   ([`cs_workloads`]).
+//! * [`analyzer`] — static allocation-site extraction, the variant advisor,
+//!   runtime drift checks, and the workspace self-lint ([`cs_analyzer`]).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 //! let _ = ctx.current_kind();
 //! ```
 
+pub use cs_analyzer as analyzer;
 pub use cs_collections as collections;
 pub use cs_core as core;
 pub use cs_model as model;
