@@ -1,7 +1,7 @@
 //! Workspace self-lint: rules the generic clippy pass cannot express
 //! because they encode *this* codebase's invariants.
 //!
-//! Three rules, all token-level heuristics over the [lexed](crate::lexer)
+//! Four rules, all token-level heuristics over the [lexed](crate::lexer)
 //! stream with the same item/`#[cfg(test)]` tracking the extractor uses:
 //!
 //! * [`RULE_NO_UNWRAP`] — no `.unwrap()` / `.expect(` in `cs-core`'s
@@ -17,6 +17,14 @@
 //!   no capacity discipline in sight. Every ring buffer in this codebase is
 //!   bounded by design (audit trails, event logs); an unbounded one is a
 //!   slow leak.
+//! * [`RULE_NO_ALLOC_SPAN_PATH`] — no heap allocation or lock acquisition
+//!   inside the tracer's span fast path (`cs-trace`'s span/ring entry
+//!   points and the flight recorder's `on_event`). The tracer's overhead
+//!   claim rests on those paths costing a few atomics; an accidental
+//!   `format!` or `.lock()` silently invalidates the published
+//!   `cs_trace_overhead_ratio`. Cold-path functions in the same files
+//!   (thread registration, incident recording, cost calibration) are
+//!   deliberately outside the guarded item set.
 //!
 //! Findings diff against a committed baseline keyed by
 //! `(rule, path, item, message)` — line numbers drift with every edit and
@@ -32,6 +40,8 @@ pub const RULE_NO_UNWRAP: &str = "no-unwrap-hot-path";
 pub const RULE_NO_DISPATCH_UNDER_LOCK: &str = "no-dispatch-under-lock";
 /// Rule id: `VecDeque::new()` without capacity discipline.
 pub const RULE_NO_UNBOUNDED_RING: &str = "no-unbounded-ring";
+/// Rule id: allocation or locking on the tracer's span fast path.
+pub const RULE_NO_ALLOC_SPAN_PATH: &str = "no-alloc-in-span-path";
 
 /// Paths (workspace-relative, forward slashes) subject to the unwrap rule.
 /// The engine, selection, and guard modules are the in-process hot path of
@@ -50,6 +60,41 @@ fn stack_rule_applies(path: &str) -> bool {
         || path.starts_with("crates/runtime/")
         || path.starts_with("crates/telemetry/")
 }
+
+/// Files containing the tracer's span fast path.
+fn span_path_rule_applies(path: &str) -> bool {
+    [
+        "crates/trace/src/ring.rs",
+        "crates/trace/src/span.rs",
+        "crates/telemetry/src/flight.rs",
+    ]
+    .contains(&path)
+}
+
+/// Item names that form the span fast path in the files above. Everything
+/// runs per-span or per-op; anything not listed (thread registration,
+/// `record_incident`, `measure_tracer_costs`, snapshot collection) is a
+/// cold path allowed to allocate and lock.
+const SPAN_PATH_ITEMS: &[&str] = &[
+    // cs-trace span entry points and the whole `Span` impl (incl. Drop).
+    "span",
+    "op_span",
+    "enter",
+    "exit",
+    "Span",
+    "enabled",
+    "now_ns",
+    "with_local",
+    "add_app_time",
+    "credit_app_ops",
+    // ThreadRing per-span/per-op writers.
+    "push",
+    "add_app",
+    "prime_credit",
+    "credit_wall",
+    // The flight recorder's per-event dispatch hook.
+    "on_event",
+];
 
 /// One self-lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -124,6 +169,17 @@ impl<'a> Linter<'a> {
     fn is_path_sep(&self, i: usize) -> bool {
         self.tok(i).is_some_and(|t| t.is_punct(':'))
             && self.tok(i + 1).is_some_and(|t| t.is_punct(':'))
+    }
+
+    /// Is the scanner inside one of the span-fast-path items of a guarded
+    /// file? Any enclosing frame counts, so closures and nested helpers
+    /// declared inside a fast-path function stay covered.
+    fn in_span_path(&self) -> bool {
+        span_path_rule_applies(self.path)
+            && self
+                .items
+                .iter()
+                .any(|(name, _)| SPAN_PATH_ITEMS.contains(&name.as_str()))
     }
 
     fn emit(&mut self, rule: &str, line: u32, message: String) {
@@ -286,15 +342,39 @@ impl<'a> Linter<'a> {
         self.pos += 1;
     }
 
-    /// `.method(` checks: unwrap/expect and dispatch-under-lock.
+    /// `.method(` checks: unwrap/expect, dispatch-under-lock, and
+    /// span-path alloc/lock calls.
     fn scan_dot(&mut self) {
         let Some(m) = self.tok(self.pos + 1).filter(|m| m.kind == TokenKind::Ident) else {
             return;
         };
+        let line = m.line;
+        // `.collect::<T>()` carries a turbofish, so accept `::` as well as
+        // `(` for the span-path method checks.
+        let called = self.tok(self.pos + 2).is_some_and(|p| p.is_punct('('))
+            || self.is_path_sep(self.pos + 2);
+        if called && self.in_span_path() {
+            match m.text.as_str() {
+                "lock" | "read" | "write" => {
+                    let msg = format!(
+                        "`.{}()` on the span fast path — the tracer must stay lock-free",
+                        m.text
+                    );
+                    self.emit(RULE_NO_ALLOC_SPAN_PATH, line, msg);
+                }
+                "to_string" | "to_owned" | "to_vec" | "collect" => {
+                    let msg = format!(
+                        "`.{}()` allocates on the span fast path",
+                        m.text
+                    );
+                    self.emit(RULE_NO_ALLOC_SPAN_PATH, line, msg);
+                }
+                _ => {}
+            }
+        }
         if !self.tok(self.pos + 2).is_some_and(|p| p.is_punct('(')) {
             return;
         }
-        let line = m.line;
         match m.text.as_str() {
             "unwrap" | "expect" if unwrap_rule_applies(self.path) => {
                 let msg = format!("`.{}()` on an engine hot path — return an error or degrade instead of panicking", m.text);
@@ -316,7 +396,37 @@ impl<'a> Linter<'a> {
         }
     }
 
+    /// Allocation spelled as a constructor path or macro, checked against
+    /// the span fast path: `Vec::new(...)`, `Box::new(...)`, `vec![...]`,
+    /// `format!(...)`, and friends.
+    fn check_span_path_ident(&mut self) {
+        if !self.in_span_path() {
+            return;
+        }
+        let t = &self.toks[self.pos];
+        let line = t.line;
+        match t.text.as_str() {
+            "Vec" | "Box" | "String" | "VecDeque" | "Arc" | "HashMap" | "BTreeMap"
+                if self.is_path_sep(self.pos + 1)
+                    && self.tok(self.pos + 3).is_some_and(|n| {
+                        n.is_ident("new") || n.is_ident("from") || n.is_ident("with_capacity")
+                    })
+                    && self.tok(self.pos + 4).is_some_and(|p| p.is_punct('(')) =>
+            {
+                let ctor = format!("{}::{}", t.text, self.toks[self.pos + 3].text);
+                let msg = format!("`{ctor}` allocates on the span fast path");
+                self.emit(RULE_NO_ALLOC_SPAN_PATH, line, msg);
+            }
+            "vec" | "format" if self.tok(self.pos + 1).is_some_and(|p| p.is_punct('!')) => {
+                let msg = format!("`{}!` allocates on the span fast path", t.text);
+                self.emit(RULE_NO_ALLOC_SPAN_PATH, line, msg);
+            }
+            _ => {}
+        }
+    }
+
     fn scan_ident(&mut self) {
+        self.check_span_path_ident();
         let t = &self.toks[self.pos];
         match t.text.as_str() {
             "fn" | "mod" | "trait" | "struct" | "enum" | "union" => {
@@ -532,6 +642,73 @@ fn make(capacity: usize) -> VecDeque<u32> {
 }
 "#;
         assert!(lint_file("crates/core/src/event.rs", good).is_empty());
+    }
+
+    #[test]
+    fn span_path_alloc_and_lock_are_flagged() {
+        let src = r#"
+pub fn op_span(site: u64) -> Span {
+    let label = format!("site-{site}");
+    let parts: Vec<u64> = label.bytes().map(u64::from).collect::<Vec<u64>>();
+    let boxed = Box::new(parts);
+    let guard = REGISTRY.lock();
+    Span::disarmed()
+}
+"#;
+        let d = lint_file("crates/trace/src/span.rs", src);
+        let rules: Vec<&str> = d.iter().map(|x| x.rule.as_str()).collect();
+        assert!(rules.iter().all(|r| *r == RULE_NO_ALLOC_SPAN_PATH), "{d:?}");
+        assert_eq!(d.len(), 4, "format!, collect, Box::new, lock: {d:?}");
+        assert!(d.iter().all(|x| x.item == "op_span"));
+    }
+
+    #[test]
+    fn span_path_cold_functions_may_allocate() {
+        // Registration and calibration are deliberately outside the
+        // guarded item set — they run once per thread / process.
+        let src = r#"
+fn register_current_thread() -> LocalTrace {
+    let ring = Arc::new(ThreadRing::new(7));
+    registry().lock().push(Arc::clone(&ring));
+    LocalTrace { ring }
+}
+fn measure_tracer_costs() -> TracerCosts {
+    let samples: Vec<u64> = (0..8).map(|_| 1).collect();
+    TracerCosts { span_ns: samples[0], check_ns: 1 }
+}
+"#;
+        assert!(lint_file("crates/trace/src/span.rs", src).is_empty());
+    }
+
+    #[test]
+    fn span_path_rule_is_scoped_to_its_files() {
+        // The same hot item names elsewhere in the workspace are fine.
+        let src = "fn push(&self) { let line = format!(\"x\"); self.buf.lock().push(line); }";
+        assert!(lint_file("crates/core/src/event.rs", src).is_empty());
+        assert!(lint_file("crates/trace/src/snapshot.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_on_event_must_not_allocate() {
+        let src = r#"
+impl EngineEventSink for FlightRecorder {
+    fn on_event(&self, event: &EngineEvent) {
+        let trigger = event.name().to_owned();
+        self.record_incident(&trigger, Some(event));
+    }
+}
+impl FlightRecorder {
+    fn record_incident(&self, trigger: &str) {
+        let doc = format!("{{\"trigger\":\"{trigger}\"}}");
+        self.sink.write(doc);
+    }
+}
+"#;
+        let d = lint_file("crates/telemetry/src/flight.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_NO_ALLOC_SPAN_PATH);
+        assert!(d[0].item.contains("on_event"), "{}", d[0].item);
+        assert!(d[0].message.contains("to_owned"));
     }
 
     #[test]

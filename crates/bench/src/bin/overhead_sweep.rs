@@ -1,0 +1,311 @@
+//! Tracing self-overhead sweep: off vs. sampled vs. full.
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin overhead_sweep -- [--quick] [--out PATH]
+//! ```
+//!
+//! Runs the same closed-loop concurrent Zipf workload (the `runtime_sweep`
+//! workload shape) three times, once per [`TraceMode`], and writes
+//! `BENCH_overhead.json` (schema in EXPERIMENTS.md): per-mode throughput
+//! plus the tracer's own self-overhead account — calibrated tracer nanos,
+//! scaled framework (pipeline) nanos, wall-credited application nanos, and
+//! the `tracer / (tracer + app)` ratio that backs the
+//! `cs_trace_overhead_ratio` gauge (the pipeline share is reported
+//! separately as `pipeline_ratio`).
+//!
+//! This is the measured version of the paper's "negligible overhead" claim
+//! (§5.4), applied to the tracer itself, and it is a *gate*, not just a
+//! report: the process exits nonzero if the sampled-mode overhead ratio is
+//! at or above the budget (5% by default), which is how CI's
+//! `overhead-check` job fails.
+//!
+//! Flags and environment:
+//!
+//! | Knob | Default | Meaning |
+//! |---|---|---|
+//! | `--quick` / `CS_BENCH_QUICK=1` | off | tiny CI budget (2 threads, 30k ops/thread) |
+//! | `--out PATH` / `CS_BENCH_OUT` | `BENCH_overhead.json` | results file |
+//! | `CS_BENCH_THREADS` | `4` (first value used) | worker thread count |
+//! | `CS_BENCH_OPS` | `200000` | ops per thread |
+//! | `CS_BENCH_KEYS` | `16384` | Zipf key-space size |
+//! | `CS_OVERHEAD_BUDGET` | `0.05` | sampled-mode overhead-ratio gate |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cs_collections::MapKind;
+use cs_core::Switch;
+use cs_runtime::{Runtime, RuntimeConfig};
+use cs_telemetry::{
+    export_trace, validate_prometheus_text, Json, MetricsRegistry, MetricsSink,
+};
+use cs_trace::TraceMode;
+use cs_workloads::{run_concurrent_load, ConcurrentLoad, LoadReport};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Args {
+    out: String,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--out" {
+            out = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--out needs a path argument");
+                std::process::exit(2);
+            }));
+        } else if let Some(path) = arg.strip_prefix("--out=") {
+            out = Some(path.to_owned());
+        } else {
+            eprintln!("unknown argument {arg:?} (supported: --quick, --out PATH)");
+            std::process::exit(2);
+        }
+    }
+    Args {
+        out: out
+            .or_else(|| std::env::var("CS_BENCH_OUT").ok())
+            .unwrap_or_else(|| "BENCH_overhead.json".into()),
+        quick: quick || std::env::var("CS_BENCH_QUICK").is_ok_and(|v| v == "1"),
+    }
+}
+
+fn mode_name(mode: TraceMode) -> &'static str {
+    match mode {
+        TraceMode::Off => "off",
+        TraceMode::Sampled => "sampled",
+        TraceMode::Full => "full",
+    }
+}
+
+struct ModeRow {
+    mode: TraceMode,
+    report: LoadReport,
+    overhead: cs_trace::OverheadReport,
+    spans_recorded: u64,
+    spans_overwritten: u64,
+    threads_registered: usize,
+}
+
+fn run_mode(mode: TraceMode, threads: usize, ops_per_thread: u64, keys: u64) -> ModeRow {
+    // Fresh accounting per mode: rings and aggregates start at zero, and
+    // the mode is installed before any worker thread spins up.
+    cs_trace::reset();
+    cs_trace::set_mode(mode);
+
+    let registry = MetricsRegistry::new();
+    let rt = Runtime::with_config(
+        Switch::builder()
+            .event_sink(Arc::new(MetricsSink::new(registry.clone())))
+            .build(),
+        RuntimeConfig {
+            shards: 64,
+            flush_ops: 1024,
+            ..RuntimeConfig::default()
+        },
+    );
+    let map = rt.named_concurrent_map::<u64, u64>(MapKind::Chained, "overhead");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let analyzer = {
+        let rt = rt.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                rt.analyze_now();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    let report = run_concurrent_load(
+        &map,
+        ConcurrentLoad {
+            threads,
+            keys: keys as usize,
+            zipf_exponent: 0.99,
+            read_fraction: 0.9,
+            ops_per_thread,
+            phase_flip_every: None,
+            latency_sample_mask: 127,
+            seed: 42,
+        },
+    );
+    stop.store(true, Ordering::Relaxed);
+    analyzer.join().expect("analyzer thread panicked");
+
+    let stats = map.stats();
+    assert_eq!(
+        stats.ops, report.per_op_totals,
+        "site totals diverged from generator tallies in {} mode",
+        mode_name(mode)
+    );
+
+    let snap = cs_trace::snapshot();
+    // The tracer's telemetry mirror must render a valid exposition in
+    // every mode, including the all-zero off mode.
+    export_trace(&registry, &snap);
+    if let Err(errors) = validate_prometheus_text(&registry.snapshot().to_prometheus_text()) {
+        panic!("invalid Prometheus exposition in {} mode: {errors:?}", mode_name(mode));
+    }
+    cs_trace::set_mode(TraceMode::Off);
+
+    ModeRow {
+        mode,
+        report,
+        overhead: snap.overhead(),
+        spans_recorded: snap.total_recorded(),
+        spans_overwritten: snap.total_overwritten(),
+        threads_registered: snap.threads.len(),
+    }
+}
+
+fn json_row(row: &ModeRow, baseline_throughput: f64) -> Json {
+    let o = &row.overhead;
+    let slowdown = if row.report.throughput_ops_per_sec > 0.0 && baseline_throughput > 0.0 {
+        baseline_throughput / row.report.throughput_ops_per_sec
+    } else {
+        0.0
+    };
+    let phases = cs_trace::Phase::ALL.iter().fold(Json::object(), |doc, p| {
+        doc.field(p.name(), o.phase_counts[p.index()])
+    });
+    Json::object()
+        .field("mode", mode_name(row.mode))
+        .field("total_ops", row.report.total_ops)
+        .field("elapsed_secs", row.report.elapsed.as_secs_f64())
+        .field("throughput_ops_per_sec", row.report.throughput_ops_per_sec)
+        .field("throughput_slowdown_vs_off", slowdown)
+        .field(
+            "overhead",
+            Json::object()
+                .field("framework_nanos", o.framework_nanos)
+                .field("tracer_nanos", o.tracer_nanos)
+                .field("app_nanos", o.app_nanos)
+                .field("app_ops", o.app_ops)
+                .field("ratio", o.ratio())
+                .field("pipeline_ratio", o.pipeline_ratio())
+                .field("framework_nanos_per_op", o.framework_nanos_per_op()),
+        )
+        .field("spans_recorded", row.spans_recorded)
+        .field("spans_overwritten", row.spans_overwritten)
+        .field("threads_registered", row.threads_registered)
+        .field("phase_span_counts", phases)
+}
+
+fn main() {
+    let args = parse_args();
+    let budget = env_f64("CS_OVERHEAD_BUDGET", 0.05);
+    let (threads, ops_per_thread, keys) = if args.quick {
+        (
+            env_u64("CS_BENCH_THREADS", 2) as usize,
+            env_u64("CS_BENCH_OPS", 30_000),
+            env_u64("CS_BENCH_KEYS", 1_024),
+        )
+    } else {
+        (
+            env_u64("CS_BENCH_THREADS", 4) as usize,
+            env_u64("CS_BENCH_OPS", 200_000),
+            env_u64("CS_BENCH_KEYS", 16_384),
+        )
+    };
+
+    println!(
+        "# tracing overhead sweep: Zipf(0.99) 90% reads, {threads} threads, {ops_per_thread} ops/thread, {keys} keys"
+    );
+    println!("mode\tMops/s\tratio\tfw_ns/op\tspans");
+
+    let modes = [TraceMode::Off, TraceMode::Sampled, TraceMode::Full];
+    let rows: Vec<ModeRow> = modes
+        .iter()
+        .map(|&mode| {
+            let row = run_mode(mode, threads, ops_per_thread, keys);
+            println!(
+                "{}\t{:.3}\t{:.5}\t{:.1}\t{}",
+                mode_name(row.mode),
+                row.report.throughput_ops_per_sec / 1e6,
+                row.overhead.ratio(),
+                row.overhead.framework_nanos_per_op(),
+                row.spans_recorded,
+            );
+            row
+        })
+        .collect();
+
+    let baseline = rows
+        .first()
+        .map(|r| r.report.throughput_ops_per_sec)
+        .unwrap_or(0.0);
+    let sampled_ratio = rows
+        .iter()
+        .find(|r| r.mode == TraceMode::Sampled)
+        .map(|r| r.overhead.ratio())
+        .unwrap_or(0.0);
+    let pass = sampled_ratio < budget;
+
+    let doc = Json::object()
+        .field("bench", "overhead_sweep")
+        .field(
+            "workload",
+            Json::object()
+                .field("threads", threads)
+                .field("zipf_exponent", 0.99)
+                .field("read_fraction", 0.9)
+                .field("ops_per_thread", ops_per_thread)
+                .field("keys", keys),
+        )
+        .field("hw_threads", cpus())
+        .field("quick", args.quick)
+        .field("op_sample_mask", cs_trace::op_sample_mask())
+        .field(
+            "gate",
+            Json::object()
+                .field("budget", budget)
+                .field("sampled_overhead_ratio", sampled_ratio)
+                .field("pass", pass),
+        )
+        .field(
+            "rows",
+            Json::Array(rows.iter().map(|r| json_row(r, baseline)).collect()),
+        );
+    std::fs::write(&args.out, doc.render_pretty()).expect("write results file");
+    println!("# wrote {}", args.out);
+
+    println!(
+        "# sampled overhead ratio {sampled_ratio:.5} vs budget {budget} -> {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        eprintln!(
+            "overhead gate failed: sampled tracing claims {:.2}% of accounted time (budget {:.2}%)",
+            sampled_ratio * 100.0,
+            budget * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
+fn cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Sweeps a closed-loop Zipf read-heavy workload (`cs_workloads::concurrent`)
-//! over 1 → N threads on one [`ConcurrentMap`] site, with the engine's
+//! over 1 → N threads on one [`ConcurrentMap`](cs_runtime::ConcurrentMap)
+//! site, with the engine's
 //! analyzer running concurrently, and writes `BENCH_runtime.json` (schema in
 //! EXPERIMENTS.md): per-thread-count throughput, p50/p99 op latency, and the
 //! runtime's flush/contention/transition counters. Every run cross-checks
@@ -15,7 +16,9 @@
 //! Each run is fully instrumented with `cs-telemetry`: a
 //! [`MetricsSink`] subscribes to the engine, [`Runtime::export_metrics`]
 //! mirrors the runtime counters on completion, and the per-run snapshots
-//! are written alongside the results as `<out stem>.telemetry.json`. The
+//! are written alongside the results as `<out stem>.telemetry.json`,
+//! headed by the workload parameters and the source revision
+//! (`git describe`) so the artifact is interpretable on its own. The
 //! Prometheus rendering of every snapshot is checked with
 //! [`validate_prometheus_text`] — the benchmark doubles as an end-to-end
 //! telemetry test.
@@ -237,23 +240,43 @@ fn main() {
     println!("# wrote {out}");
 
     // The per-run telemetry snapshots ride alongside the results file:
-    // `X.json` -> `X.telemetry.json`.
+    // `X.json` -> `X.telemetry.json`. The header stamps the workload
+    // parameters and the source revision — a snapshot file found on its
+    // own (a CI artifact, say) must be interpretable without the results
+    // file it was generated next to.
     let telemetry_path = match out.strip_suffix(".json") {
         Some(stem) => format!("{stem}.telemetry.json"),
         None => format!("{out}.telemetry.json"),
     };
-    let telemetry_doc = Json::object().field("bench", "runtime_sweep").field(
-        "snapshots",
-        Json::Array(
-            rows.iter()
-                .map(|row| {
-                    Json::object()
-                        .field("threads", row.threads)
-                        .field("telemetry", row.telemetry.to_json())
-                })
-                .collect(),
-        ),
-    );
+    let telemetry_doc = Json::object()
+        .field("bench", "runtime_sweep")
+        .field("git", git_describe())
+        .field(
+            "workload",
+            Json::object()
+                .field(
+                    "threads",
+                    Json::Array(threads.iter().map(|&t| Json::from(t)).collect()),
+                )
+                .field("zipf_exponent", 0.99)
+                .field("read_fraction", 0.9)
+                .field("ops_per_thread", ops_per_thread)
+                .field("keys", keys),
+        )
+        .field("hw_threads", cpus())
+        .field("quick", quick)
+        .field(
+            "snapshots",
+            Json::Array(
+                rows.iter()
+                    .map(|row| {
+                        Json::object()
+                            .field("threads", row.threads)
+                            .field("telemetry", row.telemetry.to_json())
+                    })
+                    .collect(),
+            ),
+        );
     std::fs::write(&telemetry_path, telemetry_doc.render_pretty())
         .expect("write telemetry snapshot file");
     println!("# wrote {telemetry_path} (Prometheus rendering validated per run)");
@@ -263,4 +286,19 @@ fn cpus() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Source revision for the snapshot header; `"unknown"` outside a git
+/// checkout (a source tarball, a bare CI cache) rather than a failure —
+/// the stamp is provenance, not a gate.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
 }

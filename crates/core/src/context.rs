@@ -173,7 +173,7 @@ impl<K: Kind> ContextCore<K> {
             .then(|| Monitor::new(self.sink.clone()))
     }
 
-    /// Ingests an externally accumulated [`WorkloadProfile`] as one finished
+    /// Ingests an externally accumulated [`WorkloadProfile`](cs_profile::WorkloadProfile) as one finished
     /// monitored "instance" of this site.
     ///
     /// This is the feedback channel for *long-lived concurrent* collections
@@ -191,6 +191,9 @@ impl<K: Kind> ContextCore<K> {
         if self.is_frozen() {
             return false;
         }
+        // One ingest span per accepted profile: the span count agrees
+        // exactly with the site's flush count on the concurrent path.
+        let _span = cs_trace::span(cs_trace::Phase::Ingest, self.id);
         self.window.try_claim_slot(self.config.window_size);
         self.sink.push(profile);
         true
@@ -274,6 +277,7 @@ impl<K: Kind> ContextCore<K> {
         // less comparable with time.
         let mut rolled_back = false;
         if let Some(pending) = guard.pending.take() {
+            let _verify_span = cs_trace::span(cs_trace::Phase::Verify, self.id);
             let verifiable = guard_cfg.verification_enabled()
                 && rule.primary().dimension == CostDimension::Time
                 && self.current.load(Ordering::Acquire) == pending.new_index
@@ -319,6 +323,7 @@ impl<K: Kind> ContextCore<K> {
 
         let current = self.current_kind();
         let explained = if !rolled_back && guard.cooldown_ok(round, guard_cfg) {
+            let _decision_span = cs_trace::span(cs_trace::Phase::Decision, self.id);
             Some(select_variant_explained(model, rule, current, &history, |k| {
                 !guard.is_quarantined(k.index(), round)
             }))
@@ -363,6 +368,9 @@ impl<K: Kind> ContextCore<K> {
             *self.last_explanation.lock() = Some(explanation);
             return None;
         }
+        // The switch commits from here on: one SwitchExec span per
+        // transition event, so span and event counts agree exactly.
+        let _switch_span = cs_trace::span(cs_trace::Phase::SwitchExec, self.id);
         explanation.outcome = SelectionOutcome::Switched;
         events.push(EngineEvent::Selection(explanation.clone()));
         *self.last_explanation.lock() = Some(explanation);

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -295,6 +295,38 @@ impl fmt::Debug for Switch {
             .field("contexts", &self.context_count())
             .field("background", &self.analyzer.is_some())
             .finish()
+    }
+}
+
+/// A non-owning handle to a [`Switch`], obtained from
+/// [`Switch::downgrade`].
+///
+/// Holding one never keeps the engine (or its background analyzer) alive —
+/// exactly what a subscriber registered *on* the engine needs to query it
+/// back (e.g. the flight recorder fetching a
+/// [`SelectionExplanation`] for an incident) without creating a
+/// reference cycle through the sink registry.
+#[derive(Debug, Clone)]
+pub struct WeakSwitch {
+    shared: Weak<Shared>,
+}
+
+impl WeakSwitch {
+    /// A handle that never upgrades, for defaults and tests.
+    pub fn dangling() -> WeakSwitch {
+        WeakSwitch { shared: Weak::new() }
+    }
+
+    /// Attempts to upgrade to a usable engine handle; `None` once every
+    /// owning [`Switch`] clone has been dropped.
+    ///
+    /// The upgraded handle shares all engine state but does not own the
+    /// background analyzer thread: dropping it never stops analysis.
+    pub fn upgrade(&self) -> Option<Switch> {
+        self.shared.upgrade().map(|shared| Switch {
+            shared,
+            analyzer: None,
+        })
     }
 }
 
@@ -818,6 +850,14 @@ impl Switch {
             profiles_dropped,
             analyzer_panics: self.shared.analyzer_panics_total.load(Ordering::Relaxed),
             sink_disconnects: self.sink_disconnects(),
+        }
+    }
+
+    /// Downgrades to a non-owning [`WeakSwitch`] that can be stashed in an
+    /// event sink without keeping the engine alive.
+    pub fn downgrade(&self) -> WeakSwitch {
+        WeakSwitch {
+            shared: Arc::downgrade(&self.shared),
         }
     }
 

@@ -30,6 +30,10 @@ impl Monitor {
 
     #[inline]
     fn record(&mut self, op: OpKind, size: usize, nanos: u64) {
+        // Spans the monitoring bookkeeping only — the op body already ran.
+        // Single-owner handles don't know their context id; the span is
+        // site-anonymous (site 0), unlike the runtime's per-site op spans.
+        let _span = cs_trace::op_span(0);
         self.recorder.record(op);
         self.recorder.observe_size(size);
         self.recorder.add_nanos(nanos);

@@ -60,6 +60,7 @@ mod subscriber;
 pub use context::{ContextCore, ContextStats, ListContext, MapContext, SetContext};
 pub use engine::{
     ContextSummary, EngineHealth, Models, SiteManifestEntry, Switch, SwitchBuilder, SwitchConfig,
+    WeakSwitch,
 };
 pub use event::{
     AnalyzerPanicEvent, CandidateEstimate, DegradedEvent, EngineEvent, ModelFallbackEvent,

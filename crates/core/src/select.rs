@@ -142,6 +142,11 @@ pub fn select_variant_explained<K: Kind>(
         return bail;
     }
 
+    // Everything below evaluates the cost model over the workload history;
+    // the span nests inside the caller's Decision span. No context id is
+    // in scope here — the enclosing Decision span carries the site.
+    let _model_span = cs_trace::span(cs_trace::Phase::ModelEval, 0);
+
     let primary = rule.primary();
     let adaptive = K::adaptive_kind();
     let adaptive_ok = adaptive_eligible(history, K::adaptive_threshold());

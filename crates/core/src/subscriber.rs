@@ -37,7 +37,7 @@ use crate::event::EngineEvent;
 
 /// A subscriber receiving every [`EngineEvent`] at record time.
 ///
-/// See the [module docs](self) for the delivery contract. Implementations
+/// See the module-level documentation for the delivery contract. Implementations
 /// must be `Send + Sync`: events are dispatched from the thread that
 /// recorded them (analyzer thread, or any thread calling
 /// [`Switch::analyze_now`](crate::Switch::analyze_now)).

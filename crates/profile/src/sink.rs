@@ -79,7 +79,17 @@ impl ProfileSink {
 
     /// Pushes a finished profile, evicting the oldest pending profile if a
     /// capacity is configured and reached.
+    ///
+    /// Every finished profile in the process funnels through here — the
+    /// single-owner handle path on drop and the concurrent runtime's epoch
+    /// flushes alike — so the profile handoff itself is spanned as a
+    /// [`Flush`](cs_trace::Phase::Flush). Application time is *not*
+    /// credited here: the concurrent runtime credits wall intervals at its
+    /// thread-local flush boundaries (`cs_trace::credit_app_ops`), and
+    /// crediting the profile's sampled in-op nanos too would double-count
+    /// the same work through a much smaller denominator.
     pub fn push(&self, profile: WorkloadProfile) {
+        let _span = cs_trace::span(cs_trace::Phase::Flush, 0);
         let mut inner = self.inner.lock();
         if let Some(cap) = inner.capacity {
             while inner.queue.len() >= cap {

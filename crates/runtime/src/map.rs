@@ -31,8 +31,8 @@ pub(crate) struct MapInner<K: Eq + Hash + Clone, V: Clone> {
 /// Cloning is cheap (shared state); clones refer to the same map. All
 /// methods take `&self` and may be called from any number of threads.
 ///
-/// Operation recording goes through the calling thread's local buffer (see
-/// [`tlb`](crate::tlb)) — an op's only shared write is the shard it touches.
+/// Operation recording goes through the calling thread's local buffer
+/// (the `tlb` module) — an op's only shared write is the shard it touches.
 ///
 /// # Examples
 ///

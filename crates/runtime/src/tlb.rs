@@ -38,7 +38,16 @@ struct LocalEntry {
 impl LocalEntry {
     fn flush(&mut self, now: Instant) {
         if !self.buf.is_empty() {
+            let ops = self.buf.ops_buffered();
+            // The flush span covers the whole epoch handoff: the batched
+            // atomic adds plus the engine-core ingest (a nested Ingest
+            // span) and the sink push.
+            let _span = cs_trace::span(cs_trace::Phase::Flush, self.site.id());
             self.site.ingest(self.buf.drain());
+            // Credit the wall interval since this thread's previous flush
+            // as application time: flush boundaries bracket pure app work,
+            // so per-thread intervals can never double-count across sites.
+            cs_trace::credit_app_ops(ops);
         }
         self.last_flush = now;
     }
@@ -115,6 +124,10 @@ pub(crate) fn site_op<R>(
         let (result, size) = body();
         (result, size, 0)
     };
+    // Spans only the monitoring bookkeeping below — the application op
+    // itself (`body`) stays outside the framework's account. Sampled in
+    // `TraceMode::Sampled`, so the common op adds one atomic load.
+    let _record_span = cs_trace::op_span(site.id());
     TLB.with(|tlb| {
         let mut tlb = tlb.borrow_mut();
         let entry = tlb.entry(site);

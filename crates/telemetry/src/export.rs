@@ -8,6 +8,7 @@
 //! exporter refreshes on scrape.
 
 use cs_core::{EngineHealth, Switch};
+use cs_trace::{TraceSnapshot, SPAN_BUCKET_BOUNDS_NS};
 
 use crate::metrics::MetricsRegistry;
 
@@ -88,6 +89,101 @@ pub fn export_engine(registry: &MetricsRegistry, engine: &Switch) {
         .set_total(engine.analysis_time_total().as_nanos() as u64);
 }
 
+/// Mirrors a [`TraceSnapshot`] into `registry` under the `cs_trace_*`
+/// families: the self-overhead account (`cs_trace_overhead_ratio`,
+/// framework/app nano totals), per-phase span counts, and per-phase
+/// duration histograms built from the tracer's power-of-four buckets.
+///
+/// Like [`export_engine`], call right before snapshotting; repeated calls
+/// overwrite the same series. The histograms are *mirrored* (the tracer
+/// owns the buckets), so never `observe` into them directly.
+pub fn export_trace(registry: &MetricsRegistry, snap: &TraceSnapshot) {
+    let overhead = snap.overhead();
+    registry
+        .float_gauge(
+            "cs_trace_overhead_ratio",
+            "Tracer self-cost share of accounted time: tracer / (tracer + application).",
+            &[],
+        )
+        .set(overhead.ratio());
+    registry
+        .float_gauge(
+            "cs_trace_pipeline_ratio",
+            "Adaptation-pipeline share of accounted time: framework / (framework + application).",
+            &[],
+        )
+        .set(overhead.pipeline_ratio());
+    registry
+        .counter(
+            "cs_trace_framework_nanos_total",
+            "Scaled top-level framework span time, in nanoseconds.",
+            &[],
+        )
+        .set_total(overhead.framework_nanos);
+    registry
+        .counter(
+            "cs_trace_tracer_nanos_total",
+            "Calibrated tracer self-cost (span records plus sampling checks), in nanoseconds.",
+            &[],
+        )
+        .set_total(overhead.tracer_nanos);
+    registry
+        .counter(
+            "cs_trace_app_nanos_total",
+            "Application wall time credited at thread-local flush boundaries, in nanoseconds.",
+            &[],
+        )
+        .set_total(overhead.app_nanos);
+    registry
+        .counter(
+            "cs_trace_app_ops_total",
+            "Application collection ops credited at thread-local flush boundaries.",
+            &[],
+        )
+        .set_total(overhead.app_ops);
+    registry
+        .counter(
+            "cs_trace_spans_overwritten_total",
+            "Spans evicted from per-thread rings before this snapshot.",
+            &[],
+        )
+        .set_total(snap.total_overwritten());
+    registry
+        .gauge(
+            "cs_trace_threads",
+            "Threads that have recorded at least one span.",
+            &[],
+        )
+        .set(snap.threads.len() as i64);
+
+    // Seconds, to match Prometheus duration conventions.
+    let bounds: Vec<f64> = SPAN_BUCKET_BOUNDS_NS
+        .iter()
+        .map(|&ns| ns as f64 * 1e-9)
+        .collect();
+    let phase_counts = snap.phase_counts();
+    let phase_nanos = snap.phase_nanos();
+    let buckets = snap.bucket_totals();
+    for phase in cs_trace::Phase::ALL {
+        let p = phase.index();
+        registry
+            .counter(
+                "cs_trace_spans_total",
+                "Spans recorded, by pipeline phase.",
+                &[("phase", phase.name())],
+            )
+            .set_total(phase_counts[p]);
+        registry
+            .histogram(
+                "cs_trace_phase_duration_seconds",
+                "Span durations by pipeline phase (unscaled; sampled phases undercount).",
+                &[("phase", phase.name())],
+                &bounds,
+            )
+            .set_distribution(&buckets[p], phase_nanos[p] as f64 * 1e-9);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +222,94 @@ mod tests {
         assert_eq!(
             registry.snapshot().gauge_value("cs_engine_degraded"),
             Some(0)
+        );
+        crate::validate_prometheus_text(&registry.snapshot().to_prometheus_text())
+            .expect("valid exposition");
+    }
+
+    #[test]
+    fn trace_export_mirrors_snapshot() {
+        use crate::metrics::ValueSnapshot;
+        use cs_trace::{Phase, ThreadTrace, PHASE_COUNT, SPAN_BUCKET_COUNT};
+
+        // Synthetic snapshot: avoids flipping the process-global trace mode
+        // under the parallel test harness.
+        let mut thread = ThreadTrace {
+            thread: 0,
+            retired: false,
+            recorded: 3,
+            overwritten: 0,
+            spans: Vec::new(),
+            phase_counts: [0; PHASE_COUNT],
+            phase_nanos: [0; PHASE_COUNT],
+            phase_scaled_nanos: [0; PHASE_COUNT],
+            outer_scaled_nanos: 250,
+            bucket_counts: [[0; SPAN_BUCKET_COUNT]; PHASE_COUNT],
+            app_ops: 10,
+            app_nanos: 750,
+        };
+        let d = Phase::Decision.index();
+        thread.phase_counts[d] = 3;
+        thread.phase_nanos[d] = 250;
+        thread.phase_scaled_nanos[d] = 250;
+        thread.bucket_counts[d][0] = 2;
+        thread.bucket_counts[d][SPAN_BUCKET_COUNT - 1] = 1;
+        let snap = cs_trace::TraceSnapshot {
+            threads: vec![thread],
+            taken_ns: 1,
+        };
+
+        let registry = MetricsRegistry::new();
+        export_trace(&registry, &snap);
+        let tsnap = registry.snapshot();
+        assert_eq!(tsnap.counter_value("cs_trace_framework_nanos_total"), Some(250));
+        assert_eq!(tsnap.counter_value("cs_trace_app_nanos_total"), Some(750));
+        assert_eq!(tsnap.counter_value("cs_trace_app_ops_total"), Some(10));
+        let float_gauge = |name: &str| {
+            tsnap
+                .family(name)
+                .and_then(|f| f.series.first())
+                .map(|s| match s.value {
+                    ValueSnapshot::FloatGauge(v) => v,
+                    _ => panic!("{name} must be a float gauge"),
+                })
+                .unwrap_or_else(|| panic!("{name} series exported"))
+        };
+        // The pipeline ratio is exact: 250 framework vs 750 app nanos. The
+        // self ratio depends on the host's calibrated tracer costs, so only
+        // range-check it.
+        let pipeline = float_gauge("cs_trace_pipeline_ratio");
+        assert!((pipeline - 0.25).abs() < 1e-9, "pipeline ratio {pipeline}");
+        let ratio = float_gauge("cs_trace_overhead_ratio");
+        assert!(ratio > 0.0 && ratio < 1.0, "self ratio {ratio}");
+        assert_eq!(
+            tsnap.counter_value("cs_trace_tracer_nanos_total"),
+            Some(snap.overhead().tracer_nanos)
+        );
+        let spans = tsnap.family("cs_trace_spans_total").expect("span counters");
+        assert_eq!(spans.series.len(), PHASE_COUNT, "one series per phase");
+        let hist = tsnap
+            .family("cs_trace_phase_duration_seconds")
+            .expect("duration histograms");
+        let decision = hist
+            .series
+            .iter()
+            .find(|s| s.labels.iter().any(|(_, v)| v == "decision"))
+            .expect("decision series");
+        match &decision.value {
+            ValueSnapshot::Histogram(h) => {
+                assert_eq!(h.count, 3);
+                assert_eq!(h.counts[0], 2);
+                assert_eq!(*h.counts.last().unwrap(), 1);
+                assert!((h.sum - 250e-9).abs() < 1e-15);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Idempotent re-export, and the exposition stays well-formed.
+        export_trace(&registry, &snap);
+        assert_eq!(
+            registry.snapshot().counter_value("cs_trace_app_ops_total"),
+            Some(10)
         );
         crate::validate_prometheus_text(&registry.snapshot().to_prometheus_text())
             .expect("valid exposition");

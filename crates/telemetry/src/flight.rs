@@ -1,0 +1,343 @@
+//! The anomaly flight recorder: freeze the recent past when something
+//! goes wrong.
+//!
+//! Metrics tell you *that* a rollback happened; the audit trail tells you
+//! *what* was decided. What neither preserves is the fine-grained "what
+//! was the pipeline doing just before" — the span-level context that makes
+//! an anomaly diagnosable after the fact. [`FlightRecorder`] closes that
+//! gap: it subscribes to the engine's event stream and, when a trigger
+//! fires, dumps the last `N` trace spans, the site's current
+//! [`SelectionExplanation`](cs_core::SelectionExplanation), the
+//! self-overhead account, and (optionally) a full metrics snapshot as one
+//! JSONL *incident record* into a [`JsonlSink`] — interleaved with the
+//! ordinary event audit trail, under the same line cap.
+//!
+//! ## Trigger matrix
+//!
+//! | Trigger            | Detected in        | Condition                                   |
+//! |--------------------|--------------------|---------------------------------------------|
+//! | `rollback`         | `on_event`         | a [`RollbackEvent`](cs_core::RollbackEvent) |
+//! | `quarantine`       | `on_event`         | a [`QuarantineEvent`](cs_core::QuarantineEvent) |
+//! | `overhead_budget`  | `on_analysis_pass` | overhead ratio crosses above the budget     |
+//! | `sink_disconnect`  | `on_analysis_pass` | the engine's sink-disconnect total grew     |
+//!
+//! The polled triggers are edge-detected (they fire on the crossing, not
+//! on every pass spent above the threshold), and total incidents are
+//! capped by [`FlightRecorderConfig::max_incidents`] so a flapping site
+//! cannot fill the sink's line budget with incident dumps.
+//!
+//! `on_event` itself stays allocation- and lock-free on the non-triggering
+//! path — it is on the engine's synchronous dispatch path — and hands off
+//! to the (deliberately heavyweight) incident serializer only when a
+//! trigger actually fires. The `no-alloc-in-span-path` analyzer lint keeps
+//! it that way.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cs_core::{EngineEvent, EngineEventSink, WeakSwitch};
+use parking_lot::Mutex;
+
+use crate::json::{event_to_json, explanation_to_json, Json};
+use crate::metrics::MetricsRegistry;
+use crate::sinks::JsonlSink;
+
+/// Tuning for a [`FlightRecorder`].
+#[derive(Debug, Clone)]
+pub struct FlightRecorderConfig {
+    /// How many of the most recent spans to freeze into each incident.
+    pub span_window: usize,
+    /// Overhead-ratio budget; crossing above it fires an
+    /// `overhead_budget` incident. The ISSUE-level SLO for sampled
+    /// tracing is 5%.
+    pub overhead_budget: f64,
+    /// Hard cap on incidents ever recorded (the flight recorder must not
+    /// exhaust the sink's line budget).
+    pub max_incidents: u64,
+    /// Attach a full metrics snapshot to each incident. Costly per
+    /// incident; invaluable in post-mortems.
+    pub include_telemetry: bool,
+}
+
+impl Default for FlightRecorderConfig {
+    fn default() -> Self {
+        FlightRecorderConfig {
+            span_window: 128,
+            overhead_budget: 0.05,
+            max_incidents: 32,
+            include_telemetry: true,
+        }
+    }
+}
+
+/// An [`EngineEventSink`] that writes incident records on anomalies. See
+/// the module-level documentation for the trigger matrix and record
+/// schema.
+///
+/// Construction order matters: the recorder is registered as a sink on
+/// the engine *and* queries the engine back (for explanations and
+/// health), so it holds a [`WeakSwitch`] installed after the engine is
+/// built:
+///
+/// ```
+/// use std::sync::Arc;
+/// use cs_core::Switch;
+/// use cs_telemetry::{FlightRecorder, FlightRecorderConfig, JsonlSink, MetricsRegistry};
+///
+/// let path = std::env::temp_dir().join(format!("cs-fr-doc-{}.jsonl", std::process::id()));
+/// let sink = Arc::new(JsonlSink::create(&path, 10_000).unwrap());
+/// let recorder = Arc::new(FlightRecorder::new(
+///     Arc::clone(&sink),
+///     MetricsRegistry::new(),
+///     FlightRecorderConfig::default(),
+/// ));
+/// let engine = Switch::builder().event_sink(recorder.clone()).build();
+/// recorder.attach(&engine);
+/// assert_eq!(recorder.incidents_recorded(), 0);
+/// # drop(engine); std::fs::remove_file(&path).ok();
+/// ```
+#[derive(Debug)]
+pub struct FlightRecorder {
+    sink: Arc<JsonlSink>,
+    registry: Option<MetricsRegistry>,
+    config: FlightRecorderConfig,
+    engine: Mutex<WeakSwitch>,
+    incidents: AtomicU64,
+    seq: AtomicU64,
+    // Edge-detection state for the polled triggers.
+    last_disconnects: AtomicU64,
+    over_budget: AtomicU64, // 0 = below budget, 1 = above (latched)
+}
+
+impl FlightRecorder {
+    /// Creates a recorder writing incidents to `sink`. Pass the registry
+    /// the engine's metrics feed into so incidents can carry a metrics
+    /// snapshot ([`FlightRecorderConfig::include_telemetry`]).
+    pub fn new(
+        sink: Arc<JsonlSink>,
+        registry: MetricsRegistry,
+        config: FlightRecorderConfig,
+    ) -> FlightRecorder {
+        FlightRecorder {
+            sink,
+            registry: Some(registry),
+            config,
+            engine: Mutex::new(WeakSwitch::dangling()),
+            incidents: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            last_disconnects: AtomicU64::new(0),
+            over_budget: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs the engine back-reference (non-owning). Until attached,
+    /// incidents record with a `null` explanation and no health polling.
+    pub fn attach(&self, engine: &cs_core::Switch) {
+        *self.engine.lock() = engine.downgrade();
+    }
+
+    /// Incidents written so far.
+    pub fn incidents_recorded(&self) -> u64 {
+        self.incidents.load(Ordering::Relaxed)
+    }
+
+    /// The sink incidents are written into.
+    pub fn sink(&self) -> &JsonlSink {
+        &self.sink
+    }
+
+    /// Serializes and writes one incident. Heavyweight by design; only
+    /// called once a trigger has fired.
+    fn record_incident(&self, trigger: &str, event: Option<&EngineEvent>) {
+        if self.incidents.load(Ordering::Relaxed) >= self.config.max_incidents {
+            return;
+        }
+        let snap = cs_trace::snapshot();
+        let overhead = snap.overhead();
+        let explanation = event
+            .and_then(|e| match e {
+                EngineEvent::Rollback(r) => Some(r.context_id),
+                EngineEvent::Quarantine(q) => Some(q.context_id),
+                _ => None,
+            })
+            .and_then(|site| self.engine.lock().upgrade()?.explain(site));
+        let spans: Vec<Json> = snap
+            .last_spans(self.config.span_window)
+            .iter()
+            .map(|s| {
+                Json::object()
+                    .field("thread", s.thread)
+                    .field("site", s.site)
+                    .field("phase", s.phase.name())
+                    .field("depth", u64::from(s.depth))
+                    .field("start_ns", s.start_ns)
+                    .field("dur_ns", s.dur_ns)
+            })
+            .collect();
+        let doc = Json::object()
+            .field("kind", "incident")
+            .field("seq", self.seq.fetch_add(1, Ordering::Relaxed))
+            .field("trigger", trigger)
+            .field("t_ns", snap.taken_ns)
+            .field("event", event.map(event_to_json))
+            .field("explanation", explanation.as_ref().map(explanation_to_json))
+            .field(
+                "overhead",
+                Json::object()
+                    .field("framework_nanos", overhead.framework_nanos)
+                    .field("tracer_nanos", overhead.tracer_nanos)
+                    .field("app_nanos", overhead.app_nanos)
+                    .field("app_ops", overhead.app_ops)
+                    .field("ratio", overhead.ratio())
+                    .field("pipeline_ratio", overhead.pipeline_ratio()),
+            )
+            .field("spans", Json::Array(spans))
+            .field(
+                "telemetry",
+                match (&self.registry, self.config.include_telemetry) {
+                    (Some(r), true) => r.snapshot().to_json(),
+                    _ => Json::Null,
+                },
+            );
+        if self.sink.write_json(&doc) {
+            self.incidents.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl EngineEventSink for FlightRecorder {
+    fn on_event(&self, event: &EngineEvent) {
+        let trigger = match event {
+            EngineEvent::Rollback(_) => "rollback",
+            EngineEvent::Quarantine(_) => "quarantine",
+            _ => return,
+        };
+        self.record_incident(trigger, Some(event));
+    }
+
+    fn on_analysis_pass(&self, _duration: Duration) {
+        let overhead = cs_trace::snapshot().overhead();
+        let was_over = self.over_budget.load(Ordering::Relaxed) == 1;
+        // Only judge the ratio once application time has been credited:
+        // before the first flush the denominator is empty and any recorded
+        // span would push the ratio to 1.0, which is startup noise, not an
+        // anomaly.
+        let is_over =
+            overhead.app_nanos > 0 && overhead.ratio() > self.config.overhead_budget;
+        self.over_budget
+            .store(u64::from(is_over), Ordering::Relaxed);
+        if is_over && !was_over {
+            self.record_incident("overhead_budget", None);
+        }
+        if let Some(engine) = self.engine.lock().upgrade() {
+            let disconnects = engine.sink_disconnects();
+            let before = self.last_disconnects.swap(disconnects, Ordering::Relaxed);
+            if disconnects > before {
+                self.record_incident("sink_disconnect", None);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "flight-recorder"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cs-flight-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    fn recorder(path: &std::path::Path, config: FlightRecorderConfig) -> Arc<FlightRecorder> {
+        let sink = Arc::new(JsonlSink::create(path, 1_000).unwrap());
+        Arc::new(FlightRecorder::new(sink, MetricsRegistry::new(), config))
+    }
+
+    #[test]
+    fn rollback_event_produces_parseable_incident() {
+        let path = tmp("rollback");
+        let rec = recorder(
+            &path,
+            FlightRecorderConfig {
+                include_telemetry: true,
+                ..FlightRecorderConfig::default()
+            },
+        );
+        rec.on_event(&EngineEvent::Rollback(cs_core::RollbackEvent {
+            context_id: 9,
+            context_name: "orders".into(),
+            abstraction: cs_collections::Abstraction::Map,
+            from: "hash".into(),
+            to: "chained".into(),
+            predicted_ratio: 0.7,
+            realized_ratio: 1.9,
+            round: 4,
+        }));
+        rec.sink().flush().unwrap();
+        assert_eq!(rec.incidents_recorded(), 1);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let line = content.lines().next().expect("one incident line");
+        let doc = Json::parse(line).expect("incident is valid JSON");
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("incident"));
+        assert_eq!(doc.get("trigger").and_then(Json::as_str), Some("rollback"));
+        assert_eq!(
+            doc.get("event")
+                .and_then(|e| e.get("event"))
+                .and_then(Json::as_str),
+            Some("rollback")
+        );
+        assert!(doc.get("overhead").is_some());
+        assert!(doc.get("spans").and_then(Json::as_array).is_some());
+        // No engine attached: explanation degrades to null, nothing panics.
+        assert_eq!(doc.get("explanation"), Some(&Json::Null));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn incident_cap_holds_and_non_triggers_are_ignored() {
+        let path = tmp("cap");
+        let rec = recorder(
+            &path,
+            FlightRecorderConfig {
+                max_incidents: 2,
+                include_telemetry: false,
+                ..FlightRecorderConfig::default()
+            },
+        );
+        rec.on_event(&EngineEvent::ModelFallback(cs_core::ModelFallbackEvent {
+            file: "x".into(),
+            reason: "y".into(),
+        }));
+        assert_eq!(rec.incidents_recorded(), 0, "fallback is not a trigger");
+        for _ in 0..5 {
+            rec.on_event(&EngineEvent::Quarantine(cs_core::QuarantineEvent {
+                context_id: 1,
+                context_name: "q".into(),
+                abstraction: cs_collections::Abstraction::List,
+                candidate: "array".into(),
+                until_round: 9,
+                strikes: 1,
+                round: 2,
+            }));
+        }
+        assert_eq!(rec.incidents_recorded(), 2, "capped at max_incidents");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disconnect_poll_is_edge_detected() {
+        let path = tmp("edge");
+        let rec = recorder(&path, FlightRecorderConfig::default());
+        let engine = cs_core::Switch::builder().build();
+        rec.attach(&engine);
+        // No disconnects yet: polling fires nothing.
+        rec.on_analysis_pass(Duration::from_micros(1));
+        rec.on_analysis_pass(Duration::from_micros(1));
+        assert_eq!(rec.incidents_recorded(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

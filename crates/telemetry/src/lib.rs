@@ -62,16 +62,18 @@
 #![warn(missing_debug_implementations)]
 
 mod export;
+mod flight;
 mod json;
 mod metrics;
 mod prometheus;
 mod sinks;
 
-pub use export::{export_engine, export_engine_health};
+pub use export::{export_engine, export_engine_health, export_trace};
+pub use flight::{FlightRecorder, FlightRecorderConfig};
 pub use json::{event_to_json, explanation_to_json, Json, JsonParseError};
 pub use metrics::{
-    Counter, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricsRegistry,
-    SeriesSnapshot, TelemetrySnapshot, ValueSnapshot,
+    Counter, FamilySnapshot, FloatGauge, Gauge, Histogram, HistogramSnapshot, MetricKind,
+    MetricsRegistry, SeriesSnapshot, TelemetrySnapshot, ValueSnapshot,
 };
 pub use prometheus::validate_prometheus_text;
 pub use sinks::{JsonlSink, MetricsSink, VecSink, PASS_DURATION_BUCKETS};
@@ -84,4 +86,5 @@ const _: () = {
     assert_send_sync::<MetricsSink>();
     assert_send_sync::<JsonlSink>();
     assert_send_sync::<VecSink>();
+    assert_send_sync::<FlightRecorder>();
 };

@@ -105,6 +105,27 @@ impl Gauge {
     }
 }
 
+/// A float-valued gauge handle (f64 bits behind an atomic). Cloning shares
+/// the cell. Registered under the Prometheus `gauge` kind, next to the
+/// integer [`Gauge`]; use it for ratios and other fractional readings —
+/// e.g. `cs_trace_overhead_ratio`.
+#[derive(Debug, Clone)]
+pub struct FloatGauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl FloatGauge {
+    /// Sets the value.
+    pub fn set(&self, value: f64) {
+        self.cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
 #[derive(Debug)]
 struct HistogramCore {
     /// Ascending finite bucket upper bounds; an implicit `+Inf` bucket
@@ -173,6 +194,30 @@ impl Histogram {
         self.observe(duration.as_secs_f64());
     }
 
+    /// Overwrites the whole distribution. Only for exporters mirroring a
+    /// histogram maintained elsewhere (e.g. the tracer's per-phase
+    /// duration buckets), refreshed on scrape; never mix with
+    /// [`Histogram::observe`] on the same series.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `counts` has one entry per finite bound plus the
+    /// final `+Inf` bucket.
+    pub fn set_distribution(&self, counts: &[u64], sum: f64) {
+        assert_eq!(
+            counts.len(),
+            self.core.bounds.len() + 1,
+            "set_distribution needs one count per bound plus +Inf"
+        );
+        let mut total = 0u64;
+        for (cell, &v) in self.core.counts.iter().zip(counts) {
+            cell.store(v, Ordering::Relaxed);
+            total += v;
+        }
+        self.core.count.store(total, Ordering::Relaxed);
+        self.core.sum_bits.store(sum.to_bits(), Ordering::Relaxed);
+    }
+
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.core.count.load(Ordering::Relaxed)
@@ -188,6 +233,7 @@ impl Histogram {
 enum Cell {
     Counter(Counter),
     Gauge(Gauge),
+    FloatGauge(FloatGauge),
     Histogram(Histogram),
 }
 
@@ -266,6 +312,26 @@ impl MetricsRegistry {
         }) {
             Cell::Gauge(g) => g,
             _ => unreachable!("registry returned mismatched cell"),
+        }
+    }
+
+    /// Registers (or resolves) a float-valued gauge series.
+    ///
+    /// Rendered under the same Prometheus `gauge` kind as [`Gauge`]; a
+    /// given family must stick to one of the two cell flavours.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric/label name, or if `name` is already
+    /// registered with a different kind or as an integer gauge.
+    pub fn float_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> FloatGauge {
+        match self.register(name, help, MetricKind::Gauge, labels, || {
+            Cell::FloatGauge(FloatGauge {
+                cell: Arc::new(AtomicU64::new(0.0_f64.to_bits())),
+            })
+        }) {
+            Cell::FloatGauge(g) => g,
+            _ => panic!("metric {name} already registered as an integer gauge"),
         }
     }
 
@@ -365,6 +431,7 @@ impl MetricsRegistry {
                             value: match cell {
                                 Cell::Counter(c) => ValueSnapshot::Counter(c.get()),
                                 Cell::Gauge(g) => ValueSnapshot::Gauge(g.get()),
+                                Cell::FloatGauge(g) => ValueSnapshot::FloatGauge(g.get()),
                                 Cell::Histogram(h) => ValueSnapshot::Histogram(HistogramSnapshot {
                                     bounds: h.core.bounds.clone(),
                                     counts: h
@@ -392,6 +459,8 @@ pub enum ValueSnapshot {
     Counter(u64),
     /// Gauge value.
     Gauge(i64),
+    /// Float gauge value.
+    FloatGauge(f64),
     /// Histogram state.
     Histogram(HistogramSnapshot),
 }
@@ -535,6 +604,7 @@ fn series_to_json(s: &SeriesSnapshot) -> Json {
     match &s.value {
         ValueSnapshot::Counter(v) => doc.field("value", *v),
         ValueSnapshot::Gauge(v) => doc.field("value", *v),
+        ValueSnapshot::FloatGauge(v) => doc.field("value", *v),
         ValueSnapshot::Histogram(h) => doc
             .field("bounds", h.bounds.clone())
             .field("counts", h.counts.clone())
@@ -546,6 +616,36 @@ fn series_to_json(s: &SeriesSnapshot) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn float_gauge_and_distribution_mirrors() {
+        let registry = MetricsRegistry::new();
+        let g = registry.float_gauge("cs_ratio", "r", &[]);
+        g.set(0.125);
+        assert_eq!(g.get(), 0.125);
+        let h = registry.histogram("cs_mirror", "m", &[], &[1.0, 2.0]);
+        h.set_distribution(&[3, 4, 5], 21.5);
+        assert_eq!(h.count(), 12);
+        assert_eq!(h.sum(), 21.5);
+        // Overwrite, not accumulate.
+        h.set_distribution(&[1, 0, 0], 0.5);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0.5);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.family("cs_ratio").unwrap().series[0].value,
+            ValueSnapshot::FloatGauge(0.125)
+        );
+        crate::validate_prometheus_text(&snap.to_prometheus_text()).expect("valid exposition");
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per bound plus +Inf")]
+    fn distribution_mirror_rejects_wrong_arity() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("cs_mirror_bad", "m", &[], &[1.0]);
+        h.set_distribution(&[1], 0.0);
+    }
 
     #[test]
     fn counter_series_are_deduplicated_by_labels() {

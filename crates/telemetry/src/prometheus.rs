@@ -89,6 +89,11 @@ fn render_family(out: &mut String, family: &FamilySnapshot) {
                 write_labels(out, &series.labels, None);
                 let _ = writeln!(out, " {v}");
             }
+            ValueSnapshot::FloatGauge(v) => {
+                out.push_str(&family.name);
+                write_labels(out, &series.labels, None);
+                let _ = writeln!(out, " {v}");
+            }
             ValueSnapshot::Histogram(h) => {
                 let mut cumulative = 0u64;
                 for (bound, count) in h.bounds.iter().zip(&h.counts) {
@@ -130,8 +135,13 @@ impl TelemetrySnapshot {
 
 /// Validates a Prometheus text exposition: comment structure, metric and
 /// label grammar, parseable sample values, `# TYPE` at most once per family
-/// and before that family's samples, and no duplicate `(name, labelset)`
-/// series. Returns every violation with its 1-based line number.
+/// and before that family's samples, no duplicate `(name, labelset)`
+/// series, and — for every declared histogram that has samples — complete
+/// child sets: each labelset must carry an `le="+Inf"` bucket, a `_sum`,
+/// and a `_count` (a scraper quietly computes garbage rates from a
+/// histogram missing any of them). Returns every violation with its
+/// 1-based line number (completeness violations, detectable only at end
+/// of input, carry the family instead).
 ///
 /// # Errors
 ///
@@ -148,8 +158,14 @@ impl TelemetrySnapshot {
 pub fn validate_prometheus_text(text: &str) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
     let mut typed: HashSet<String> = HashSet::new();
+    let mut histogram_families: HashSet<String> = HashSet::new();
     let mut sampled: HashSet<String> = HashSet::new();
     let mut seen_series: HashSet<String> = HashSet::new();
+    // Histogram children observed so far, keyed by (family, labelset
+    // without `le`): [saw +Inf bucket, saw _sum, saw _count]. BTreeMap so
+    // the post-loop completeness errors come out in deterministic order.
+    let mut hist_children: std::collections::BTreeMap<(String, String), [bool; 3]> =
+        std::collections::BTreeMap::new();
 
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -175,6 +191,9 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), Vec<String>> {
                 if !typed.insert(name.to_owned()) {
                     errors.push(format!("line {lineno}: duplicate TYPE for {name}"));
                 }
+                if kind == "histogram" {
+                    histogram_families.insert(name.to_owned());
+                }
                 if sampled.contains(name) {
                     errors.push(format!(
                         "line {lineno}: TYPE for {name} after its samples"
@@ -199,8 +218,39 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), Vec<String>> {
                         "line {lineno}: duplicate series {name}{{{labelset}}}"
                     ));
                 }
+                if base != name && histogram_families.contains(base) {
+                    let flags = hist_children
+                        .entry((base.to_owned(), strip_le_label(&labelset)))
+                        .or_default();
+                    match &name[base.len()..] {
+                        "_bucket" if labelset.split(',').any(|kv| kv == "le=\"+Inf\"") => {
+                            flags[0] = true;
+                        }
+                        "_sum" => flags[1] = true,
+                        "_count" => flags[2] = true,
+                        _ => {}
+                    }
+                }
             }
             Err(why) => errors.push(format!("line {lineno}: {why}")),
+        }
+    }
+    for ((family, labels), &[saw_inf, saw_sum, saw_count]) in &hist_children {
+        let at = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        if !saw_inf {
+            errors.push(format!(
+                "histogram {family}{at} has no le=\"+Inf\" bucket"
+            ));
+        }
+        if !saw_sum {
+            errors.push(format!("histogram {family}{at} is missing {family}_sum"));
+        }
+        if !saw_count {
+            errors.push(format!("histogram {family}{at} is missing {family}_count"));
         }
     }
     if errors.is_empty() {
@@ -208,6 +258,16 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), Vec<String>> {
     } else {
         Err(errors)
     }
+}
+
+/// Drops the `le` pair from a canonical labelset, so bucket samples group
+/// with their `_sum`/`_count` siblings.
+fn strip_le_label(labelset: &str) -> String {
+    labelset
+        .split(',')
+        .filter(|kv| !kv.starts_with("le="))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Maps `x_bucket`/`x_sum`/`x_count` back to the histogram family `x` when
@@ -398,6 +458,57 @@ mod tests {
     #[test]
     fn validator_accepts_inf_and_timestamps() {
         assert!(validate_prometheus_text("x_bucket{le=\"+Inf\"} 4 1700000000\n").is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_histogram_missing_inf_bucket() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"0.1\"} 1\n\
+                    h_sum 0.05\n\
+                    h_count 1\n";
+        let errors = validate_prometheus_text(text).unwrap_err();
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("no le=\"+Inf\" bucket"), "{errors:?}");
+    }
+
+    #[test]
+    fn validator_rejects_histogram_missing_sum_or_count() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\n";
+        let errors = validate_prometheus_text(text).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("missing h_sum")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("missing h_count")), "{errors:?}");
+
+        let no_count = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1.5\n";
+        let errors = validate_prometheus_text(no_count).unwrap_err();
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("missing h_count"));
+    }
+
+    #[test]
+    fn histogram_completeness_is_per_labelset() {
+        // The "a" labelset is complete; "b" lacks its +Inf bucket and
+        // must be called out on its own.
+        let text = "# TYPE h histogram\n\
+                    h_bucket{site=\"a\",le=\"+Inf\"} 2\n\
+                    h_sum{site=\"a\"} 1.0\n\
+                    h_count{site=\"a\"} 2\n\
+                    h_bucket{site=\"b\",le=\"0.1\"} 1\n\
+                    h_sum{site=\"b\"} 0.5\n\
+                    h_count{site=\"b\"} 1\n";
+        let errors = validate_prometheus_text(text).unwrap_err();
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("site=\"b\""), "{errors:?}");
+        assert!(errors[0].contains("+Inf"), "{errors:?}");
+    }
+
+    #[test]
+    fn undeclared_bucket_samples_are_not_histogram_children() {
+        // Without a `# TYPE x histogram` declaration the suffix match is
+        // meaningless — `x_bucket` is just a metric with an odd name.
+        assert!(validate_prometheus_text("x_bucket{le=\"0.5\"} 1\n").is_ok());
+        assert!(
+            validate_prometheus_text("# TYPE x_sum counter\nx_sum 3\n").is_ok()
+        );
     }
 
     #[test]

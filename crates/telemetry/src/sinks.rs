@@ -232,6 +232,32 @@ impl JsonlSink {
     pub fn flush(&self) -> io::Result<()> {
         self.inner.lock().writer.flush()
     }
+
+    /// Writes an arbitrary pre-rendered [`Json`](crate::Json) document as
+    /// one line of the stream, under the same line cap and error
+    /// accounting as engine events. This is how non-event records (flight
+    /// recorder incidents) interleave with the audit trail.
+    ///
+    /// Returns `true` if the line was written (not capped, no I/O error).
+    pub fn write_json(&self, doc: &crate::Json) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.written >= self.max_lines {
+            self.skipped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mut line = doc.render();
+        line.push('\n');
+        match inner.writer.write_all(line.as_bytes()) {
+            Ok(()) => {
+                inner.written += 1;
+                true
+            }
+            Err(_) => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
 }
 
 impl Drop for JsonlSink {

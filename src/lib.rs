@@ -15,6 +15,8 @@
 //!   ([`cs_workloads`]).
 //! * [`analyzer`] — static allocation-site extraction, the variant advisor,
 //!   runtime drift checks, and the workspace self-lint ([`cs_analyzer`]).
+//! * [`trace`] — adaptation-pipeline span tracing and self-overhead
+//!   accounting ([`cs_trace`]).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@ pub use cs_model as model;
 pub use cs_profile as profile;
 pub use cs_runtime as runtime;
 pub use cs_telemetry as telemetry;
+pub use cs_trace as trace;
 pub use cs_workloads as workloads;
 
 /// Commonly used items, re-exported in one place.
@@ -65,4 +68,5 @@ pub mod prelude {
         validate_prometheus_text, JsonlSink, MetricsRegistry, MetricsSink, TelemetrySnapshot,
         VecSink,
     };
+    pub use cs_trace::{Phase, TraceMode, TraceSnapshot};
 }
