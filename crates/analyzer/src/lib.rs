@@ -63,8 +63,9 @@ pub use extract::{
 };
 pub use lexer::{lex, Token, TokenKind};
 pub use lint::{
-    diff_against_baseline, lint_file, Diagnostic, RULE_NO_DISPATCH_UNDER_LOCK,
-    RULE_NO_UNBOUNDED_RING, RULE_NO_UNWRAP,
+    diff_against_baseline, lint_file, Diagnostic, RULE_NO_ALLOC_SPAN_PATH,
+    RULE_NO_DISPATCH_UNDER_LOCK, RULE_NO_RAW_PERSIST_WRITE, RULE_NO_UNBOUNDED_RING,
+    RULE_NO_UNWRAP,
 };
 pub use report::{
     advice_report_to_json, advice_to_json, baseline_keys, baseline_to_json, diagnostic_to_json,

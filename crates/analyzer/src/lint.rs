@@ -1,7 +1,7 @@
 //! Workspace self-lint: rules the generic clippy pass cannot express
 //! because they encode *this* codebase's invariants.
 //!
-//! Four rules, all token-level heuristics over the [lexed](crate::lexer)
+//! Five rules, all token-level heuristics over the [lexed](crate::lexer)
 //! stream with the same item/`#[cfg(test)]` tracking the extractor uses:
 //!
 //! * [`RULE_NO_UNWRAP`] — no `.unwrap()` / `.expect(` in `cs-core`'s
@@ -25,6 +25,14 @@
 //!   `cs_trace_overhead_ratio`. Cold-path functions in the same files
 //!   (thread registration, incident recording, cost calibration) are
 //!   deliberately outside the guarded item set.
+//! * [`RULE_NO_RAW_PERSIST_WRITE`] — no raw `fs::write(` / `File::create(` /
+//!   `OpenOptions::new(` on a persistence path (cs-state, cs-model, the
+//!   engine/runtime stack, and the model-builder bench). Warm start's
+//!   crash-safety claim rests on every state and model file reaching disk
+//!   via cs-state's temp+fsync+rename writer; a single raw write
+//!   reintroduces exactly the torn files the salvage loader exists to
+//!   quarantine. The atomic writer module itself is the one exemption —
+//!   it is where the raw I/O is supposed to live.
 //!
 //! Findings diff against a committed baseline keyed by
 //! `(rule, path, item, message)` — line numbers drift with every edit and
@@ -42,6 +50,8 @@ pub const RULE_NO_DISPATCH_UNDER_LOCK: &str = "no-dispatch-under-lock";
 pub const RULE_NO_UNBOUNDED_RING: &str = "no-unbounded-ring";
 /// Rule id: allocation or locking on the tracer's span fast path.
 pub const RULE_NO_ALLOC_SPAN_PATH: &str = "no-alloc-in-span-path";
+/// Rule id: raw filesystem writes on a persistence path.
+pub const RULE_NO_RAW_PERSIST_WRITE: &str = "no-raw-persist-write";
 
 /// Paths (workspace-relative, forward slashes) subject to the unwrap rule.
 /// The engine, selection, and guard modules are the in-process hot path of
@@ -59,6 +69,22 @@ fn stack_rule_applies(path: &str) -> bool {
     path.starts_with("crates/core/")
         || path.starts_with("crates/runtime/")
         || path.starts_with("crates/telemetry/")
+}
+
+/// Persistence-path files subject to the raw-write rule: everywhere the
+/// stack writes selection state or cost models that a later boot reads
+/// back. The single exemption is cs-state's own atomic writer — the module
+/// the rule funnels every other call site into. Out of scope by design:
+/// the analyzer's baseline file, bench result JSON, and telemetry's JSONL
+/// audit log — none of those is state the engine trusts at startup, so a
+/// torn copy is an inconvenience, not a poisoned warm start.
+fn persist_rule_applies(path: &str) -> bool {
+    let in_scope = path.starts_with("crates/state/src/")
+        || path.starts_with("crates/model/src/")
+        || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/runtime/src/")
+        || path == "crates/bench/src/bin/model_builder.rs";
+    in_scope && path != "crates/state/src/writer.rs"
 }
 
 /// Files containing the tracer's span fast path.
@@ -496,6 +522,28 @@ impl<'a> Linter<'a> {
                 }
                 self.pos += 1;
             }
+            // Raw writes on persistence paths: `fs::write(` (also matches
+            // the `fs` inside `std::fs::write(`), `File::create(` (also the
+            // `File` inside `fs::File::create(`), and `OpenOptions::new(`.
+            "fs" | "File" | "OpenOptions" => {
+                let ctor = match t.text.as_str() {
+                    "fs" => "write",
+                    "File" => "create",
+                    _ => "new",
+                };
+                if persist_rule_applies(self.path)
+                    && self.is_path_sep(self.pos + 1)
+                    && self.tok(self.pos + 3).is_some_and(|n| n.is_ident(ctor))
+                    && self.tok(self.pos + 4).is_some_and(|p| p.is_punct('('))
+                {
+                    let msg = format!(
+                        "`{}::{ctor}` on a persistence path — a crash mid-write tears the file; route through cs-state's atomic writer",
+                        t.text
+                    );
+                    self.emit(RULE_NO_RAW_PERSIST_WRITE, t.line, msg);
+                }
+                self.pos += 1;
+            }
             other => {
                 if other.to_ascii_lowercase().contains("capacity") {
                     let item = self.item_path();
@@ -709,6 +757,67 @@ impl FlightRecorder {
         assert_eq!(d[0].rule, RULE_NO_ALLOC_SPAN_PATH);
         assert!(d[0].item.contains("on_event"), "{}", d[0].item);
         assert!(d[0].message.contains("to_owned"));
+    }
+
+    #[test]
+    fn raw_writes_on_persistence_paths_are_flagged() {
+        let src = r#"
+fn save(path: &Path, text: &str) {
+    std::fs::write(path, text).ok();
+    let direct = File::create(path);
+    let opts = OpenOptions::new().write(true).open(path);
+}
+"#;
+        let d = lint_file("crates/model/src/persist.rs", src);
+        assert_eq!(d.len(), 3, "fs::write, File::create, OpenOptions::new: {d:?}");
+        assert!(d.iter().all(|x| x.rule == RULE_NO_RAW_PERSIST_WRITE), "{d:?}");
+        assert!(d.iter().all(|x| x.item == "save"));
+        assert!(d[0].message.contains("atomic writer"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn atomic_writer_module_may_use_raw_io() {
+        // The one place raw file I/O is supposed to live: the writer that
+        // implements temp+fsync+rename for everyone else.
+        let src = r#"
+fn write_atomic(path: &Path, bytes: &[u8]) {
+    let mut file = fs::File::create(path).unwrap();
+    file.write_all(bytes).unwrap();
+}
+"#;
+        assert!(lint_file("crates/state/src/writer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_writes_off_persistence_paths_are_fine() {
+        // Baseline JSON, bench results, and the JSONL audit log are not
+        // state the engine reads back at boot; a torn copy is recoverable.
+        let src = "fn dump(path: &Path) { std::fs::write(path, b\"x\").ok(); }";
+        assert!(lint_file("crates/analyzer/src/main.rs", src).is_empty());
+        assert!(lint_file("crates/telemetry/src/sinks.rs", src).is_empty());
+        assert!(lint_file("crates/bench/src/bin/runtime_sweep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn model_builder_bench_is_a_persistence_path() {
+        // The calibration bench writes the model files every later engine
+        // boot loads, so it is held to the same atomic-write discipline.
+        let src = "fn save_models() { std::fs::write(\"lists.model\", b\"{}\").ok(); }";
+        let d = lint_file("crates/bench/src/bin/model_builder.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_NO_RAW_PERSIST_WRITE);
+    }
+
+    #[test]
+    fn raw_writes_in_tests_are_fine_even_on_persistence_paths() {
+        // Chaos tests corrupt snapshot files on purpose.
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn corrupt(path: &Path) { std::fs::write(path, b"junk").unwrap(); }
+}
+"#;
+        assert!(lint_file("crates/state/src/reader.rs", src).is_empty());
     }
 
     #[test]

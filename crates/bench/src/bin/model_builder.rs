@@ -46,13 +46,17 @@ fn main() {
     let maps = build_map_model(&cfg);
     println!("# maps calibrated ({:?})", started.elapsed());
 
-    for (name, text) in [
-        ("lists.model", persist::to_text(&lists)),
-        ("sets.model", persist::to_text(&sets)),
-        ("maps.model", persist::to_text(&maps)),
-    ] {
-        let path = out_dir.join(name);
-        std::fs::write(&path, text).expect("write model file");
+    // Atomic writes: a calibration run killed mid-save must never leave a
+    // torn model file for the next engine boot to choke on.
+    {
+        let path = out_dir.join("lists.model");
+        persist::save_to_path(&lists, &path).expect("write model file");
+        println!("# wrote {}", path.display());
+        let path = out_dir.join("sets.model");
+        persist::save_to_path(&sets, &path).expect("write model file");
+        println!("# wrote {}", path.display());
+        let path = out_dir.join("maps.model");
+        persist::save_to_path(&maps, &path).expect("write model file");
         println!("# wrote {}", path.display());
     }
 

@@ -124,6 +124,14 @@ impl<K: Kind> ContextCore<K> {
         self.default_kind
     }
 
+    /// Installs `kind` as the current variant without recording a
+    /// transition or touching the monitoring state — the warm-start
+    /// import path, called once at context creation before any instance
+    /// exists. Adaptation proceeds normally from the installed variant.
+    pub(crate) fn warm_set_current(&self, kind: K) {
+        self.current.store(kind.index(), Ordering::Release);
+    }
+
     /// Activity counters.
     pub fn stats(&self) -> ContextStats {
         ContextStats {

@@ -1,13 +1,15 @@
 //! The CollectionSwitch engine (paper Fig. 1).
 
+use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Instant, SystemTime};
 
-use cs_collections::{ListKind, MapKind, SetKind};
+use cs_collections::{Abstraction, ListKind, MapKind, SetKind};
 use cs_model::{default_models, PerformanceModel};
 use cs_profile::WindowConfig;
 use parking_lot::Mutex;
@@ -15,11 +17,12 @@ use parking_lot::Mutex;
 use crate::context::{ContextCore, ListContext, MapContext, SetContext};
 use crate::event::{
     AnalyzerPanicEvent, DegradedEvent, EngineEvent, EventLog, ModelFallbackEvent,
-    SelectionExplanation, TransitionEvent,
+    SelectionExplanation, TransitionEvent, WarmStartEvent, WarmStartSiteEvent, WarmStartSiteOutcome,
 };
 use crate::guard::{GuardrailConfig, TransitionBudget};
 use crate::kind_ext::Kind;
 use crate::rules::SelectionRule;
+use crate::state::{SnapshotPolicy, StatePersister, WarmStartReport, WarmState};
 use crate::subscriber::{EngineEventSink, SinkRegistry};
 
 /// The three performance models the engine selects against.
@@ -54,7 +57,9 @@ impl Models {
     pub const FILE_NAMES: [&'static str; 3] = ["lists.model", "sets.model", "maps.model"];
 
     /// Writes the three models to `dir` in the `cs-model` text format,
-    /// creating the directory if needed.
+    /// creating the directory if needed. Each file is written atomically
+    /// via [`cs_model::persist::save_to_path`], so a crash mid-save never
+    /// leaves a half-written model for the next boot to trip over.
     ///
     /// # Errors
     ///
@@ -62,9 +67,9 @@ impl Models {
     pub fn save_to_dir(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        std::fs::write(dir.join("lists.model"), cs_model::persist::to_text(&self.list))?;
-        std::fs::write(dir.join("sets.model"), cs_model::persist::to_text(&self.set))?;
-        std::fs::write(dir.join("maps.model"), cs_model::persist::to_text(&self.map))?;
+        cs_model::persist::save_to_path(&self.list, dir.join("lists.model"))?;
+        cs_model::persist::save_to_path(&self.set, dir.join("sets.model"))?;
+        cs_model::persist::save_to_path(&self.map, dir.join("maps.model"))?;
         Ok(())
     }
 
@@ -225,6 +230,12 @@ struct Shared {
     /// Registered event subscribers (telemetry sinks).
     sinks: SinkRegistry,
     failpoint: Option<FailpointHook>,
+    /// Warm-start import state, when the engine was built from a snapshot:
+    /// the salvage account plus the still-unclaimed site records.
+    warm: Option<WarmState>,
+    /// Monotone sequence stamped into snapshots by [`Switch::save_state`]
+    /// (seeded past the imported snapshot's sequence on warm start).
+    snapshot_seq: AtomicU64,
 }
 
 impl Shared {
@@ -371,6 +382,8 @@ pub struct SwitchBuilder {
     pending_fallbacks: Vec<ModelFallbackEvent>,
     pending_sinks: Vec<Arc<dyn EngineEventSink>>,
     failpoint: Option<FailpointHook>,
+    pending_warm: Option<(cs_state::LoadReport, String)>,
+    pending_warm_miss: Option<(String, String)>,
 }
 
 impl fmt::Debug for SwitchBuilder {
@@ -420,6 +433,50 @@ impl SwitchBuilder {
         self
     }
 
+    /// Imports learned selection state from a crash-safe snapshot written
+    /// by [`Switch::save_state`] (or a [`StatePersister`]).
+    ///
+    /// Robust end to end: a missing or unreadable file means a plain cold
+    /// start (recorded as an [`EngineEvent::WarmStart`] with a note, never
+    /// an error), and a damaged file is salvaged leniently — every intact
+    /// record is used, every corrupt one is quarantined and counted.
+    /// Salvaged site records are *not* applied here; each waits for a live
+    /// site of the same name to register and is validated against it then
+    /// (see [`Switch::warm_start_report`]).
+    ///
+    /// Model blobs from the snapshot are installed only when no models were
+    /// set explicitly ([`SwitchBuilder::models`] /
+    /// [`SwitchBuilder::models_from_dir`] win); a blob that fails
+    /// `cs-model` validation is dropped with an
+    /// [`EngineEvent::ModelFallback`].
+    pub fn warm_start_from(self, path: impl AsRef<std::path::Path>) -> Self {
+        let path = path.as_ref();
+        let source = path.display().to_string();
+        match cs_state::load_lenient(path) {
+            Ok(report) => self.warm_start_snapshot(report, source),
+            Err(e) => {
+                let mut this = self;
+                this.pending_warm_miss = Some((source, e.to_string()));
+                this.pending_warm = None;
+                this
+            }
+        }
+    }
+
+    /// Like [`SwitchBuilder::warm_start_from`], from an already-loaded
+    /// [`cs_state::LoadReport`] — for hosts that load the snapshot
+    /// themselves (e.g. to inspect salvage statistics first). `source` is
+    /// the label recorded in events and metrics.
+    pub fn warm_start_snapshot(
+        mut self,
+        report: cs_state::LoadReport,
+        source: impl Into<String>,
+    ) -> Self {
+        self.pending_warm = Some((report, source.into()));
+        self.pending_warm_miss = None;
+        self
+    }
+
     /// Caps the engine event log at `capacity` entries (oldest dropped
     /// first). Default: [`Switch::DEFAULT_EVENT_LOG_CAPACITY`].
     pub fn event_log_capacity(mut self, capacity: usize) -> Self {
@@ -462,9 +519,103 @@ impl SwitchBuilder {
         for sink in self.pending_sinks {
             sinks.subscribe(sink);
         }
+        let models_explicit = self.models.is_some();
+        let mut models = self.models.unwrap_or_default();
+        let mut startup_events: Vec<EngineEvent> = self
+            .pending_fallbacks
+            .into_iter()
+            .map(EngineEvent::ModelFallback)
+            .collect();
+        if let Some((source, reason)) = self.pending_warm_miss {
+            startup_events.push(EngineEvent::WarmStart(WarmStartEvent {
+                source,
+                sites_in_snapshot: 0,
+                models_in_snapshot: 0,
+                records_loaded: 0,
+                records_quarantined: 0,
+                duplicates_dropped: 0,
+                note: format!("snapshot unavailable, cold start: {reason}"),
+            }));
+        }
+        let mut warm: Option<WarmState> = None;
+        let mut next_snapshot_seq = 0u64;
+        if let Some((report, source)) = self.pending_warm {
+            let cs_state::LoadReport {
+                snapshot, stats, ..
+            } = report;
+            next_snapshot_seq = snapshot.meta.as_ref().map(|m| m.seq).unwrap_or(0);
+            let models_in_snapshot = snapshot.models.len();
+            if !models_explicit {
+                for blob in &snapshot.models {
+                    let file = format!("{source}#{}", blob.family);
+                    match blob.family.as_str() {
+                        "lists" => {
+                            merge_model_blob(&blob.text, &mut models.list, file, &mut startup_events)
+                        }
+                        "sets" => {
+                            merge_model_blob(&blob.text, &mut models.set, file, &mut startup_events)
+                        }
+                        "maps" => {
+                            merge_model_blob(&blob.text, &mut models.map, file, &mut startup_events)
+                        }
+                        other => startup_events.push(EngineEvent::ModelFallback(
+                            ModelFallbackEvent {
+                                file,
+                                reason: format!("unknown model family '{other}'"),
+                            },
+                        )),
+                    }
+                }
+            }
+            // Records whose abstraction no live site can ever declare are
+            // rejected up front; everything else waits in the claim map for
+            // a same-named site to register.
+            let sites_in_snapshot = snapshot.sites.len();
+            let mut unknown_abstractions = 0u64;
+            let mut site_map = HashMap::with_capacity(sites_in_snapshot);
+            for site in snapshot.sites {
+                let abstraction = match site.abstraction.as_str() {
+                    "list" => Abstraction::List,
+                    "set" => Abstraction::Set,
+                    "map" => Abstraction::Map,
+                    _ => {
+                        unknown_abstractions += 1;
+                        continue;
+                    }
+                };
+                site_map.insert((abstraction, site.name.clone()), site);
+            }
+            let records_quarantined = stats.records_quarantined();
+            let note = if stats.is_clean() {
+                String::new()
+            } else {
+                format!("{records_quarantined} corrupt record(s) quarantined")
+            };
+            startup_events.push(EngineEvent::WarmStart(WarmStartEvent {
+                source: source.clone(),
+                sites_in_snapshot,
+                models_in_snapshot,
+                records_loaded: stats.records_loaded,
+                records_quarantined,
+                duplicates_dropped: stats.duplicates_dropped,
+                note,
+            }));
+            warm = Some(WarmState {
+                source,
+                sites: Mutex::new(site_map),
+                sites_in_snapshot,
+                models_in_snapshot,
+                applied: AtomicU64::new(0),
+                rejected_stale: AtomicU64::new(0),
+                rejected_unknown: AtomicU64::new(unknown_abstractions),
+                records_loaded: stats.records_loaded,
+                records_quarantined,
+                duplicates_dropped: stats.duplicates_dropped,
+            });
+        }
         let shared = Arc::new(Shared {
             config: self.config,
-            models: self.models.unwrap_or_default(),
+            models,
             registry: Mutex::new(Registry::default()),
             log: Mutex::new(log),
             budget,
@@ -477,13 +628,10 @@ impl SwitchBuilder {
             pass_nanos_total: AtomicU64::new(0),
             sinks,
             failpoint: self.failpoint,
+            warm,
+            snapshot_seq: AtomicU64::new(next_snapshot_seq),
         });
-        shared.record_and_dispatch(
-            self.pending_fallbacks
-                .into_iter()
-                .map(EngineEvent::ModelFallback)
-                .collect(),
-        );
+        shared.record_and_dispatch(startup_events);
         let analyzer = if self.background {
             let rate = shared.config.window.monitoring_rate;
             let thread_shared = Arc::clone(&shared);
@@ -519,6 +667,29 @@ impl SwitchBuilder {
             None
         };
         Switch { shared, analyzer }
+    }
+}
+
+/// Installs a snapshot model blob into `slot` if it passes `cs-model`
+/// validation; otherwise keeps the existing model and records a fallback
+/// event. Snapshot bytes are CRC-checked, but the *semantic* validation
+/// (monotone coefficients, known variants) belongs to the model parser —
+/// persisted state never bypasses it.
+fn merge_model_blob<K>(
+    text: &str,
+    slot: &mut PerformanceModel<K>,
+    file: String,
+    events: &mut Vec<EngineEvent>,
+) where
+    K: Copy + Eq + Hash + fmt::Display + std::str::FromStr,
+    <K as std::str::FromStr>::Err: fmt::Display,
+{
+    match cs_model::persist::from_text(text) {
+        Ok(model) => *slot = model,
+        Err(e) => events.push(EngineEvent::ModelFallback(ModelFallbackEvent {
+            file,
+            reason: e.to_string(),
+        })),
     }
 }
 
@@ -644,6 +815,76 @@ impl Switch {
         self.shared.next_context_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Applies a pending warm-start record to a freshly registered site, if
+    /// the imported snapshot carried one for its `(abstraction, name)`.
+    ///
+    /// Validation is per-site: the record's declared default variant must
+    /// match the live site's (the *fingerprint* — a changed default means
+    /// the site's identity drifted since the snapshot), and its selected
+    /// variant must exist in this build. A record that fails either check
+    /// degrades *this* site to a cold start; other sites are unaffected.
+    /// Every outcome is recorded as an [`EngineEvent::WarmStartSite`].
+    fn apply_warm_start<K: Kind>(&self, core: &ContextCore<K>) {
+        let Some(warm) = &self.shared.warm else {
+            return;
+        };
+        let record = warm
+            .sites
+            .lock()
+            .remove(&(K::ABSTRACTION, core.name().to_owned()));
+        let Some(record) = record else {
+            return;
+        };
+        let live_default = core.default_kind().to_string();
+        let (outcome, detail) = if record.default_kind != live_default {
+            warm.rejected_stale.fetch_add(1, Ordering::Relaxed);
+            (
+                WarmStartSiteOutcome::StaleFingerprint,
+                format!(
+                    "snapshot declared default '{}', live site declares '{}'; cold start",
+                    record.default_kind, live_default
+                ),
+            )
+        } else {
+            match K::all()
+                .iter()
+                .copied()
+                .find(|k| k.to_string() == record.current_kind)
+            {
+                Some(kind) => {
+                    core.warm_set_current(kind);
+                    warm.applied.fetch_add(1, Ordering::Relaxed);
+                    (
+                        WarmStartSiteOutcome::Applied,
+                        format!(
+                            "resumed at '{}' ({} rounds, {} switches learned)",
+                            record.current_kind, record.rounds, record.switches
+                        ),
+                    )
+                }
+                None => {
+                    warm.rejected_unknown.fetch_add(1, Ordering::Relaxed);
+                    (
+                        WarmStartSiteOutcome::UnknownKind,
+                        format!(
+                            "variant '{}' unknown to this build; cold start",
+                            record.current_kind
+                        ),
+                    )
+                }
+            }
+        };
+        self.shared
+            .record_and_dispatch(vec![EngineEvent::WarmStartSite(WarmStartSiteEvent {
+                context_id: core.id(),
+                context_name: core.name().to_owned(),
+                abstraction: K::ABSTRACTION,
+                snapshot_kind: record.current_kind,
+                outcome,
+                detail,
+            })]);
+    }
+
     /// Creates an adaptive allocation context for a list site with the given
     /// developer-declared default variant.
     pub fn list_context<T: Eq + Hash + Clone>(&self, default: ListKind) -> ListContext<T> {
@@ -665,6 +906,7 @@ impl Switch {
             Arc::clone(&self.shared.degraded),
         ));
         self.shared.registry.lock().lists.push(Arc::clone(&core));
+        self.apply_warm_start(&core);
         ListContext::from_core(core)
     }
 
@@ -687,6 +929,7 @@ impl Switch {
             Arc::clone(&self.shared.degraded),
         ));
         self.shared.registry.lock().sets.push(Arc::clone(&core));
+        self.apply_warm_start(&core);
         SetContext::from_core(core)
     }
 
@@ -709,6 +952,7 @@ impl Switch {
             Arc::clone(&self.shared.degraded),
         ));
         self.shared.registry.lock().maps.push(Arc::clone(&core));
+        self.apply_warm_start(&core);
         MapContext::from_core(core)
     }
 
@@ -905,6 +1149,132 @@ impl Switch {
         out.extend(registry.sets.iter().map(|c| summarize(c)));
         out.extend(registry.maps.iter().map(|c| summarize(c)));
         out
+    }
+
+    /// Exports the engine's learned selection state as a [`cs_state::Snapshot`]:
+    /// one [`cs_state::SiteRecord`] and one [`cs_state::ProfileSummaryRecord`]
+    /// per registered context, the three performance models as text blobs,
+    /// and a meta record (sequence, wall-clock time, rule, site count).
+    ///
+    /// This is the read-only half of [`Switch::save_state`]; it never
+    /// touches the filesystem.
+    pub fn export_state(&self) -> cs_state::Snapshot {
+        self.export_state_seq(self.shared.snapshot_seq.load(Ordering::Relaxed))
+    }
+
+    fn export_state_seq(&self, seq: u64) -> cs_state::Snapshot {
+        let mut snapshot = cs_state::Snapshot::default();
+        fn site<K: Kind>(core: &ContextCore<K>) -> cs_state::SiteRecord {
+            let stats = core.stats();
+            cs_state::SiteRecord {
+                name: core.name().to_owned(),
+                abstraction: K::ABSTRACTION.to_string(),
+                default_kind: core.default_kind().to_string(),
+                current_kind: core.current_kind().to_string(),
+                rounds: stats.rounds,
+                switches: stats.switches,
+                history_instances: stats.history_instances,
+            }
+        }
+        fn profile<K: Kind>(core: &ContextCore<K>) -> cs_state::ProfileSummaryRecord {
+            cs_state::ProfileSummaryRecord {
+                site: core.name().to_owned(),
+                entries: vec![
+                    ("profiles_ingested".to_owned(), core.profiles_pushed()),
+                    ("profiles_dropped".to_owned(), core.profiles_dropped()),
+                ],
+            }
+        }
+        {
+            let registry = self.shared.registry.lock();
+            for core in &registry.lists {
+                snapshot.sites.push(site(core));
+                snapshot.profiles.push(profile(core));
+            }
+            for core in &registry.sets {
+                snapshot.sites.push(site(core));
+                snapshot.profiles.push(profile(core));
+            }
+            for core in &registry.maps {
+                snapshot.sites.push(site(core));
+                snapshot.profiles.push(profile(core));
+            }
+        }
+        snapshot.models = vec![
+            cs_state::ModelBlobRecord {
+                family: "lists".to_owned(),
+                text: cs_model::persist::to_text(&self.shared.models.list),
+            },
+            cs_state::ModelBlobRecord {
+                family: "sets".to_owned(),
+                text: cs_model::persist::to_text(&self.shared.models.set),
+            },
+            cs_state::ModelBlobRecord {
+                family: "maps".to_owned(),
+                text: cs_model::persist::to_text(&self.shared.models.map),
+            },
+        ];
+        snapshot.meta = Some(cs_state::MetaRecord {
+            seq,
+            created_unix_nanos: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0),
+            rule: self.shared.config.rule.name().to_owned(),
+            site_count: snapshot.sites.len() as u32,
+        });
+        snapshot
+    }
+
+    /// Atomically persists the engine's learned state to `path` via
+    /// `cs-state`'s crash-safe writer (temp file + fsync + rename — a
+    /// reader never observes a torn snapshot, and a crash mid-write leaves
+    /// the previous snapshot intact). Each call stamps the next snapshot
+    /// sequence number.
+    ///
+    /// The snapshot warm-starts a future engine through
+    /// [`SwitchBuilder::warm_start_from`]. For automatic persistence,
+    /// subscribe a [`StatePersister`] with [`Switch::persist_state_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the atomic write; the previous snapshot
+    /// at `path` (if any) is untouched on failure.
+    pub fn save_state(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<cs_state::WriteReport> {
+        let seq = self.shared.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let snapshot = self.export_state_seq(seq);
+        cs_state::write_atomic(path, &snapshot)
+    }
+
+    /// Subscribes a [`StatePersister`] that keeps `path` current with
+    /// crash-safe snapshots — written after bursts of adaptation activity
+    /// and periodically across analysis passes, per `policy`.
+    ///
+    /// Stale temp files left by a previous process killed mid-snapshot are
+    /// swept on the way in. The returned handle exposes write statistics
+    /// and [`StatePersister::snapshot_now`]; it holds only a weak engine
+    /// reference, so dropping it (or the engine) leaks nothing.
+    pub fn persist_state_to(
+        &self,
+        path: impl Into<PathBuf>,
+        policy: SnapshotPolicy,
+    ) -> Arc<StatePersister> {
+        let path = path.into();
+        let _ = cs_state::sweep_stale_temps(&path);
+        let persister = Arc::new(StatePersister::new(path, policy, self.downgrade()));
+        self.subscribe(Arc::clone(&persister) as Arc<dyn EngineEventSink>);
+        persister
+    }
+
+    /// The warm-start account, when this engine imported a snapshot at
+    /// build time: sites applied, rejected (stale fingerprint / unknown
+    /// variant), still unclaimed, and the loader's salvage counters.
+    /// `None` for cold-started engines.
+    pub fn warm_start_report(&self) -> Option<WarmStartReport> {
+        self.shared.warm.as_ref().map(|w| w.report())
     }
 
     /// The engine's *site manifest*: one row per registered allocation

@@ -301,6 +301,113 @@ impl fmt::Display for DegradedEvent {
     }
 }
 
+/// Summary of one warm-start import at engine build time: what the
+/// snapshot store salvaged and what it quarantined.
+///
+/// Per-site application outcomes are recorded separately as
+/// [`WarmStartSiteEvent`]s when the matching live sites register.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WarmStartEvent {
+    /// Where the snapshot came from (file path, or a label for in-memory
+    /// imports).
+    pub source: String,
+    /// Site records salvaged from the snapshot.
+    pub sites_in_snapshot: usize,
+    /// Model blobs salvaged from the snapshot.
+    pub models_in_snapshot: usize,
+    /// Records that loaded cleanly.
+    pub records_loaded: u64,
+    /// Records quarantined as corrupt (counted, never fatal).
+    pub records_quarantined: u64,
+    /// Well-formed records dropped by last-wins deduplication.
+    pub duplicates_dropped: u64,
+    /// Non-empty when the import degraded (snapshot missing or
+    /// unreadable, i.e. a full cold start).
+    pub note: String,
+}
+
+impl fmt::Display for WarmStartEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "warm start from {}: {} sites, {} models ({} records loaded, {} quarantined, {} duplicates)",
+            self.source,
+            self.sites_in_snapshot,
+            self.models_in_snapshot,
+            self.records_loaded,
+            self.records_quarantined,
+            self.duplicates_dropped,
+        )?;
+        if !self.note.is_empty() {
+            write!(f, " [{}]", self.note)?;
+        }
+        Ok(())
+    }
+}
+
+/// What happened when a snapshot site record met its live counterpart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WarmStartSiteOutcome {
+    /// Fingerprint matched; the learned variant was installed.
+    Applied,
+    /// The live site declares a different default variant than the
+    /// snapshot recorded — the site's identity drifted, so it cold-starts.
+    StaleFingerprint,
+    /// The snapshot's selected variant is unknown to this build — the
+    /// site cold-starts on its declared default.
+    UnknownKind,
+}
+
+impl WarmStartSiteOutcome {
+    /// Stable snake_case tag, for metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            WarmStartSiteOutcome::Applied => "applied",
+            WarmStartSiteOutcome::StaleFingerprint => "stale_fingerprint",
+            WarmStartSiteOutcome::UnknownKind => "unknown_kind",
+        }
+    }
+}
+
+impl fmt::Display for WarmStartSiteOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One snapshot site record applied to (or rejected by) a live site at
+/// context-creation time.
+///
+/// Rejections are per-site by design: a stale or unknown record degrades
+/// *that* site to a cold start and leaves every other site's warm state
+/// intact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WarmStartSiteEvent {
+    /// Id of the live allocation context.
+    pub context_id: u64,
+    /// Name of the live allocation context.
+    pub context_name: String,
+    /// The site's abstraction.
+    pub abstraction: Abstraction,
+    /// The variant the snapshot had selected for the site.
+    pub snapshot_kind: String,
+    /// What the import did with the record.
+    pub outcome: WarmStartSiteOutcome,
+    /// Human-readable detail (fingerprint mismatch, unknown variant, or
+    /// the learned state resumed).
+    pub detail: String,
+}
+
+impl fmt::Display for WarmStartSiteEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} warm start {} ({}): {}",
+            self.context_name, self.abstraction, self.outcome, self.snapshot_kind, self.detail
+        )
+    }
+}
+
 /// Any event the engine records: ordinary transitions plus guardrail
 /// decisions.
 #[derive(Debug, Clone, PartialEq)]
@@ -320,6 +427,11 @@ pub enum EngineEvent {
     AnalyzerPanic(AnalyzerPanicEvent),
     /// The engine entered degraded mode (adaptation frozen).
     DegradedEntered(DegradedEvent),
+    /// A selection-state snapshot was imported at engine build time.
+    WarmStart(WarmStartEvent),
+    /// A snapshot site record was applied to (or rejected by) a live
+    /// site.
+    WarmStartSite(WarmStartSiteEvent),
 }
 
 impl EngineEvent {
@@ -350,6 +462,8 @@ impl EngineEvent {
             EngineEvent::ModelFallback(_) => "model_fallback",
             EngineEvent::AnalyzerPanic(_) => "analyzer_panic",
             EngineEvent::DegradedEntered(_) => "degraded_entered",
+            EngineEvent::WarmStart(_) => "warm_start",
+            EngineEvent::WarmStartSite(_) => "warm_start_site",
         }
     }
 }
@@ -364,6 +478,8 @@ impl fmt::Display for EngineEvent {
             EngineEvent::ModelFallback(e) => e.fmt(f),
             EngineEvent::AnalyzerPanic(e) => e.fmt(f),
             EngineEvent::DegradedEntered(e) => e.fmt(f),
+            EngineEvent::WarmStart(e) => e.fmt(f),
+            EngineEvent::WarmStartSite(e) => e.fmt(f),
         }
     }
 }

@@ -55,6 +55,7 @@ mod handles;
 mod kind_ext;
 mod rules;
 mod select;
+mod state;
 mod subscriber;
 
 pub use context::{ContextCore, ContextStats, ListContext, MapContext, SetContext};
@@ -65,6 +66,7 @@ pub use engine::{
 pub use event::{
     AnalyzerPanicEvent, CandidateEstimate, DegradedEvent, EngineEvent, ModelFallbackEvent,
     QuarantineEvent, RollbackEvent, SelectionExplanation, SelectionOutcome, TransitionEvent,
+    WarmStartEvent, WarmStartSiteEvent, WarmStartSiteOutcome,
 };
 pub use guard::{GuardrailConfig, TransitionBudget};
 pub use handles::{SwitchList, SwitchMap, SwitchSet};
@@ -73,6 +75,10 @@ pub use rules::{Criterion, ParseRuleError, SelectionRule};
 pub use select::{
     adaptive_eligible, select_variant, select_variant_explained, select_variant_filtered,
     ExplainedSelection, Selection,
+};
+pub use state::{
+    SnapshotPolicy, StatePersister, StatePersisterStats, WarmStartReport,
+    SNAPSHOT_LATENCY_BOUNDS_NS, SNAPSHOT_LATENCY_BUCKETS,
 };
 pub use subscriber::EngineEventSink;
 

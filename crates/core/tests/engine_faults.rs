@@ -15,11 +15,19 @@
 //! 4. **Phase-flipping workload** — an adversarial workload that changes its
 //!    profile every analysis round. The per-site cooldown must bound the
 //!    transition rate even with verification disabled.
+//! 5. **Poisoned warm start** — a selection-state snapshot referencing
+//!    unknown sites, unknown variants, or sites whose declared default has
+//!    drifted since the snapshot. Each bad record must degrade *its* site
+//!    to a cold start (with a [`cs_core::WarmStartSiteEvent`] recorded)
+//!    while every valid record still applies; a missing snapshot must mean
+//!    a plain cold start, never an error.
 
 use std::path::PathBuf;
 
 use cs_collections::ListKind;
-use cs_core::{EngineEvent, GuardrailConfig, ListContext, SelectionRule, Switch};
+use cs_core::{
+    EngineEvent, GuardrailConfig, ListContext, SelectionRule, Switch, WarmStartSiteOutcome,
+};
 use cs_model::{CostDimension, PerformanceModel, Polynomial, VariantCostModel};
 use cs_profile::OpKind;
 
@@ -294,4 +302,140 @@ fn cooldown_bounds_transitions_under_phase_flipping() {
          {} transitions, saw {transitions}",
         ROUNDS.div_ceil(COOLDOWN)
     );
+}
+
+#[test]
+fn warm_start_round_trips_learned_state_across_engines() {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("cs_warm_roundtrip.css");
+
+    // First life: a lookup-heavy site learns its way off the array variant.
+    let first = Switch::builder().rule(SelectionRule::r_time()).build();
+    let ctx = first.named_list_context::<i64>(ListKind::Array, "orders");
+    lookup_heavy_round(&ctx);
+    first.analyze_now();
+    let learned = ctx.current_kind();
+    assert_ne!(learned, ListKind::Array, "site must have adapted");
+    first.save_state(&path).expect("snapshot writes");
+    drop(first);
+
+    // Second life: the same site resumes the learned variant before any
+    // workload runs — no re-learning burn-in.
+    let second = Switch::builder()
+        .rule(SelectionRule::r_time())
+        .warm_start_from(&path)
+        .build();
+    let ctx = second.named_list_context::<i64>(ListKind::Array, "orders");
+    assert_eq!(ctx.current_kind(), learned, "warm start installs the learned variant");
+    let report = second.warm_start_report().expect("warm-started engine has a report");
+    assert_eq!(report.applied, 1);
+    assert_eq!(report.rejected_stale, 0);
+    assert_eq!(report.rejected_unknown, 0);
+    assert_eq!(report.records_quarantined, 0);
+    assert_eq!(
+        count_events(&second, |e| matches!(e, EngineEvent::WarmStart(_))),
+        1
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn poisoned_warm_start_degrades_per_site_only() {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("cs_warm_poisoned.css");
+
+    fn site_record(name: &str, default_kind: &str, current_kind: &str) -> cs_state::SiteRecord {
+        cs_state::SiteRecord {
+            name: name.to_owned(),
+            abstraction: "list".to_owned(),
+            default_kind: default_kind.to_owned(),
+            current_kind: current_kind.to_owned(),
+            rounds: 5,
+            switches: 1,
+            history_instances: 500,
+        }
+    }
+
+    // A snapshot mixing one valid record with every per-site failure mode:
+    // a default-variant fingerprint that drifted, a variant this build does
+    // not know, and a site that never registers in the second life.
+    let snapshot = cs_state::Snapshot {
+        meta: None,
+        sites: vec![
+            site_record("good", "array", "hasharray"),
+            site_record("drifted", "linked", "hasharray"),
+            site_record("from-the-future", "array", "gpu-resident-list"),
+            site_record("deleted-site", "array", "hasharray"),
+        ],
+        models: Vec::new(),
+        profiles: Vec::new(),
+    };
+    cs_state::write_atomic(&path, &snapshot).expect("snapshot writes");
+
+    let engine = Switch::builder()
+        .rule(SelectionRule::r_time())
+        .warm_start_from(&path)
+        .build();
+    // "drifted" declares default `array` live, but the snapshot fingerprint
+    // says `linked`: the record must be refused for this site only.
+    let good = engine.named_list_context::<i64>(ListKind::Array, "good");
+    let drifted = engine.named_list_context::<i64>(ListKind::Array, "drifted");
+    let future = engine.named_list_context::<i64>(ListKind::Array, "from-the-future");
+
+    assert_eq!(good.current_kind(), ListKind::HashArray, "valid record applies");
+    assert_eq!(drifted.current_kind(), ListKind::Array, "stale fingerprint cold-starts");
+    assert_eq!(future.current_kind(), ListKind::Array, "unknown variant cold-starts");
+
+    let report = engine.warm_start_report().expect("report exists");
+    assert_eq!(report.sites_in_snapshot, 4);
+    assert_eq!(report.applied, 1);
+    assert_eq!(report.rejected_stale, 1);
+    assert_eq!(report.rejected_unknown, 1);
+    assert_eq!(report.unclaimed, 1, "the deleted site's record stays unclaimed");
+    assert!((report.hit_ratio() - 0.25).abs() < 1e-12);
+
+    // Every outcome is on the event log, tagged per site.
+    let outcomes: Vec<(String, WarmStartSiteOutcome)> = engine
+        .event_log()
+        .into_iter()
+        .filter_map(|e| match e {
+            EngineEvent::WarmStartSite(s) => Some((s.context_name, s.outcome)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(outcomes.len(), 3);
+    assert!(outcomes.contains(&("good".to_owned(), WarmStartSiteOutcome::Applied)));
+    assert!(outcomes.contains(&("drifted".to_owned(), WarmStartSiteOutcome::StaleFingerprint)));
+    assert!(outcomes
+        .contains(&("from-the-future".to_owned(), WarmStartSiteOutcome::UnknownKind)));
+
+    // The degraded sites still adapt normally from their cold start.
+    lookup_heavy_round(&drifted);
+    engine.analyze_now();
+    assert_ne!(drifted.current_kind(), ListKind::Array);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_snapshot_is_a_cold_start_not_an_error() {
+    let engine = Switch::builder()
+        .warm_start_from("/nonexistent/cs-state/fleet.css")
+        .build();
+    assert!(engine.warm_start_report().is_none(), "no warm state without a snapshot");
+    let notes: Vec<String> = engine
+        .event_log()
+        .into_iter()
+        .filter_map(|e| match e {
+            EngineEvent::WarmStart(w) => Some(w.note),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(notes.len(), 1, "the miss is recorded, not raised");
+    assert!(notes[0].contains("cold start"), "note explains: {}", notes[0]);
+
+    // The engine is fully functional.
+    let ctx = engine.list_context::<i64>(ListKind::Array);
+    lookup_heavy_round(&ctx);
+    engine.analyze_now();
+    assert_ne!(ctx.current_kind(), ListKind::Array);
 }

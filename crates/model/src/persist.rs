@@ -263,6 +263,25 @@ where
     Ok(model)
 }
 
+/// Atomically writes `model`'s text encoding to `path` via the
+/// `cs-state` temp + `fsync` + rename protocol.
+///
+/// This is the sanctioned way to put a model file on disk: a raw
+/// `std::fs::write` can be torn by a crash into a file that parses
+/// partially or not at all, and `cs-analyzer`'s `no-raw-persist-write`
+/// lint rejects it on persistence paths.
+///
+/// # Errors
+///
+/// Any I/O error from the atomic write protocol; on error `path` is
+/// untouched.
+pub fn save_to_path<K: Copy + Eq + Hash + Display>(
+    model: &PerformanceModel<K>,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    cs_state::write_atomic_bytes(path, to_text(model).as_bytes()).map(|_| ())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,5 +430,25 @@ mod tests {
     fn nan_piecewise_branch_is_an_error() {
         let text = "op adaptive time contains pw 40 NaN 1.0 | 1 9.0\n";
         assert!(from_text::<ListKind>(text).is_err());
+    }
+
+    #[test]
+    fn save_to_path_round_trips_atomically() {
+        let dir = std::env::temp_dir().join(format!("cs-model-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lists.model");
+        let model = crate::default_models::list_model();
+        save_to_path(model, &path).unwrap();
+        let restored: PerformanceModel<ListKind> =
+            from_text(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(restored.len(), model.len());
+        // No temp debris from the atomic protocol.
+        let temps = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .count();
+        assert_eq!(temps, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

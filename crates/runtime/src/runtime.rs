@@ -202,6 +202,32 @@ impl Runtime {
         tlb::flush_current_thread();
     }
 
+    /// Atomically persists the engine's learned selection state (runtime
+    /// sites included — every concurrent handle is an engine context) via
+    /// [`Switch::save_state`]. Restore it on the next boot by building the
+    /// engine with `Switch::builder().warm_start_from(path)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the atomic write.
+    pub fn save_state(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<cs_state::WriteReport> {
+        self.engine.save_state(path)
+    }
+
+    /// Subscribes a [`cs_core::StatePersister`] keeping `path` current with
+    /// crash-safe snapshots of the engine's learned state; see
+    /// [`Switch::persist_state_to`].
+    pub fn persist_state_to(
+        &self,
+        path: impl Into<std::path::PathBuf>,
+        policy: cs_core::SnapshotPolicy,
+    ) -> Arc<cs_core::StatePersister> {
+        self.engine.persist_state_to(path, policy)
+    }
+
     /// Snapshot of one site's counters, by site id. Reads the registry
     /// entry in place ([`ShardedHashMap::read`]) — no clone on this path.
     pub fn site_stats(&self, id: u64) -> Option<SiteStats> {

@@ -7,7 +7,9 @@
 //! [`export_engine`] right before snapshotting, the way a Prometheus
 //! exporter refreshes on scrape.
 
-use cs_core::{EngineHealth, Switch};
+use cs_core::{
+    EngineHealth, StatePersisterStats, Switch, WarmStartReport, SNAPSHOT_LATENCY_BOUNDS_NS,
+};
 use cs_trace::{TraceSnapshot, SPAN_BUCKET_BOUNDS_NS};
 
 use crate::metrics::MetricsRegistry;
@@ -87,6 +89,133 @@ pub fn export_engine(registry: &MetricsRegistry, engine: &Switch) {
             &[],
         )
         .set_total(engine.analysis_time_total().as_nanos() as u64);
+}
+
+/// Writes a [`WarmStartReport`] into `registry` under the `cs_state_*`
+/// families: the lenient loader's salvage account (records loaded /
+/// quarantined / deduplicated), per-outcome site gauges, and the
+/// warm-start hit ratio. Idempotent, like every exporter here.
+pub fn export_warm_start(registry: &MetricsRegistry, report: &WarmStartReport) {
+    let totals: [(&str, &str, u64); 3] = [
+        (
+            "cs_state_records_loaded_total",
+            "Snapshot records salvaged by the lenient loader.",
+            report.records_loaded,
+        ),
+        (
+            "cs_state_records_quarantined_total",
+            "Snapshot records quarantined as corrupt (CRC, framing, or decode failure).",
+            report.records_quarantined,
+        ),
+        (
+            "cs_state_duplicates_dropped_total",
+            "Well-formed snapshot records dropped by last-wins deduplication.",
+            report.duplicates_dropped,
+        ),
+    ];
+    for (name, help, value) in totals {
+        registry.counter(name, help, &[]).set_total(value);
+    }
+    let gauges: [(&str, &str, i64); 5] = [
+        (
+            "cs_state_warm_sites_in_snapshot",
+            "Site records the imported snapshot carried.",
+            report.sites_in_snapshot as i64,
+        ),
+        (
+            "cs_state_warm_sites_applied",
+            "Snapshot site records validated and installed on live sites.",
+            report.applied as i64,
+        ),
+        (
+            "cs_state_warm_sites_rejected_stale",
+            "Snapshot site records rejected for a default-variant fingerprint mismatch.",
+            report.rejected_stale as i64,
+        ),
+        (
+            "cs_state_warm_sites_rejected_unknown",
+            "Snapshot site records rejected because their variant is unknown to this build.",
+            report.rejected_unknown as i64,
+        ),
+        (
+            "cs_state_warm_sites_unclaimed",
+            "Snapshot site records no live site has claimed yet.",
+            report.unclaimed as i64,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        registry.gauge(name, help, &[]).set(value);
+    }
+    registry
+        .float_gauge(
+            "cs_state_warm_hit_ratio",
+            "Fraction of snapshot sites whose learned state was applied on warm start.",
+            &[],
+        )
+        .set(report.hit_ratio());
+}
+
+/// Mirrors a [`StatePersisterStats`] into `registry`: snapshot write
+/// totals, failure count, pending dirty events, and the snapshot write
+/// latency histogram (`cs_state_snapshot_duration_seconds`, mirrored from
+/// the persister's fixed nanosecond buckets — never `observe` into it).
+pub fn export_persister(registry: &MetricsRegistry, stats: &StatePersisterStats) {
+    registry
+        .counter(
+            "cs_state_snapshots_written_total",
+            "Crash-safe state snapshots written successfully.",
+            &[],
+        )
+        .set_total(stats.snapshots_written);
+    registry
+        .counter(
+            "cs_state_snapshot_failures_total",
+            "State snapshot write attempts that failed with an I/O error.",
+            &[],
+        )
+        .set_total(stats.write_failures);
+    registry
+        .gauge(
+            "cs_state_pending_dirty_events",
+            "Dirtying engine events since the last successful snapshot.",
+            &[],
+        )
+        .set(stats.pending_dirty_events as i64);
+    registry
+        .gauge(
+            "cs_state_last_snapshot_bytes",
+            "Size of the most recent state snapshot, in bytes.",
+            &[],
+        )
+        .set(stats.last_write_bytes as i64);
+    let bounds: Vec<f64> = SNAPSHOT_LATENCY_BOUNDS_NS
+        .iter()
+        .map(|&ns| ns as f64 * 1e-9)
+        .collect();
+    registry
+        .histogram(
+            "cs_state_snapshot_duration_seconds",
+            "Latency of successful state snapshot writes.",
+            &[],
+            &bounds,
+        )
+        .set_distribution(&stats.latency_buckets, stats.total_write_nanos as f64 * 1e-9);
+}
+
+/// Refreshes every `cs_state_*` family from a live engine and (optionally)
+/// its persister: [`export_warm_start`] when the engine was warm-started,
+/// plus [`export_persister`] when a persister handle is supplied.
+pub fn export_state(
+    registry: &MetricsRegistry,
+    engine: &Switch,
+    persister: Option<&cs_core::StatePersister>,
+) {
+    if let Some(report) = engine.warm_start_report() {
+        export_warm_start(registry, &report);
+    }
+    if let Some(p) = persister {
+        export_persister(registry, &p.stats());
+    }
 }
 
 /// Mirrors a [`TraceSnapshot`] into `registry` under the `cs_trace_*`
@@ -223,6 +352,76 @@ mod tests {
             registry.snapshot().gauge_value("cs_engine_degraded"),
             Some(0)
         );
+        crate::validate_prometheus_text(&registry.snapshot().to_prometheus_text())
+            .expect("valid exposition");
+    }
+
+    #[test]
+    fn state_export_mirrors_warm_report_and_persister() {
+        use crate::metrics::ValueSnapshot;
+
+        let report = WarmStartReport {
+            source: "state.css".into(),
+            sites_in_snapshot: 4,
+            models_in_snapshot: 3,
+            applied: 3,
+            rejected_stale: 1,
+            rejected_unknown: 0,
+            unclaimed: 0,
+            records_loaded: 10,
+            records_quarantined: 2,
+            duplicates_dropped: 1,
+        };
+        let registry = MetricsRegistry::new();
+        export_warm_start(&registry, &report);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("cs_state_records_loaded_total"), Some(10));
+        assert_eq!(
+            snap.counter_value("cs_state_records_quarantined_total"),
+            Some(2)
+        );
+        assert_eq!(snap.gauge_value("cs_state_warm_sites_applied"), Some(3));
+        assert_eq!(
+            snap.gauge_value("cs_state_warm_sites_rejected_stale"),
+            Some(1)
+        );
+        let hit = snap
+            .family("cs_state_warm_hit_ratio")
+            .and_then(|f| f.series.first())
+            .map(|s| match s.value {
+                ValueSnapshot::FloatGauge(v) => v,
+                _ => panic!("hit ratio must be a float gauge"),
+            })
+            .expect("hit ratio exported");
+        assert!((hit - 0.75).abs() < 1e-12, "hit ratio {hit}");
+
+        let mut stats = cs_core::StatePersisterStats {
+            snapshots_written: 5,
+            write_failures: 1,
+            total_write_nanos: 5_000_000,
+            ..Default::default()
+        };
+        stats.latency_buckets[2] = 5;
+        export_persister(&registry, &stats);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("cs_state_snapshots_written_total"), Some(5));
+        assert_eq!(snap.counter_value("cs_state_snapshot_failures_total"), Some(1));
+        let hist = snap
+            .family("cs_state_snapshot_duration_seconds")
+            .and_then(|f| f.series.first())
+            .map(|s| s.value.clone())
+            .expect("latency histogram exported");
+        match hist {
+            ValueSnapshot::Histogram(h) => {
+                assert_eq!(h.count, 5);
+                assert_eq!(h.counts[2], 5);
+                assert!((h.sum - 5e-3).abs() < 1e-12);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Idempotent re-export, and the exposition stays well-formed.
+        export_warm_start(&registry, &report);
+        export_persister(&registry, &stats);
         crate::validate_prometheus_text(&registry.snapshot().to_prometheus_text())
             .expect("valid exposition");
     }

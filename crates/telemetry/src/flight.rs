@@ -14,12 +14,14 @@
 //!
 //! ## Trigger matrix
 //!
-//! | Trigger            | Detected in        | Condition                                   |
-//! |--------------------|--------------------|---------------------------------------------|
-//! | `rollback`         | `on_event`         | a [`RollbackEvent`](cs_core::RollbackEvent) |
-//! | `quarantine`       | `on_event`         | a [`QuarantineEvent`](cs_core::QuarantineEvent) |
-//! | `overhead_budget`  | `on_analysis_pass` | overhead ratio crosses above the budget     |
-//! | `sink_disconnect`  | `on_analysis_pass` | the engine's sink-disconnect total grew     |
+//! | Trigger             | Detected in        | Condition                                   |
+//! |---------------------|--------------------|---------------------------------------------|
+//! | `rollback`          | `on_event`         | a [`RollbackEvent`](cs_core::RollbackEvent) |
+//! | `quarantine`        | `on_event`         | a [`QuarantineEvent`](cs_core::QuarantineEvent) |
+//! | `state_quarantine`  | `on_event`         | a [`WarmStartEvent`](cs_core::WarmStartEvent) with corrupt records quarantined |
+//! | `warm_start_reject` | `on_event`         | a [`WarmStartSiteEvent`](cs_core::WarmStartSiteEvent) whose record was rejected |
+//! | `overhead_budget`   | `on_analysis_pass` | overhead ratio crosses above the budget     |
+//! | `sink_disconnect`   | `on_analysis_pass` | the engine's sink-disconnect total grew     |
 //!
 //! The polled triggers are edge-detected (they fire on the crossing, not
 //! on every pass spent above the threshold), and total incidents are
@@ -211,6 +213,17 @@ impl EngineEventSink for FlightRecorder {
         let trigger = match event {
             EngineEvent::Rollback(_) => "rollback",
             EngineEvent::Quarantine(_) => "quarantine",
+            // Corruption survived a restart: the snapshot loaded, but some
+            // records were quarantined. The incident preserves the salvage
+            // account alongside whatever the pipeline was doing.
+            EngineEvent::WarmStart(w) if w.records_quarantined > 0 => "state_quarantine",
+            // A snapshot site record failed per-site validation (stale
+            // fingerprint / unknown variant) — that site cold-started.
+            EngineEvent::WarmStartSite(s)
+                if s.outcome != cs_core::WarmStartSiteOutcome::Applied =>
+            {
+                "warm_start_reject"
+            }
             _ => return,
         };
         self.record_incident(trigger, Some(event));
@@ -325,6 +338,72 @@ mod tests {
             }));
         }
         assert_eq!(rec.incidents_recorded(), 2, "capped at max_incidents");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn warm_start_triggers_fire_only_on_anomalies() {
+        let path = tmp("warm");
+        let rec = recorder(
+            &path,
+            FlightRecorderConfig {
+                include_telemetry: false,
+                ..FlightRecorderConfig::default()
+            },
+        );
+        // A clean warm start is not an incident.
+        rec.on_event(&EngineEvent::WarmStart(cs_core::WarmStartEvent {
+            source: "state.css".into(),
+            sites_in_snapshot: 3,
+            models_in_snapshot: 3,
+            records_loaded: 7,
+            records_quarantined: 0,
+            duplicates_dropped: 0,
+            note: String::new(),
+        }));
+        // Nor is a record applied successfully.
+        rec.on_event(&EngineEvent::WarmStartSite(cs_core::WarmStartSiteEvent {
+            context_id: 1,
+            context_name: "orders".into(),
+            abstraction: cs_collections::Abstraction::List,
+            snapshot_kind: "hasharray".into(),
+            outcome: cs_core::WarmStartSiteOutcome::Applied,
+            detail: "resumed".into(),
+        }));
+        assert_eq!(rec.incidents_recorded(), 0);
+        // Salvaged-with-quarantine and per-site rejection both are.
+        rec.on_event(&EngineEvent::WarmStart(cs_core::WarmStartEvent {
+            source: "state.css".into(),
+            sites_in_snapshot: 3,
+            models_in_snapshot: 3,
+            records_loaded: 6,
+            records_quarantined: 1,
+            duplicates_dropped: 0,
+            note: "1 corrupt record(s) quarantined".into(),
+        }));
+        rec.on_event(&EngineEvent::WarmStartSite(cs_core::WarmStartSiteEvent {
+            context_id: 2,
+            context_name: "sessions".into(),
+            abstraction: cs_collections::Abstraction::Set,
+            snapshot_kind: "array".into(),
+            outcome: cs_core::WarmStartSiteOutcome::StaleFingerprint,
+            detail: "default drifted".into(),
+        }));
+        rec.sink().flush().unwrap();
+        assert_eq!(rec.incidents_recorded(), 2);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let triggers: Vec<String> = content
+            .lines()
+            .map(|l| {
+                Json::parse(l)
+                    .expect("incident parses")
+                    .get("trigger")
+                    .and_then(Json::as_str)
+                    .expect("trigger field")
+                    .to_owned()
+            })
+            .collect();
+        assert_eq!(triggers, ["state_quarantine", "warm_start_reject"]);
         std::fs::remove_file(&path).ok();
     }
 

@@ -629,6 +629,21 @@ pub fn event_to_json(event: &EngineEvent) -> Json {
         EngineEvent::DegradedEntered(d) => {
             doc.field("consecutive_failures", d.consecutive_failures)
         }
+        EngineEvent::WarmStart(w) => doc
+            .field("source", w.source.as_str())
+            .field("sites_in_snapshot", w.sites_in_snapshot as u64)
+            .field("models_in_snapshot", w.models_in_snapshot as u64)
+            .field("records_loaded", w.records_loaded)
+            .field("records_quarantined", w.records_quarantined)
+            .field("duplicates_dropped", w.duplicates_dropped)
+            .field("note", w.note.as_str()),
+        EngineEvent::WarmStartSite(s) => doc
+            .field("context_id", s.context_id)
+            .field("context_name", s.context_name.as_str())
+            .field("abstraction", s.abstraction.to_string())
+            .field("snapshot_kind", s.snapshot_kind.as_str())
+            .field("outcome", s.outcome.name())
+            .field("detail", s.detail.as_str()),
     }
 }
 

@@ -68,7 +68,10 @@ mod metrics;
 mod prometheus;
 mod sinks;
 
-pub use export::{export_engine, export_engine_health, export_trace};
+pub use export::{
+    export_engine, export_engine_health, export_persister, export_state, export_trace,
+    export_warm_start,
+};
 pub use flight::{FlightRecorder, FlightRecorderConfig};
 pub use json::{event_to_json, explanation_to_json, Json, JsonParseError};
 pub use metrics::{

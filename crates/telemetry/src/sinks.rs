@@ -148,9 +148,19 @@ impl EngineEventSink for MetricsSink {
                     &q.context_name,
                 );
             }
+            EngineEvent::WarmStartSite(s) => {
+                self.registry
+                    .counter(
+                        "cs_state_warm_sites_total",
+                        "Warm-start site records by application outcome.",
+                        &[("outcome", s.outcome.name())],
+                    )
+                    .inc();
+            }
             EngineEvent::ModelFallback(_)
             | EngineEvent::AnalyzerPanic(_)
-            | EngineEvent::DegradedEntered(_) => {}
+            | EngineEvent::DegradedEntered(_)
+            | EngineEvent::WarmStart(_) => {}
         }
     }
 

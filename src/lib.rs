@@ -17,6 +17,9 @@
 //!   runtime drift checks, and the workspace self-lint ([`cs_analyzer`]).
 //! * [`trace`] — adaptation-pipeline span tracing and self-overhead
 //!   accounting ([`cs_trace`]).
+//! * [`state`] — crash-safe snapshot store for learned selection state:
+//!   atomic writes, per-record checksums, lenient corruption-quarantining
+//!   loads ([`cs_state`]).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use cs_core as core;
 pub use cs_model as model;
 pub use cs_profile as profile;
 pub use cs_runtime as runtime;
+pub use cs_state as state;
 pub use cs_telemetry as telemetry;
 pub use cs_trace as trace;
 pub use cs_workloads as workloads;
@@ -59,8 +63,8 @@ pub mod prelude {
         AnyList, AnyMap, AnySet, ListKind, ListOps, MapKind, MapOps, SetKind, SetOps,
     };
     pub use cs_core::{
-        EngineEvent, GuardrailConfig, ListContext, MapContext, SelectionRule, SetContext, Switch,
-        SwitchList, SwitchMap, SwitchSet,
+        EngineEvent, GuardrailConfig, ListContext, MapContext, SelectionRule, SetContext,
+        SnapshotPolicy, StatePersister, Switch, SwitchList, SwitchMap, SwitchSet, WarmStartReport,
     };
     pub use cs_model::{CostDimension, PerformanceModel};
     pub use cs_runtime::{ConcurrentMap, ConcurrentSet, Runtime, RuntimeConfig};
