@@ -1,7 +1,7 @@
 //! Workspace self-lint: rules the generic clippy pass cannot express
 //! because they encode *this* codebase's invariants.
 //!
-//! Five rules, all token-level heuristics over the [lexed](crate::lexer)
+//! Six rules, all token-level heuristics over the [lexed](crate::lexer)
 //! stream with the same item/`#[cfg(test)]` tracking the extractor uses:
 //!
 //! * [`RULE_NO_UNWRAP`] — no `.unwrap()` / `.expect(` in `cs-core`'s
@@ -33,6 +33,14 @@
 //!   reintroduces exactly the torn files the salvage loader exists to
 //!   quarantine. The atomic writer module itself is the one exemption —
 //!   it is where the raw I/O is supposed to live.
+//! * [`RULE_NO_LOCK_IN_LOCKFREE`] — no `Mutex`/`RwLock`/`parking_lot`
+//!   tokens inside cs-lockfree's hot-path modules. The strategy tier
+//!   prices the lock-free map as the low-contention-slope variant, and the
+//!   runtime switches sites onto it precisely when locks are the problem;
+//!   a blocking primitive hidden in its operation paths would falsify the
+//!   cost model and the progress guarantee at once. The crate root
+//!   (docs and re-exports — the cold module) and `#[cfg(test)]` harnesses
+//!   are exempt.
 //!
 //! Findings diff against a committed baseline keyed by
 //! `(rule, path, item, message)` — line numbers drift with every edit and
@@ -52,6 +60,8 @@ pub const RULE_NO_UNBOUNDED_RING: &str = "no-unbounded-ring";
 pub const RULE_NO_ALLOC_SPAN_PATH: &str = "no-alloc-in-span-path";
 /// Rule id: raw filesystem writes on a persistence path.
 pub const RULE_NO_RAW_PERSIST_WRITE: &str = "no-raw-persist-write";
+/// Rule id: blocking lock primitives inside the lock-free tier.
+pub const RULE_NO_LOCK_IN_LOCKFREE: &str = "no-lock-in-lockfree-path";
 
 /// Paths (workspace-relative, forward slashes) subject to the unwrap rule.
 /// The engine, selection, and guard modules are the in-process hot path of
@@ -85,6 +95,14 @@ fn persist_rule_applies(path: &str) -> bool {
         || path.starts_with("crates/runtime/src/")
         || path == "crates/bench/src/bin/model_builder.rs";
     in_scope && path != "crates/state/src/writer.rs"
+}
+
+/// Hot-path modules of the lock-free tier: everything under
+/// `crates/lockfree/src/` except the crate root, which holds only docs and
+/// re-exports (the designated cold module). New modules added to the crate
+/// are guarded by default — opting one out is an explicit edit here.
+fn lockfree_rule_applies(path: &str) -> bool {
+    path.starts_with("crates/lockfree/src/") && path != "crates/lockfree/src/lib.rs"
 }
 
 /// Files containing the tracer's span fast path.
@@ -522,6 +540,18 @@ impl<'a> Linter<'a> {
                 }
                 self.pos += 1;
             }
+            // Any appearance of a blocking primitive — type position,
+            // constructor, or `use` — violates the lock-free tier's
+            // progress guarantee; the token itself is the finding.
+            "Mutex" | "RwLock" | "parking_lot" if lockfree_rule_applies(self.path) => {
+                let msg = format!(
+                    "`{}` in a lock-free hot-path module — blocking primitives forfeit \
+                     the progress guarantee the strategy tier's cost model prices",
+                    t.text
+                );
+                self.emit(RULE_NO_LOCK_IN_LOCKFREE, t.line, msg);
+                self.pos += 1;
+            }
             // Raw writes on persistence paths: `fs::write(` (also matches
             // the `fs` inside `std::fs::write(`), `File::create(` (also the
             // `File` inside `fs::File::create(`), and `OpenOptions::new(`.
@@ -818,6 +848,41 @@ mod tests {
 }
 "#;
         assert!(lint_file("crates/state/src/reader.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_primitives_in_lockfree_hot_modules_are_flagged() {
+        let src = r#"
+fn degrade(&self) {
+    let fallback = parking_lot::Mutex::new(0u64);
+    let table: RwLock<Vec<u64>> = RwLock::new(Vec::new());
+}
+"#;
+        let d = lint_file("crates/lockfree/src/map.rs", src);
+        assert_eq!(d.len(), 4, "parking_lot, Mutex, RwLock x2: {d:?}");
+        assert!(d.iter().all(|x| x.rule == RULE_NO_LOCK_IN_LOCKFREE), "{d:?}");
+        assert!(d.iter().all(|x| x.item == "degrade"));
+        assert!(d[0].message.contains("progress guarantee"), "{}", d[0].message);
+
+        let epoch = "fn pin() -> Guard { let g = Mutex::new(()); Guard }";
+        assert_eq!(lint_file("crates/lockfree/src/epoch.rs", epoch).len(), 1);
+    }
+
+    #[test]
+    fn lockfree_rule_exempts_tests_crate_root_and_other_crates() {
+        // Test harnesses may coordinate with locks; the crate root is the
+        // cold docs/re-export module; and the rest of the workspace (the
+        // lock-striped substrate included) locks on purpose.
+        let test_src = r#"
+#[cfg(test)]
+mod tests {
+    fn gate() { let barrier = parking_lot::Mutex::new(()); }
+}
+"#;
+        assert!(lint_file("crates/lockfree/src/map.rs", test_src).is_empty());
+        let src = "fn f() { let m = parking_lot::Mutex::new(0u64); }";
+        assert!(lint_file("crates/lockfree/src/lib.rs", src).is_empty());
+        assert!(lint_file("crates/runtime/src/map.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! Head-to-head contention sweep of the two concurrency-strategy tiers.
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin contention_sweep -- [--out PATH]
+//! ```
+//!
+//! Runs the *substrates* the strategy tier switches between — a
+//! lock-striped `Mutex<HashMap>` array (the `ConcurrentMap` shard layout)
+//! and [`cs_lockfree::LockFreeMap`] — under identical closed-loop
+//! workloads across thread counts and read/write mixes, and writes
+//! `BENCH_contention.json` (schema in EXPERIMENTS.md). Each row records
+//! both tiers' throughput plus the *observed* contention ratio
+//! (contended ops / total ops, the same observable cs-runtime flushes into
+//! the strategy tier's cost model), so the artifact can be read straight
+//! against the modeled break-even ratio
+//! [`default_models::conc_break_even_ratio`].
+//!
+//! The bench is also a gate; it exits nonzero when:
+//!
+//! * **correctness** — any run's exact op accounting fails (inserts minus
+//!   removes must equal the surviving population, values intact), on any
+//!   machine; or
+//! * **break-even** (multi-core runners only) — on a row whose observed
+//!   striped contention ratio is at least twice the modeled break-even,
+//!   the lock-free tier *loses* to lock-striped (throughput below
+//!   `LOSS_TOLERANCE` of striped's). That is the CI teeth for the claim
+//!   the runtime's switch is priced on; or
+//! * **single-thread floor** (every machine, including the 1-hw-thread
+//!   local box) — uncontended single-thread lock-free throughput falls
+//!   below `SINGLE_THREAD_FLOOR` of striped's. The model prices the
+//!   lock-free tier at a constant premium, not an order of magnitude; a
+//!   collapse here means the premium constant is a fiction.
+//!
+//! Output paths: `--out PATH` (or `CS_BENCH_OUT`; the flag wins), default
+//! `BENCH_contention.json`.
+//!
+//! Environment knobs:
+//!
+//! | Variable | Default | Meaning |
+//! |---|---|---|
+//! | `CS_BENCH_THREADS` | `1,2,4,8` | Comma-separated thread counts |
+//! | `CS_BENCH_OPS` | `200000` | Ops per thread per run |
+//! | `CS_BENCH_QUICK` | unset | `1`: tiny CI budget (5k ops, 1,2 threads) |
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cs_lockfree::LockFreeMap;
+use cs_model::default_models::conc_break_even_ratio;
+use cs_telemetry::Json;
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng, StdRng};
+
+/// A row fails the break-even gate when lock-free throughput is below this
+/// fraction of striped's on a gated row (noise margin on "loses").
+const LOSS_TOLERANCE: f64 = 0.95;
+/// Uncontended single-thread lock-free throughput must stay above this
+/// fraction of striped's.
+const SINGLE_THREAD_FLOOR: f64 = 0.25;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_threads(default: &[usize]) -> Vec<usize> {
+    match std::env::var("CS_BENCH_THREADS") {
+        Ok(v) => v
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&t| t > 0)
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// `--out PATH` wins over `CS_BENCH_OUT`; default `BENCH_contention.json`.
+fn out_path() -> String {
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            out = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--out needs a path argument");
+                std::process::exit(2);
+            }));
+        } else if let Some(path) = arg.strip_prefix("--out=") {
+            out = Some(path.to_owned());
+        } else {
+            eprintln!("unknown argument {arg:?} (only --out PATH is supported)");
+            std::process::exit(2);
+        }
+    }
+    out.or_else(|| std::env::var("CS_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_contention.json".into())
+}
+
+/// One tier's measurement under one workload cell.
+struct TierResult {
+    elapsed: Duration,
+    total_ops: u64,
+    contended: u64,
+    throughput: f64,
+}
+
+impl TierResult {
+    fn contention_ratio(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.total_ops as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("elapsed_secs", self.elapsed.as_secs_f64())
+            .field("total_ops", self.total_ops)
+            .field("contended", self.contended)
+            .field("contention_ratio", self.contention_ratio())
+            .field("throughput_ops_per_sec", self.throughput)
+    }
+}
+
+/// Per-thread exact accounting, summed after the joins and checked against
+/// the surviving map population — the zero-lost-ops discipline of the
+/// runtime suites, applied to the raw substrates.
+#[derive(Default)]
+struct Tally {
+    inserted: u64,
+    removed: u64,
+    contended: u64,
+    ops: u64,
+}
+
+/// One workload cell: uniform keys over `keys`, `write_fraction` of ops
+/// are writes (alternating insert/remove per key parity so the population
+/// stays bounded), the rest are reads of a key known to be present or
+/// absent — either answer is legal mid-race, the accounting happens at the
+/// end.
+#[derive(Clone, Copy)]
+struct Cell {
+    threads: usize,
+    write_fraction: f64,
+    shards: usize,
+    keys: u64,
+    ops_per_thread: u64,
+}
+
+/// The striped substrate as `ConcurrentMap` lays it out: power-of-two
+/// `parking_lot::Mutex` shards addressed by the high hash bits, with
+/// `try_lock`-then-`lock` contention observation — exactly what
+/// cs-runtime's op path counts into the `contended` profile dimension.
+struct StripedMap {
+    shards: Box<[Mutex<HashMap<u64, u64>>]>,
+    mask: u64,
+    hasher: RandomState,
+}
+
+impl StripedMap {
+    fn new(shards: usize) -> Self {
+        let n = shards.next_power_of_two();
+        StripedMap {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n as u64 - 1,
+            hasher: RandomState::new(),
+        }
+    }
+
+    /// Runs `f` on the owning shard; `true` in the pair means the lock was
+    /// contended.
+    fn with_shard<R>(&self, key: u64, f: impl FnOnce(&mut HashMap<u64, u64>) -> R) -> (R, bool) {
+        let shard = &self.shards[((self.hasher.hash_one(key) >> 48) & self.mask) as usize];
+        let (mut guard, contended) = match shard.try_lock() {
+            Some(g) => (g, false),
+            None => (shard.lock(), true),
+        };
+        (f(&mut guard), contended)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+fn run_striped(cell: Cell, seed: u64) -> TierResult {
+    let map = Arc::new(StripedMap::new(cell.shards));
+    let started = Instant::now();
+    let tallies: Vec<Tally> = (0..cell.threads as u64)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t));
+                let mut tally = Tally::default();
+                for _ in 0..cell.ops_per_thread {
+                    let key = rng.gen_range(0..cell.keys);
+                    let contended = if rng.gen_bool(cell.write_fraction) {
+                        // Transition accounting: `inserted` counts
+                        // absent->present, `removed` counts
+                        // present->absent — each linearized transition is
+                        // tallied by exactly one thread even when writers
+                        // race on a key.
+                        let (prev, c) = map.with_shard(key, |m| m.insert(key, !key));
+                        if prev.is_none() {
+                            tally.inserted += 1;
+                        } else {
+                            let (gone, c2) = map.with_shard(key, |m| m.remove(&key));
+                            if let Some(v) = gone {
+                                assert_eq!(v, !key, "torn value under {key}");
+                                tally.removed += 1;
+                            }
+                            tally.ops += 1;
+                            tally.contended += u64::from(c2);
+                        }
+                        c
+                    } else {
+                        let (got, c) = map.with_shard(key, |m| m.get(&key).copied());
+                        if let Some(v) = got {
+                            assert_eq!(v, !key, "torn value under {key}");
+                        }
+                        c
+                    };
+                    tally.ops += 1;
+                    tally.contended += u64::from(contended);
+                }
+                tally
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("striped worker panicked"))
+        .collect();
+    let elapsed = started.elapsed();
+    finish("striped", cell, &tallies, map.len(), elapsed)
+}
+
+fn run_lockfree(cell: Cell, seed: u64) -> TierResult {
+    let map = Arc::new(LockFreeMap::<u64, u64>::new());
+    let started = Instant::now();
+    let tallies: Vec<Tally> = (0..cell.threads as u64)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t));
+                let mut tally = Tally::default();
+                for _ in 0..cell.ops_per_thread {
+                    let key = rng.gen_range(0..cell.keys);
+                    let contended = if rng.gen_bool(cell.write_fraction) {
+                        // Same transition accounting as the striped run.
+                        let ins = map.insert_tracked(key, !key);
+                        let mut c = ins.contended;
+                        if ins.value.is_none() {
+                            tally.inserted += 1;
+                        } else {
+                            let rem = map.remove_tracked(&key);
+                            if let Some(v) = rem.value {
+                                assert_eq!(v, !key, "torn value under {key}");
+                                tally.removed += 1;
+                            }
+                            tally.ops += 1;
+                            c |= rem.contended;
+                        }
+                        c
+                    } else {
+                        if let Some(v) = map.get(&key) {
+                            assert_eq!(v, !key, "torn value under {key}");
+                        }
+                        false
+                    };
+                    tally.ops += 1;
+                    tally.contended += u64::from(contended);
+                }
+                tally
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("lock-free worker panicked"))
+        .collect();
+    let elapsed = started.elapsed();
+    let result = finish("lockfree", cell, &tallies, map.len(), elapsed);
+    map.collect_garbage();
+    result
+}
+
+/// Correctness gate shared by both tiers: every op tallied, inserts minus
+/// removes equals the surviving population. A violation is a lost or
+/// duplicated op and aborts the bench (exit nonzero) immediately.
+fn finish(tier: &str, cell: Cell, tallies: &[Tally], live: usize, elapsed: Duration) -> TierResult {
+    let total_ops: u64 = tallies.iter().map(|t| t.ops).sum();
+    let contended: u64 = tallies.iter().map(|t| t.contended).sum();
+    let inserted: u64 = tallies.iter().map(|t| t.inserted).sum();
+    let removed: u64 = tallies.iter().map(|t| t.removed).sum();
+    assert_eq!(
+        inserted - removed,
+        live as u64,
+        "{tier} tier lost ops at {} threads: {inserted} inserts - {removed} removes != {live} live",
+        cell.threads
+    );
+    TierResult {
+        elapsed,
+        total_ops,
+        contended,
+        throughput: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+struct Row {
+    cell: Cell,
+    label: &'static str,
+    striped: TierResult,
+    lockfree: TierResult,
+    gated: bool,
+}
+
+fn main() {
+    let out = out_path();
+    let quick = std::env::var("CS_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (threads, ops_per_thread) = if quick {
+        (env_threads(&[1, 2]), env_u64("CS_BENCH_OPS", 5_000))
+    } else {
+        (env_threads(&[1, 2, 4, 8]), env_u64("CS_BENCH_OPS", 200_000))
+    };
+    let break_even = conc_break_even_ratio();
+    let multi_core = cpus() > 1;
+
+    println!(
+        "# contention sweep: striped vs lock-free, {ops_per_thread} ops/thread, \
+         modeled break-even ratio {break_even:.3}, {} hw threads",
+        cpus()
+    );
+    println!("threads\tmix\tstriped Mops/s\tlockfree Mops/s\tstriped contention\tgated");
+
+    // Two workload mixes per thread count: a read-mostly cell (the shape
+    // that keeps a site on lock-striped) and a write-hot cell over few
+    // shards and hot keys (the shape whose contention pays for lock-free).
+    let mixes: &[(&'static str, f64, usize, u64)] = &[
+        ("read_mostly", 0.10, 16, 4_096),
+        ("write_hot", 0.90, 4, 512),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for &t in &threads {
+        for &(label, write_fraction, shards, keys) in mixes {
+            let cell = Cell {
+                threads: t,
+                write_fraction,
+                shards,
+                keys,
+                ops_per_thread,
+            };
+            let striped = run_striped(cell, 42);
+            let lockfree = run_lockfree(cell, 42);
+            let observed = striped.contention_ratio();
+            // The break-even gate arms only well past the modeled point
+            // (2x) and only where parallelism is real: at the break-even
+            // itself the model prices the tiers equal, and a 1-hw-thread
+            // box cannot produce the sustained contention the gate is
+            // about.
+            let gated = multi_core && t >= 2 && observed >= 2.0 * break_even;
+            if gated && lockfree.throughput < LOSS_TOLERANCE * striped.throughput {
+                failures.push(format!(
+                    "{t} threads / {label}: lock-free loses past break-even \
+                     ({:.3} vs {:.3} Mops/s at observed contention {observed:.3})",
+                    lockfree.throughput / 1e6,
+                    striped.throughput / 1e6,
+                ));
+            }
+            if t == 1 && lockfree.throughput < SINGLE_THREAD_FLOOR * striped.throughput {
+                failures.push(format!(
+                    "1 thread / {label}: lock-free below the single-thread floor \
+                     ({:.3} vs {:.3} Mops/s)",
+                    lockfree.throughput / 1e6,
+                    striped.throughput / 1e6,
+                ));
+            }
+            println!(
+                "{t}\t{label}\t{:.3}\t{:.3}\t{observed:.4}\t{gated}",
+                striped.throughput / 1e6,
+                lockfree.throughput / 1e6,
+            );
+            rows.push(Row {
+                cell,
+                label,
+                striped,
+                lockfree,
+                gated,
+            });
+        }
+    }
+
+    let doc = Json::object()
+        .field("bench", "contention_sweep")
+        .field("git", git_describe())
+        .field("hw_threads", cpus())
+        .field("quick", quick)
+        .field(
+            "model",
+            Json::object().field("break_even_ratio", break_even),
+        )
+        .field(
+            "gates",
+            Json::object()
+                .field("multi_core_enforced", multi_core)
+                .field("loss_tolerance", LOSS_TOLERANCE)
+                .field("single_thread_floor", SINGLE_THREAD_FLOOR),
+        )
+        .field(
+            "rows",
+            Json::Array(
+                rows.iter()
+                    .map(|row| {
+                        Json::object()
+                            .field("threads", row.cell.threads)
+                            .field("mix", row.label)
+                            .field("write_fraction", row.cell.write_fraction)
+                            .field("shards", row.cell.shards)
+                            .field("keys", row.cell.keys)
+                            .field("ops_per_thread", row.cell.ops_per_thread)
+                            .field("striped", row.striped.to_json())
+                            .field("lockfree", row.lockfree.to_json())
+                            .field(
+                                "lockfree_over_striped",
+                                row.lockfree.throughput / row.striped.throughput.max(1e-9),
+                            )
+                            .field("gated", row.gated)
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "failures",
+            Json::Array(failures.iter().map(|f| Json::from(f.as_str())).collect()),
+        );
+    std::fs::write(&out, doc.render_pretty()).expect("write results file");
+    println!("# wrote {out}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Source revision for the artifact header; `"unknown"` outside a git
+/// checkout rather than a failure — the stamp is provenance, not a gate.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}

@@ -355,6 +355,9 @@ impl<K: Kind> ContextCore<K> {
             round,
             current: current.to_string(),
             current_primary_cost: explained.current_primary_cost,
+            current_contention_cost: explained.current_contention_cost,
+            contention_ratio: explained.contention_ratio,
+            contention_driven: explained.contention_driven,
             candidates: explained.candidates,
             winner: explained.selection.map(|s| s.kind.to_string()),
             winning_margin: explained

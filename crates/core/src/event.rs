@@ -89,6 +89,12 @@ pub struct CandidateEstimate {
     /// `TC(candidate) / TC(current)` on the primary dimension (< 1 is an
     /// improvement).
     pub primary_ratio: f64,
+    /// The slice of `primary_cost` attributable to the contention term —
+    /// `total_ops · cost(contention ratio)` — for candidates whose cost
+    /// model carries contention curves; 0 for the rest. Lets an audit-trail
+    /// reader see whether a win came from raw op costs or from the
+    /// candidate tolerating contention better.
+    pub contention_cost: f64,
     /// Whether the candidate satisfied every criterion of the rule.
     pub satisfied: bool,
     /// Why the candidate was never scored, when it was excluded up front
@@ -144,6 +150,19 @@ pub struct SelectionExplanation {
     /// Estimated total cost of the current variant on the rule's primary
     /// dimension.
     pub current_primary_cost: f64,
+    /// The slice of `current_primary_cost` attributable to the contention
+    /// term (0 for variants without contention curves).
+    pub current_contention_cost: f64,
+    /// The contention ratio `r = contended / total_ops` of the aggregated
+    /// workload history the pass evaluated — the input to every candidate's
+    /// contention term.
+    pub contention_ratio: f64,
+    /// Whether the contention term decided this pass: true when a winner
+    /// exists that would *not* have beaten the current variant on
+    /// contention-free costs alone. These are the switches the lock-free
+    /// tier exists for, and the flight recorder's `contention_switch`
+    /// trigger keys on this bit.
+    pub contention_driven: bool,
     /// Every candidate considered (current variant not included).
     pub candidates: Vec<CandidateEstimate>,
     /// The winning candidate, when one satisfied the rule.
@@ -619,10 +638,14 @@ mod tests {
             round: 2,
             current: "array".into(),
             current_primary_cost: 100.0,
+            current_contention_cost: 0.0,
+            contention_ratio: 0.0,
+            contention_driven: false,
             candidates: vec![CandidateEstimate {
                 variant: "hasharray".into(),
                 primary_cost: 40.0,
                 primary_ratio: 0.4,
+                contention_cost: 0.0,
                 satisfied: true,
                 excluded: None,
             }],
@@ -645,6 +668,9 @@ mod tests {
             round: 0,
             current: "chained".into(),
             current_primary_cost: 10.0,
+            current_contention_cost: 0.0,
+            contention_ratio: 0.0,
+            contention_driven: false,
             candidates: Vec::new(),
             winner: None,
             winning_margin: 0.0,

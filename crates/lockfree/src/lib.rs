@@ -1,0 +1,45 @@
+//! # cs-lockfree
+//!
+//! A dependency-free lock-free concurrent hash map, built as the second
+//! concurrency *strategy* tier for the CollectionSwitch runtime: where the
+//! paper switches among sequential layouts, cs-runtime can additionally
+//! switch a `ConcurrentMap` site between the lock-striped substrate and
+//! this lock-free one when observed contention crosses the modeled
+//! break-even.
+//!
+//! Two modules:
+//!
+//! * [`epoch`] — epoch/generation-based memory reclamation: participants
+//!   pin the global epoch around each operation; retired garbage waits out
+//!   a two-epoch grace period in per-collector generation bins before
+//!   being freed, so no reader ever dereferences freed memory.
+//! * [`map`] — [`LockFreeMap`]: open addressing with CAS-claimed immutable
+//!   keys, tagged-pointer value freezing, and cooperative table migration
+//!   for resize. `*_tracked` operation variants report a contention flag
+//!   that the runtime feeds into the per-site `contended` profile counter.
+//!
+//! ```
+//! use cs_lockfree::LockFreeMap;
+//! use std::sync::Arc;
+//!
+//! let map = Arc::new(LockFreeMap::new());
+//! let handles: Vec<_> = (0..4)
+//!     .map(|t| {
+//!         let map = Arc::clone(&map);
+//!         std::thread::spawn(move || {
+//!             for i in 0..256u64 {
+//!                 map.insert(t * 1000 + i, i);
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! assert_eq!(map.len(), 4 * 256);
+//! ```
+
+pub mod epoch;
+pub mod map;
+
+pub use map::{LockFreeMap, Tracked};

@@ -1,0 +1,137 @@
+//! Property tests pinning the open-addressing invariants of
+//! [`LockFreeMap`]:
+//!
+//! * **Probe-sequence termination** — every lookup terminates with the
+//!   right answer, including misses in a deliberately clustered table
+//!   (small key domain over a minimum-capacity table maximizes probe-chain
+//!   overlap, and absent-key probes must stop at a free slot rather than
+//!   orbit a full cluster of tombstones).
+//! * **No live-slot loss across migration** — random op scripts against a
+//!   `std::collections::HashMap` oracle, run on a minimum-capacity table
+//!   so the script itself forces resize migrations; after every script the
+//!   map and the oracle hold exactly the same entries.
+//!
+//! Single-threaded on purpose: the concurrent schedules live in
+//! `stress_lockfree.rs`; here the randomness explores table shapes
+//! (clustering, tombstone density, migration points) rather than thread
+//! interleavings.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use cs_lockfree::LockFreeMap;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u16, i64),
+    Remove(u16),
+    Get(u16),
+    Upsert(u16, i64),
+    Clear,
+}
+
+/// Key domain 0..96 over a minimum-capacity table: dense enough to force
+/// clustering and tombstone churn, sparse enough that misses stay common.
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    let op = prop_oneof![
+        5 => (0u16..96, -1_000i64..1_000).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        3 => (0u16..96).prop_map(MapOp::Remove),
+        3 => (0u16..96).prop_map(MapOp::Get),
+        2 => (0u16..96, -1_000i64..1_000).prop_map(|(k, v)| MapOp::Upsert(k, v)),
+        1 => Just(MapOp::Clear),
+    ];
+    proptest::collection::vec(op, 1..400)
+}
+
+/// Runs one script against the std oracle, asserting result equality at
+/// every step, then checks the quiescent states match exactly.
+fn run_script(map: &LockFreeMap<u16, i64>, ops: &[MapOp]) {
+    let mut oracle: HashMap<u16, i64> = HashMap::new();
+    for op in ops {
+        match *op {
+            MapOp::Insert(k, v) => {
+                assert_eq!(map.insert(k, v), oracle.insert(k, v), "insert({k})");
+            }
+            MapOp::Remove(k) => {
+                assert_eq!(map.remove(&k), oracle.remove(&k), "remove({k})");
+            }
+            MapOp::Get(k) => {
+                assert_eq!(map.get(&k), oracle.get(&k).copied(), "get({k})");
+                assert_eq!(map.contains_key(&k), oracle.contains_key(&k));
+            }
+            MapOp::Upsert(k, delta) => {
+                let inserted = map.upsert_tracked(k, |v| v.map_or(delta, |v| v + delta));
+                let was_there = oracle.contains_key(&k);
+                assert_eq!(inserted.value, !was_there, "upsert({k}) newly-inserted flag");
+                *oracle.entry(k).or_insert(0) += delta;
+            }
+            MapOp::Clear => {
+                map.clear();
+                oracle.clear();
+                assert!(map.is_empty());
+            }
+        }
+        assert_eq!(map.len(), oracle.len());
+    }
+
+    // Quiescent equality, both directions: everything the map holds is in
+    // the oracle (for_each walks only live slots), and everything the
+    // oracle holds survived whatever migrations the script forced.
+    let mut walked = 0usize;
+    map.for_each(|k, v| {
+        assert_eq!(oracle.get(k), Some(v), "phantom live slot {k}");
+        walked += 1;
+    });
+    assert_eq!(walked, oracle.len(), "live-slot count drifted from the oracle");
+    for (k, v) in &oracle {
+        assert_eq!(map.get(k), Some(*v), "live slot {k} lost across migration");
+    }
+    // Probe termination on guaranteed misses: keys outside the script's
+    // domain must come back None (and come back at all).
+    for k in [96u16, 255, 1_024, u16::MAX] {
+        assert_eq!(map.get(&k), None);
+        assert!(!map.contains_key(&k));
+    }
+}
+
+proptest! {
+    /// Minimum-capacity start: the script itself forces the resize
+    /// migrations whose slot-preservation this file exists to pin.
+    #[test]
+    fn script_matches_std_oracle_across_migrations(ops in map_ops()) {
+        let map = LockFreeMap::with_capacity(2);
+        run_script(&map, &ops);
+    }
+
+    /// Pre-sized start: no (or few) migrations, so the same invariants are
+    /// exercised with stable probe sequences and heavy tombstone reuse.
+    #[test]
+    fn script_matches_std_oracle_in_a_settled_table(ops in map_ops()) {
+        let map = LockFreeMap::with_capacity(256);
+        run_script(&map, &ops);
+    }
+
+    /// Saturating a tiny table with the full key domain and then deleting
+    /// everything must leave probes terminating: a table that is all
+    /// tombstones is the classic open-addressing livelock shape.
+    #[test]
+    fn full_churn_leaves_probes_terminating(seed in 0u16..96, rounds in 1usize..4) {
+        let map = LockFreeMap::with_capacity(2);
+        for _ in 0..rounds {
+            for k in 0u16..96 {
+                map.insert(k, i64::from(k));
+            }
+            prop_assert_eq!(map.len(), 96);
+            for k in 0u16..96 {
+                prop_assert_eq!(map.remove(&k), Some(i64::from(k)));
+            }
+            prop_assert_eq!(map.len(), 0);
+        }
+        // Misses against the churned (tombstone-dense) table terminate.
+        prop_assert_eq!(map.get(&seed), None);
+        map.insert(seed, -1);
+        prop_assert_eq!(map.get(&seed), Some(-1));
+        map.collect_garbage();
+    }
+}

@@ -1,0 +1,190 @@
+//! Loom-free multi-thread stress for [`LockFreeMap`], mirroring the
+//! cs-runtime zero-lost-ops suite: every thread keeps an exact tally of
+//! what it did, and after the run the map must account for every single
+//! operation — no lost inserts, no resurrected removes, no reads of torn
+//! values. The resize-torture test starts from the minimum table and
+//! forces many cooperative migrations while the full op mix is in flight.
+//!
+//! Nothing here is timing-dependent: on a single hardware thread the
+//! schedules interleave by preemption, on many cores they genuinely race,
+//! and the assertions are exact either way.
+
+use std::sync::Arc;
+
+use cs_lockfree::LockFreeMap;
+
+const THREADS: u64 = 4;
+const KEYS_PER_THREAD: u64 = 1_024;
+const ROUNDS: u64 = 30;
+
+/// Exact per-thread operation accounting.
+#[derive(Default)]
+struct Tally {
+    inserts: u64,
+    removes: u64,
+    reads: u64,
+}
+
+/// Disjoint-keyspace worker: round 0 populates, later rounds are get-heavy
+/// with a remove+reinsert pair every 16th key. Every op's return value is
+/// asserted on the spot — a lost insert or phantom entry fails here, not
+/// in a fuzzy post-hoc count.
+fn worker(map: Arc<LockFreeMap<u64, u64>>, base: u64) -> Tally {
+    let mut tally = Tally::default();
+    for round in 0..ROUNDS {
+        for i in 0..KEYS_PER_THREAD {
+            let key = base + i;
+            if round == 0 {
+                let t = map.insert_tracked(key, key * 3);
+                assert_eq!(t.value, None, "fresh insert of {key} displaced something");
+                tally.inserts += 1;
+                continue;
+            }
+            if i % 16 == 15 {
+                assert_eq!(map.remove(&key), Some(key * 3), "lost entry {key}");
+                tally.removes += 1;
+                assert_eq!(map.insert(key, key * 3), None, "remove of {key} left a ghost");
+                tally.inserts += 1;
+            } else {
+                assert_eq!(map.get(&key), Some(key * 3), "lost entry {key}");
+                tally.reads += 1;
+            }
+        }
+    }
+    tally
+}
+
+#[test]
+fn four_thread_disjoint_accounting_loses_nothing() {
+    let map = Arc::new(LockFreeMap::new());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || worker(map, t * 100_000))
+        })
+        .collect();
+    let tallies: Vec<Tally> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    let inserts: u64 = tallies.iter().map(|t| t.inserts).sum();
+    let removes: u64 = tallies.iter().map(|t| t.removes).sum();
+    let reads: u64 = tallies.iter().map(|t| t.reads).sum();
+    let per_thread_removes = (ROUNDS - 1) * (KEYS_PER_THREAD / 16);
+    assert_eq!(inserts, THREADS * (KEYS_PER_THREAD + per_thread_removes));
+    assert_eq!(removes, THREADS * per_thread_removes);
+    assert_eq!(
+        reads,
+        THREADS * (ROUNDS - 1) * (KEYS_PER_THREAD - KEYS_PER_THREAD / 16)
+    );
+
+    // Inserts minus removes is exactly the live population.
+    assert_eq!(map.len() as u64, inserts - removes);
+    let mut walked = 0u64;
+    map.for_each(|k, v| {
+        assert_eq!(*v, k * 3, "torn value under key {k}");
+        walked += 1;
+    });
+    assert_eq!(walked, map.len() as u64, "for_each and len disagree");
+    for t in 0..THREADS {
+        for i in 0..KEYS_PER_THREAD {
+            let key = t * 100_000 + i;
+            assert_eq!(map.get(&key), Some(key * 3), "entry {key} missing at quiescence");
+        }
+    }
+}
+
+#[test]
+fn contended_upserts_on_shared_keys_count_exactly() {
+    // All four threads hammer the same 64 keys with read-modify-write
+    // upserts. Every increment must land exactly once: the final sum over
+    // the map equals the total number of upserts issued. This is the CAS
+    // retry loop's zero-lost-ops proof — a lost update shows up as a
+    // deficit, a double-applied one as a surplus.
+    const SHARED_KEYS: u64 = 64;
+    const UPSERTS_PER_THREAD: u64 = 4_096;
+
+    let map = Arc::new(LockFreeMap::<u64, u64>::new());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let mut contended = 0u64;
+                for n in 0..UPSERTS_PER_THREAD {
+                    // Stride by a thread-dependent odd step so threads
+                    // collide on different keys at different times.
+                    let key = (n * (2 * t + 1)) % SHARED_KEYS;
+                    let tracked = map.upsert_tracked(key, |v| v.map_or(1, |v| v + 1));
+                    if tracked.contended {
+                        contended += 1;
+                    }
+                }
+                contended
+            })
+        })
+        .collect();
+    let contended: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+
+    assert_eq!(map.len() as u64, SHARED_KEYS);
+    let mut sum = 0u64;
+    map.for_each(|_, v| sum += *v);
+    assert_eq!(
+        sum,
+        THREADS * UPSERTS_PER_THREAD,
+        "lost or double-applied upserts ({contended} were contended)"
+    );
+}
+
+#[test]
+fn concurrent_resize_torture_preserves_every_entry() {
+    // Start from the minimum table so the insert load forces a long chain
+    // of cooperative migrations while removes and reads run through them.
+    const KEYS: u64 = 8_192;
+
+    let map = Arc::new(LockFreeMap::<u64, u64>::with_capacity(8));
+    let start_cap = map.capacity();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let base = t * 1_000_000;
+                for i in 0..KEYS {
+                    let key = base + i;
+                    assert_eq!(map.insert(key, !key), None);
+                    // Every 4th step, delete the entry two steps back and
+                    // immediately verify its absence — a migration must
+                    // never resurrect a removed slot.
+                    if i % 4 == 3 {
+                        let victim = base + i - 2;
+                        assert_eq!(map.remove(&victim), Some(!victim), "lost {victim}");
+                        assert_eq!(map.get(&victim), None, "resurrected {victim}");
+                    }
+                    // And re-read an older surviving key through whatever
+                    // table generation is current.
+                    if i >= 16 {
+                        let probe = base + (i & !3);
+                        assert_eq!(map.get(&probe), Some(!probe), "lost {probe} mid-resize");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let live_per_thread = KEYS - KEYS / 4;
+    assert_eq!(map.len() as u64, THREADS * live_per_thread);
+    assert!(
+        map.migrations() >= 5,
+        "a {start_cap}-slot table absorbing {} inserts must migrate repeatedly (saw {})",
+        THREADS * KEYS,
+        map.migrations()
+    );
+    assert!(map.capacity() > start_cap);
+    let mut walked = 0u64;
+    map.for_each(|k, v| {
+        assert_eq!(*v, !*k);
+        walked += 1;
+    });
+    assert_eq!(walked, map.len() as u64);
+    map.collect_garbage();
+}

@@ -41,6 +41,7 @@ pub struct LocalWindowBuffer {
     max_size: usize,
     nanos: u64,
     ops: u64,
+    contended: u64,
 }
 
 impl LocalWindowBuffer {
@@ -67,6 +68,20 @@ impl LocalWindowBuffer {
         self.nanos = self.nanos.saturating_add(nanos);
     }
 
+    /// Notes that the most recent operation observed contention (had to
+    /// wait for a shard lock, or lost a CAS / helped a migration on the
+    /// lock-free tier).
+    #[inline]
+    pub fn note_contended(&mut self) {
+        self.contended += 1;
+    }
+
+    /// Contended operations recorded since the last drain.
+    #[inline]
+    pub fn contended_buffered(&self) -> u64 {
+        self.contended
+    }
+
     /// Operations recorded since the last drain.
     #[inline]
     pub fn ops_buffered(&self) -> u64 {
@@ -76,7 +91,7 @@ impl LocalWindowBuffer {
     /// Returns `true` when nothing has been recorded since the last drain.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.ops == 0 && self.nanos == 0
+        self.ops == 0 && self.nanos == 0 && self.contended == 0
     }
 
     /// Wall time buffered since the last drain.
@@ -91,12 +106,14 @@ impl LocalWindowBuffer {
         self.max_size = self.max_size.max(other.max_size);
         self.nanos = self.nanos.saturating_add(other.nanos);
         self.ops += other.ops;
+        self.contended = self.contended.saturating_add(other.contended);
         *other = LocalWindowBuffer::default();
     }
 
     /// Empties the buffer into a [`WorkloadProfile`] (the epoch flush).
     pub fn drain(&mut self) -> WorkloadProfile {
-        let out = WorkloadProfile::with_nanos(self.counters, self.max_size, self.nanos);
+        let out = WorkloadProfile::with_nanos(self.counters, self.max_size, self.nanos)
+            .with_contended(self.contended);
         *self = LocalWindowBuffer::default();
         out
     }
@@ -151,6 +168,23 @@ mod tests {
         assert_eq!(p.count(OpKind::Contains), 2);
         assert_eq!(p.count(OpKind::Iterate), 1);
         assert_eq!(p.max_size(), 20);
+    }
+
+    #[test]
+    fn contended_flows_through_merge_and_drain() {
+        let mut a = LocalWindowBuffer::new();
+        a.record(OpKind::Populate, 1);
+        a.note_contended();
+        let mut b = LocalWindowBuffer::new();
+        b.record(OpKind::Populate, 1);
+        b.note_contended();
+        b.note_contended();
+        a.merge(&mut b);
+        assert_eq!(a.contended_buffered(), 3);
+        assert_eq!(b.contended_buffered(), 0);
+        let p = a.drain();
+        assert_eq!(p.contended(), 3);
+        assert_eq!(a.contended_buffered(), 0);
     }
 
     #[test]

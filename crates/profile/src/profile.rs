@@ -22,6 +22,7 @@ pub struct WorkloadProfile {
     counters: OpCounters,
     max_size: usize,
     elapsed_nanos: u64,
+    contended: u64,
 }
 
 impl WorkloadProfile {
@@ -31,6 +32,7 @@ impl WorkloadProfile {
             counters,
             max_size,
             elapsed_nanos: 0,
+            contended: 0,
         }
     }
 
@@ -41,6 +43,36 @@ impl WorkloadProfile {
             counters,
             max_size,
             elapsed_nanos,
+            contended: 0,
+        }
+    }
+
+    /// Sets the number of operations that observed contention (lock wait
+    /// on the striped tier, CAS retry / migration help on the lock-free
+    /// tier) and returns `self` — builder style, so existing call sites
+    /// keep their two-/three-argument constructors.
+    pub fn with_contended(mut self, contended: u64) -> Self {
+        self.contended = contended;
+        self
+    }
+
+    /// Operations that observed contention. Always ≤ [`total_ops`]
+    /// (each op reports the flag at most once).
+    ///
+    /// [`total_ops`]: WorkloadProfile::total_ops
+    #[inline]
+    pub fn contended(&self) -> u64 {
+        self.contended
+    }
+
+    /// Fraction of operations that observed contention, in `[0, 1]`;
+    /// `0.0` when the profile is empty.
+    pub fn contention_ratio(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 {
+            0.0
+        } else {
+            (self.contended.min(total)) as f64 / total as f64
         }
     }
 
@@ -85,6 +117,7 @@ impl WorkloadProfile {
         self.counters.merge(&other.counters);
         self.max_size = self.max_size.max(other.max_size);
         self.elapsed_nanos = self.elapsed_nanos.saturating_add(other.elapsed_nanos);
+        self.contended = self.contended.saturating_add(other.contended);
     }
 }
 
@@ -123,6 +156,18 @@ mod tests {
         assert_eq!(p.max_size(), 0);
         assert_eq!(p.elapsed_nanos(), 0);
         assert!(!p.is_lookup_heavy());
+    }
+
+    #[test]
+    fn contended_merges_and_ratios() {
+        let mut a = profile(10, 10, 5).with_contended(4);
+        let b = profile(20, 20, 5).with_contended(6);
+        assert_eq!(a.contention_ratio(), 0.2);
+        a.merge(&b);
+        assert_eq!(a.contended(), 10);
+        assert_eq!(a.contention_ratio(), 10.0 / 60.0);
+        // Empty profile: ratio is defined as zero.
+        assert_eq!(WorkloadProfile::default().contention_ratio(), 0.0);
     }
 
     #[test]

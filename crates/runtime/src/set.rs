@@ -75,20 +75,17 @@ impl<T: Eq + Hash + Clone> ConcurrentSet<T> {
     fn op<R>(&self, op: OpKind, hash: u64, f: impl FnOnce(&mut AnySet<T>) -> R) -> R {
         let inner = &self.inner;
         let shard = &inner.shards[((hash >> 48) & inner.mask) as usize];
-        tlb::site_op(&inner.shared, op, || {
-            let mut guard = match shard.try_lock() {
-                Some(g) => g,
-                None => {
-                    inner.shared.note_contended();
-                    shard.lock()
-                }
+        tlb::site_op_tracked(&inner.shared, op, || {
+            let (mut guard, contended) = match shard.try_lock() {
+                Some(g) => (g, false),
+                None => (shard.lock(), true),
             };
             let want = inner.core.current_kind();
             if guard.kind() != want {
                 migrate_shard(&mut guard, want);
             }
             let out = f(&mut guard);
-            (out, guard.len())
+            (out, guard.len(), contended)
         })
     }
 
@@ -114,20 +111,17 @@ impl<T: Eq + Hash + Clone> ConcurrentSet<T> {
     /// shard is locked only while it is visited).
     pub fn for_each(&self, mut f: impl FnMut(&T)) {
         for shard in self.inner.shards.iter() {
-            tlb::site_op(&self.inner.shared, OpKind::Iterate, || {
-                let mut guard = match shard.try_lock() {
-                    Some(g) => g,
-                    None => {
-                        self.inner.shared.note_contended();
-                        shard.lock()
-                    }
+            tlb::site_op_tracked(&self.inner.shared, OpKind::Iterate, || {
+                let (mut guard, contended) = match shard.try_lock() {
+                    Some(g) => (g, false),
+                    None => (shard.lock(), true),
                 };
                 let want = self.inner.core.current_kind();
                 if guard.kind() != want {
                     migrate_shard(&mut guard, want);
                 }
                 guard.for_each_value(&mut |v| f(v));
-                ((), guard.len())
+                ((), guard.len(), contended)
             });
         }
     }

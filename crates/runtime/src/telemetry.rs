@@ -22,19 +22,34 @@ pub fn site_stats_to_json(stats: &SiteStats) -> Json {
     for op in OpKind::ALL {
         ops = ops.field(op.to_string(), stats.ops[op.index()]);
     }
-    Json::object()
+    let mut row = Json::object()
         .field("id", stats.id)
         .field("site", stats.name.as_str())
-        .field("current_kind", stats.current_kind.as_str())
-        .field("ops", ops)
+        .field("current_kind", stats.current_kind.as_str());
+    if let Some(strategy) = &stats.current_strategy {
+        row = row.field("current_strategy", strategy.as_str());
+    }
+    row.field("ops", ops)
         .field("total_ops", stats.total_ops)
         .field("sampled_nanos", stats.sampled_nanos)
         .field("max_size", stats.max_size)
         .field("flushes", stats.flushes)
         .field("contended", stats.contended)
+        .field("contention_ratio", contention_ratio(stats))
         .field("rounds", stats.rounds)
         .field("switches", stats.switches)
         .field("rollbacks", stats.rollbacks)
+}
+
+/// Contended ops as a fraction of total flushed ops; `0.0` before the first
+/// flush. This is the observable the strategy tier's cost model prices, so
+/// dashboards can plot it straight against the modeled break-even ratio.
+fn contention_ratio(stats: &SiteStats) -> f64 {
+    if stats.total_ops == 0 {
+        0.0
+    } else {
+        stats.contended as f64 / stats.total_ops as f64
+    }
 }
 
 impl Runtime {
@@ -102,6 +117,14 @@ impl Runtime {
                     &[("site", site)],
                 )
                 .set(stats.max_size as i64);
+            registry
+                .float_gauge(
+                    "cs_runtime_site_contention_ratio",
+                    "Contended ops / total flushed ops per site (the strategy \
+                     tier's contention observable).",
+                    &[("site", site)],
+                )
+                .set(contention_ratio(stats));
         }
         export_engine(registry, self.engine());
     }
@@ -169,5 +192,30 @@ mod tests {
         assert!(row.contains("\"populate\":1"));
         assert!(row.contains("\"flushes\":1"));
         assert!(row.contains("\"current_kind\":\"chained\""));
+        assert!(row.contains("\"current_strategy\":\"lockstriped\""));
+        assert!(row.contains("\"contended\":0"));
+        assert!(row.contains("\"contention_ratio\":0"));
+    }
+
+    #[test]
+    fn contention_ratio_gauge_tracks_contended_over_total() {
+        let rt = Runtime::new(Switch::builder().build());
+        let map = rt.named_concurrent_map::<u64, u64>(MapKind::Chained, "ratio");
+        for i in 0..10 {
+            map.insert(i, i);
+        }
+        rt.flush_thread();
+        let registry = MetricsRegistry::new();
+        rt.export_metrics(&registry);
+        let snap = registry.snapshot();
+        let family = snap
+            .family("cs_runtime_site_contention_ratio")
+            .expect("ratio gauge exported for every site");
+        match family.series[0].value {
+            cs_telemetry::ValueSnapshot::FloatGauge(v) => {
+                assert_eq!(v, 0.0, "single-threaded load is uncontended")
+            }
+            ref other => panic!("not a float gauge: {other:?}"),
+        }
     }
 }

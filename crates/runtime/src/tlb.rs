@@ -104,10 +104,32 @@ thread_local! {
 /// thread-local borrow, so collection code (including user `Hash`/`Eq`
 /// impls) can never conflict with the buffer bookkeeping.
 #[inline]
+// Every product op path now reports a contention flag and calls
+// `site_op_tracked` directly; this untracked wrapper stays as the
+// single-threaded-handle entry point (and is exercised by the unit tests).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn site_op<R>(
     site: &Arc<SiteShared>,
     op: OpKind,
     body: impl FnOnce() -> (R, usize),
+) -> R {
+    site_op_tracked(site, op, || {
+        let (result, size) = body();
+        (result, size, false)
+    })
+}
+
+/// Like [`site_op`], for ops that also observe whether they were
+/// *contended* (lost a CAS, found a lock held, helped a migration).
+/// `body` returns `(result, post_op_size, contended)`; the contended flag
+/// is counted in the thread-local buffer, flows into the flushed
+/// [`WorkloadProfile`](cs_profile::WorkloadProfile), and from there feeds
+/// the strategy tier's contention cost term.
+#[inline]
+pub(crate) fn site_op_tracked<R>(
+    site: &Arc<SiteShared>,
+    op: OpKind,
+    body: impl FnOnce() -> (R, usize, bool),
 ) -> R {
     let policy = site.policy();
     let tick = TICK.with(|t| {
@@ -116,13 +138,13 @@ pub(crate) fn site_op<R>(
         v
     });
     let timed = tick & policy.sample_mask == 0;
-    let (result, size, nanos) = if timed {
+    let (result, size, contended, nanos) = if timed {
         let start = Instant::now();
-        let (result, size) = body();
-        (result, size, start.elapsed().as_nanos() as u64)
+        let (result, size, contended) = body();
+        (result, size, contended, start.elapsed().as_nanos() as u64)
     } else {
-        let (result, size) = body();
-        (result, size, 0)
+        let (result, size, contended) = body();
+        (result, size, contended, 0)
     };
     // Spans only the monitoring bookkeeping below — the application op
     // itself (`body`) stays outside the framework's account. Sampled in
@@ -132,6 +154,9 @@ pub(crate) fn site_op<R>(
         let mut tlb = tlb.borrow_mut();
         let entry = tlb.entry(site);
         entry.buf.record(op, size);
+        if contended {
+            entry.buf.note_contended();
+        }
         if timed {
             // Scale the sampled measurement back up to the full op stream.
             entry

@@ -258,6 +258,28 @@ fn snapshot_counters_exactly_match_event_log_and_per_op_accounting() {
         Some(stats.total_ops)
     );
 
+    // --- Contended accounting: the telemetry sidecar families must agree
+    // exactly with the SiteStats row the bench emits (contended counts now
+    // ride the flushed profiles, not a side-channel atomic). -------------
+    assert_eq!(
+        labelled(&snapshot, "cs_runtime_site_contended_total", site),
+        stats.contended,
+        "snapshot contended counter diverged from the site row"
+    );
+    let ratio_family = snapshot
+        .family("cs_runtime_site_contention_ratio")
+        .expect("contention ratio gauge exported");
+    match ratio_family.series[0].value {
+        cs_telemetry::ValueSnapshot::FloatGauge(v) => {
+            let expected = stats.contended as f64 / stats.total_ops as f64;
+            assert!(
+                (v - expected).abs() < 1e-12,
+                "contention ratio gauge {v} != contended/total {expected}"
+            );
+        }
+        ref other => panic!("cs_runtime_site_contention_ratio is not a float gauge: {other:?}"),
+    }
+
     // --- Selection audit: every switch decision was counted and margined. -
     let selections = kind_count(&log, "selection");
     assert!(selections >= 1, "audited passes must be recorded");

@@ -18,6 +18,7 @@
 //! |---------------------|--------------------|---------------------------------------------|
 //! | `rollback`          | `on_event`         | a [`RollbackEvent`](cs_core::RollbackEvent) |
 //! | `quarantine`        | `on_event`         | a [`QuarantineEvent`](cs_core::QuarantineEvent) |
+//! | `contention_switch` | `on_event`         | a switched [`SelectionExplanation`](cs_core::SelectionExplanation) with `contention_driven` set — the strategy tier changed locking discipline because of observed contention |
 //! | `state_quarantine`  | `on_event`         | a [`WarmStartEvent`](cs_core::WarmStartEvent) with corrupt records quarantined |
 //! | `warm_start_reject` | `on_event`         | a [`WarmStartSiteEvent`](cs_core::WarmStartSiteEvent) whose record was rejected |
 //! | `overhead_budget`   | `on_analysis_pass` | overhead ratio crosses above the budget     |
@@ -161,6 +162,7 @@ impl FlightRecorder {
             .and_then(|e| match e {
                 EngineEvent::Rollback(r) => Some(r.context_id),
                 EngineEvent::Quarantine(q) => Some(q.context_id),
+                EngineEvent::Selection(s) => Some(s.context_id),
                 _ => None,
             })
             .and_then(|site| self.engine.lock().upgrade()?.explain(site));
@@ -213,6 +215,14 @@ impl EngineEventSink for FlightRecorder {
         let trigger = match event {
             EngineEvent::Rollback(_) => "rollback",
             EngineEvent::Quarantine(_) => "quarantine",
+            // A switch the contention term decided: the incident preserves
+            // the full explanation (ratio, contention costs per candidate)
+            // that justified changing the locking discipline.
+            EngineEvent::Selection(s)
+                if s.outcome == cs_core::SelectionOutcome::Switched && s.contention_driven =>
+            {
+                "contention_switch"
+            }
             // Corruption survived a restart: the snapshot loaded, but some
             // records were quarantined. The incident preserves the salvage
             // account alongside whatever the pipeline was doing.
@@ -404,6 +414,63 @@ mod tests {
             })
             .collect();
         assert_eq!(triggers, ["state_quarantine", "warm_start_reject"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn contention_driven_switch_records_an_incident_with_the_explanation() {
+        let path = tmp("contention");
+        let rec = recorder(
+            &path,
+            FlightRecorderConfig {
+                include_telemetry: false,
+                ..FlightRecorderConfig::default()
+            },
+        );
+        let explanation = cs_core::SelectionExplanation {
+            context_id: 3,
+            context_name: "hot-cache#strategy".into(),
+            abstraction: cs_collections::Abstraction::Map,
+            rule: "R_time".into(),
+            round: 11,
+            current: "lockstriped".into(),
+            current_primary_cost: 65_000.0,
+            current_contention_cost: 45_000.0,
+            contention_ratio: 0.5,
+            contention_driven: true,
+            candidates: vec![],
+            winner: Some("lockfree".into()),
+            winning_margin: 0.37,
+            outcome: cs_core::SelectionOutcome::Switched,
+        };
+        // A contention-free switch is routine adaptation, not an incident.
+        rec.on_event(&EngineEvent::Selection(cs_core::SelectionExplanation {
+            contention_driven: false,
+            ..explanation.clone()
+        }));
+        // An audited pass that keeps the variant is not one either.
+        rec.on_event(&EngineEvent::Selection(cs_core::SelectionExplanation {
+            outcome: cs_core::SelectionOutcome::NoCandidate,
+            winner: None,
+            ..explanation.clone()
+        }));
+        assert_eq!(rec.incidents_recorded(), 0);
+        rec.on_event(&EngineEvent::Selection(explanation));
+        rec.sink().flush().unwrap();
+        assert_eq!(rec.incidents_recorded(), 1);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(content.lines().next().unwrap()).expect("valid incident");
+        assert_eq!(
+            doc.get("trigger").and_then(Json::as_str),
+            Some("contention_switch")
+        );
+        let event = doc.get("event").expect("event attached");
+        assert_eq!(
+            event.get("contention_driven"),
+            Some(&Json::Bool(true)),
+            "the incident must preserve the contention inputs: {event:?}"
+        );
+        assert_eq!(event.get("contention_ratio"), Some(&Json::from(0.5)));
         std::fs::remove_file(&path).ok();
     }
 

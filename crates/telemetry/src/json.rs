@@ -540,6 +540,8 @@ fn candidate_to_json(c: &CandidateEstimate) -> Json {
         .field("variant", c.variant.as_str())
         .field("primary_cost", c.primary_cost)
         .field("primary_ratio", c.primary_ratio)
+        // NaN (excluded candidates are never costed) renders as null.
+        .field("contention_cost", c.contention_cost)
         .field("satisfied", c.satisfied)
         .field("excluded", c.excluded)
 }
@@ -555,6 +557,9 @@ pub fn explanation_to_json(e: &SelectionExplanation) -> Json {
         .field("round", e.round)
         .field("current", e.current.as_str())
         .field("current_primary_cost", e.current_primary_cost)
+        .field("current_contention_cost", e.current_contention_cost)
+        .field("contention_ratio", e.contention_ratio)
+        .field("contention_driven", e.contention_driven)
         .field(
             "candidates",
             Json::Array(e.candidates.iter().map(candidate_to_json).collect()),

@@ -49,6 +49,7 @@
 pub use cs_analyzer as analyzer;
 pub use cs_collections as collections;
 pub use cs_core as core;
+pub use cs_lockfree as lockfree;
 pub use cs_model as model;
 pub use cs_profile as profile;
 pub use cs_runtime as runtime;
@@ -60,8 +61,9 @@ pub use cs_workloads as workloads;
 /// Commonly used items, re-exported in one place.
 pub mod prelude {
     pub use cs_collections::{
-        AnyList, AnyMap, AnySet, ListKind, ListOps, MapKind, MapOps, SetKind, SetOps,
+        AnyList, AnyMap, AnySet, ConcKind, ListKind, ListOps, MapKind, MapOps, SetKind, SetOps,
     };
+    pub use cs_lockfree::LockFreeMap;
     pub use cs_core::{
         EngineEvent, GuardrailConfig, ListContext, MapContext, SelectionRule, SetContext,
         SnapshotPolicy, StatePersister, Switch, SwitchList, SwitchMap, SwitchSet, WarmStartReport,

@@ -141,6 +141,8 @@ fn calibrated_models_drive_the_engine() {
         list: builder::build_list_model(&cfg),
         set: builder::build_set_model(&cfg),
         map: builder::build_map_model(&cfg),
+        // The concurrency-strategy model is analytic; keep the default.
+        ..Models::default()
     };
     let engine = Switch::builder()
         .rule(SelectionRule::r_time())

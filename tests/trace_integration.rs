@@ -120,14 +120,18 @@ fn spans_agree_with_engine_accounting_under_concurrent_stress() {
     let counts = snap.phase_counts();
 
     // -- Exact agreement with the engine's books --------------------------
-    // One OpRecord span per op in full mode; one Ingest per accepted
-    // flush; the Flush phase fires twice per flush (thread-local handoff
-    // + profile-sink push); one SwitchExec per logged transition.
+    // One OpRecord span per op in full mode; two Ingests per accepted
+    // flush on a map site (every flushed profile feeds both the
+    // representation context and the concurrency-strategy context, and
+    // each ingestion is a real traced pipeline step); the Flush phase
+    // fires three times per flush (thread-local handoff + one
+    // profile-sink push inside each of the two ingests); one SwitchExec
+    // per logged transition.
     let total_ops = WORKERS * BATCH_OPS * batches;
     assert_eq!(stats.total_ops, total_ops, "runtime lost ops");
     assert_eq!(counts[Phase::OpRecord.index()], total_ops);
-    assert_eq!(counts[Phase::Ingest.index()], stats.flushes);
-    assert_eq!(counts[Phase::Flush.index()], stats.flushes * 2);
+    assert_eq!(counts[Phase::Ingest.index()], stats.flushes * 2);
+    assert_eq!(counts[Phase::Flush.index()], stats.flushes * 3);
     assert_eq!(counts[Phase::SwitchExec.index()], transitions.len() as u64);
     assert!(
         stats.rollbacks <= counts[Phase::Verify.index()],
