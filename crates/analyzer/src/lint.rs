@@ -1,7 +1,7 @@
 //! Workspace self-lint: rules the generic clippy pass cannot express
 //! because they encode *this* codebase's invariants.
 //!
-//! Six rules, all token-level heuristics over the [lexed](crate::lexer)
+//! Seven rules, all token-level heuristics over the [lexed](crate::lexer)
 //! stream with the same item/`#[cfg(test)]` tracking the extractor uses:
 //!
 //! * [`RULE_NO_UNWRAP`] — no `.unwrap()` / `.expect(` in `cs-core`'s
@@ -25,6 +25,15 @@
 //!   `cs_trace_overhead_ratio`. Cold-path functions in the same files
 //!   (thread registration, incident recording, cost calibration) are
 //!   deliberately outside the guarded item set.
+//! * [`RULE_NO_ALLOC_HEAP_COUNT`] — no heap allocation or lock acquisition
+//!   inside cs-heap's counting path (the `CountingAlloc` hooks, the
+//!   per-thread `note`/`apply`/`add` chain, the ledger reads guards build
+//!   deltas from, and `AllocGuard::begin`/`finish`). The hazard here is
+//!   sharper than overhead: this code runs *inside* the global allocator,
+//!   so an allocation is unbounded recursion and a lock is a re-entrant
+//!   deadlock waiting for a signal-unsafe moment. The registration cold
+//!   path (`register`, `note_slow`, `process_account`) allocates and locks
+//!   deliberately, behind a re-entry flag, and is outside the item set.
 //! * [`RULE_NO_RAW_PERSIST_WRITE`] — no raw `fs::write(` / `File::create(` /
 //!   `OpenOptions::new(` on a persistence path (cs-state, cs-model, the
 //!   engine/runtime stack, and the model-builder bench). Warm start's
@@ -58,6 +67,8 @@ pub const RULE_NO_DISPATCH_UNDER_LOCK: &str = "no-dispatch-under-lock";
 pub const RULE_NO_UNBOUNDED_RING: &str = "no-unbounded-ring";
 /// Rule id: allocation or locking on the tracer's span fast path.
 pub const RULE_NO_ALLOC_SPAN_PATH: &str = "no-alloc-in-span-path";
+/// Rule id: allocation or locking inside cs-heap's counting path.
+pub const RULE_NO_ALLOC_HEAP_COUNT: &str = "no-alloc-in-heap-count-path";
 /// Rule id: raw filesystem writes on a persistence path.
 pub const RULE_NO_RAW_PERSIST_WRITE: &str = "no-raw-persist-write";
 /// Rule id: blocking lock primitives inside the lock-free tier.
@@ -140,6 +151,61 @@ const SPAN_PATH_ITEMS: &[&str] = &[
     "on_event",
 ];
 
+/// Files containing cs-heap's counting path.
+fn heap_count_rule_applies(path: &str) -> bool {
+    [
+        "crates/heap/src/lib.rs",
+        "crates/heap/src/counters.rs",
+        "crates/heap/src/guard.rs",
+    ]
+    .contains(&path)
+}
+
+/// Item names that form the heap-count path in the files above. These run
+/// inside the global allocator (the `GlobalAlloc` hooks and everything they
+/// call when registered) or on the per-op attribution path (the ledger
+/// read and the guard window arithmetic). Deliberately absent: `register`,
+/// `note_slow`, and `process_account` — the cold paths that allocate and
+/// lock on purpose, behind the re-entry flag.
+const HEAP_COUNT_ITEMS: &[&str] = &[
+    // CountingAlloc's GlobalAlloc hooks.
+    "alloc",
+    "alloc_zeroed",
+    "dealloc",
+    "realloc",
+    // The per-event counting chain.
+    "note",
+    "apply",
+    "add",
+    // The ledger read the guards build deltas from.
+    "thread_account",
+    // The attribution window itself.
+    "begin",
+    "finish",
+];
+
+/// One alloc/lock fast-path rule: which rule id fires, how the message
+/// names the path, and the lock finding's rationale tail. Parameterised so
+/// the span and heap rules share one scanner while keeping their committed
+/// baseline messages byte-stable.
+struct FastPathRule {
+    rule: &'static str,
+    desc: &'static str,
+    lock_tail: &'static str,
+}
+
+const SPAN_FAST_PATH: FastPathRule = FastPathRule {
+    rule: RULE_NO_ALLOC_SPAN_PATH,
+    desc: "span fast path",
+    lock_tail: "the tracer must stay lock-free",
+};
+
+const HEAP_FAST_PATH: FastPathRule = FastPathRule {
+    rule: RULE_NO_ALLOC_HEAP_COUNT,
+    desc: "heap-count path",
+    lock_tail: "inside the allocator a lock is a re-entrant deadlock",
+};
+
 /// One self-lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Diagnostic {
@@ -215,15 +281,23 @@ impl<'a> Linter<'a> {
             && self.tok(i + 1).is_some_and(|t| t.is_punct(':'))
     }
 
-    /// Is the scanner inside one of the span-fast-path items of a guarded
-    /// file? Any enclosing frame counts, so closures and nested helpers
-    /// declared inside a fast-path function stay covered.
-    fn in_span_path(&self) -> bool {
-        span_path_rule_applies(self.path)
-            && self
-                .items
+    /// Is the scanner inside a fast-path item of a guarded file — the
+    /// tracer's span path or cs-heap's counting path? Any enclosing frame
+    /// counts, so closures and nested helpers declared inside a fast-path
+    /// function stay covered.
+    fn fast_path(&self) -> Option<&'static FastPathRule> {
+        let in_items = |items: &[&str]| {
+            self.items
                 .iter()
-                .any(|(name, _)| SPAN_PATH_ITEMS.contains(&name.as_str()))
+                .any(|(name, _)| items.contains(&name.as_str()))
+        };
+        if span_path_rule_applies(self.path) && in_items(SPAN_PATH_ITEMS) {
+            return Some(&SPAN_FAST_PATH);
+        }
+        if heap_count_rule_applies(self.path) && in_items(HEAP_COUNT_ITEMS) {
+            return Some(&HEAP_FAST_PATH);
+        }
+        None
     }
 
     fn emit(&mut self, rule: &str, line: u32, message: String) {
@@ -397,23 +471,22 @@ impl<'a> Linter<'a> {
         // `(` for the span-path method checks.
         let called = self.tok(self.pos + 2).is_some_and(|p| p.is_punct('('))
             || self.is_path_sep(self.pos + 2);
-        if called && self.in_span_path() {
-            match m.text.as_str() {
-                "lock" | "read" | "write" => {
-                    let msg = format!(
-                        "`.{}()` on the span fast path — the tracer must stay lock-free",
-                        m.text
-                    );
-                    self.emit(RULE_NO_ALLOC_SPAN_PATH, line, msg);
+        if called {
+            if let Some(fp) = self.fast_path() {
+                match m.text.as_str() {
+                    "lock" | "read" | "write" => {
+                        let msg = format!(
+                            "`.{}()` on the {} — {}",
+                            m.text, fp.desc, fp.lock_tail
+                        );
+                        self.emit(fp.rule, line, msg);
+                    }
+                    "to_string" | "to_owned" | "to_vec" | "collect" => {
+                        let msg = format!("`.{}()` allocates on the {}", m.text, fp.desc);
+                        self.emit(fp.rule, line, msg);
+                    }
+                    _ => {}
                 }
-                "to_string" | "to_owned" | "to_vec" | "collect" => {
-                    let msg = format!(
-                        "`.{}()` allocates on the span fast path",
-                        m.text
-                    );
-                    self.emit(RULE_NO_ALLOC_SPAN_PATH, line, msg);
-                }
-                _ => {}
             }
         }
         if !self.tok(self.pos + 2).is_some_and(|p| p.is_punct('(')) {
@@ -441,12 +514,12 @@ impl<'a> Linter<'a> {
     }
 
     /// Allocation spelled as a constructor path or macro, checked against
-    /// the span fast path: `Vec::new(...)`, `Box::new(...)`, `vec![...]`,
-    /// `format!(...)`, and friends.
-    fn check_span_path_ident(&mut self) {
-        if !self.in_span_path() {
+    /// the span and heap-count fast paths: `Vec::new(...)`, `Box::new(...)`,
+    /// `vec![...]`, `format!(...)`, and friends.
+    fn check_fast_path_ident(&mut self) {
+        let Some(fp) = self.fast_path() else {
             return;
-        }
+        };
         let t = &self.toks[self.pos];
         let line = t.line;
         match t.text.as_str() {
@@ -458,19 +531,19 @@ impl<'a> Linter<'a> {
                     && self.tok(self.pos + 4).is_some_and(|p| p.is_punct('(')) =>
             {
                 let ctor = format!("{}::{}", t.text, self.toks[self.pos + 3].text);
-                let msg = format!("`{ctor}` allocates on the span fast path");
-                self.emit(RULE_NO_ALLOC_SPAN_PATH, line, msg);
+                let msg = format!("`{ctor}` allocates on the {}", fp.desc);
+                self.emit(fp.rule, line, msg);
             }
             "vec" | "format" if self.tok(self.pos + 1).is_some_and(|p| p.is_punct('!')) => {
-                let msg = format!("`{}!` allocates on the span fast path", t.text);
-                self.emit(RULE_NO_ALLOC_SPAN_PATH, line, msg);
+                let msg = format!("`{}!` allocates on the {}", t.text, fp.desc);
+                self.emit(fp.rule, line, msg);
             }
             _ => {}
         }
     }
 
     fn scan_ident(&mut self) {
-        self.check_span_path_ident();
+        self.check_fast_path_ident();
         let t = &self.toks[self.pos];
         match t.text.as_str() {
             "fn" | "mod" | "trait" | "struct" | "enum" | "union" => {
@@ -787,6 +860,70 @@ impl FlightRecorder {
         assert_eq!(d[0].rule, RULE_NO_ALLOC_SPAN_PATH);
         assert!(d[0].item.contains("on_event"), "{}", d[0].item);
         assert!(d[0].message.contains("to_owned"));
+    }
+
+    #[test]
+    fn heap_count_path_alloc_and_lock_are_flagged() {
+        // An allocation inside the allocator hook is unbounded recursion;
+        // a lock is a re-entrant deadlock. Both must fire.
+        let src = r#"
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let label = format!("alloc-{}", layout.size());
+        let guard = REGISTRY.lock();
+        System.alloc(layout)
+    }
+}
+"#;
+        let d = lint_file("crates/heap/src/lib.rs", src);
+        assert_eq!(d.len(), 2, "format! and lock: {d:?}");
+        assert!(d.iter().all(|x| x.rule == RULE_NO_ALLOC_HEAP_COUNT), "{d:?}");
+        assert!(d.iter().all(|x| x.item.contains("alloc")), "{d:?}");
+        assert!(d[1].message.contains("re-entrant deadlock"), "{}", d[1].message);
+    }
+
+    #[test]
+    fn heap_guard_window_must_not_allocate() {
+        let src = r#"
+impl AllocGuard {
+    pub fn finish(self) -> AllocDelta {
+        let boxed = Box::new(self.start_count);
+        let trace = self.samples.iter().copied().collect::<Vec<u64>>();
+        AllocDelta::default()
+    }
+}
+"#;
+        let d = lint_file("crates/heap/src/guard.rs", src);
+        assert_eq!(d.len(), 2, "Box::new and collect: {d:?}");
+        assert!(d.iter().all(|x| x.rule == RULE_NO_ALLOC_HEAP_COUNT), "{d:?}");
+        assert!(d.iter().all(|x| x.item.contains("finish")), "{d:?}");
+    }
+
+    #[test]
+    fn heap_cold_paths_may_allocate_and_lock() {
+        // Registration and the process rollup run behind the re-entry flag
+        // and are deliberately outside the guarded item set.
+        let src = r#"
+fn register(slot: &RefCell<Option<Registered>>) -> bool {
+    let block = Arc::new(ThreadCounters::default());
+    registry().lock().expect("poisoned").push(Arc::clone(&block));
+    true
+}
+fn process_account() -> HeapAccount {
+    let snapshots: Vec<HeapAccount> = registry().lock().unwrap().iter().map(read).collect();
+    HeapAccount::default()
+}
+"#;
+        assert!(lint_file("crates/heap/src/counters.rs", src).is_empty());
+    }
+
+    #[test]
+    fn heap_count_rule_is_scoped_to_cs_heap() {
+        // The same item names elsewhere (every collection has an `alloc` or
+        // `add`, every guard a `begin`/`finish`) are not on this path.
+        let src = "fn begin() { let v = vec![1, 2]; let g = STATE.lock(); }";
+        assert!(lint_file("crates/runtime/src/tlb.rs", src).is_empty());
+        assert!(lint_file("crates/core/src/handles.rs", src).is_empty());
     }
 
     #[test]

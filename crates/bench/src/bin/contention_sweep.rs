@@ -13,7 +13,10 @@
 //! (contended ops / total ops, the same observable cs-runtime flushes into
 //! the strategy tier's cost model), so the artifact can be read straight
 //! against the modeled break-even ratio
-//! [`default_models::conc_break_even_ratio`].
+//! [`cs_model::default_models::conc_break_even_ratio`]. The artifact header also
+//! stamps the process memory observables (peak RSS plus the counting
+//! allocator's totals — this binary installs [`cs_heap::CountingAlloc`]),
+//! so BENCH files are comparable on memory across PRs.
 //!
 //! The bench is also a gate; it exits nonzero when:
 //!
@@ -52,6 +55,25 @@ use cs_model::default_models::conc_break_even_ratio;
 use cs_telemetry::Json;
 use parking_lot::Mutex;
 use rand::{Rng, SeedableRng, StdRng};
+
+/// Opt-in heap observability: lets the artifact header stamp real process
+/// allocation totals (zeros would be stamped without this).
+#[global_allocator]
+static ALLOC: cs_heap::CountingAlloc = cs_heap::CountingAlloc;
+
+/// Process memory observables for the artifact header: kernel-truth peak
+/// RSS plus the counting allocator's totals, so BENCH files are comparable
+/// on memory across PRs.
+fn process_memory_json() -> Json {
+    let account = cs_heap::process_account();
+    Json::object()
+        .field("peak_rss_bytes", cs_heap::peak_rss_bytes())
+        .field("counting_active", cs_heap::counting_active())
+        .field("alloc_count_total", account.alloc_count)
+        .field("alloc_bytes_total", account.alloc_bytes)
+        .field("dealloc_bytes_total", account.dealloc_bytes)
+        .field("live_bytes", account.live_bytes())
+}
 
 /// A row fails the break-even gate when lock-free throughput is below this
 /// fraction of striped's on a gated row (noise margin on "loses").
@@ -397,6 +419,7 @@ fn main() {
     let doc = Json::object()
         .field("bench", "contention_sweep")
         .field("git", git_describe())
+        .field("process", process_memory_json())
         .field("hw_threads", cpus())
         .field("quick", quick)
         .field(

@@ -17,8 +17,11 @@
 //! [`MetricsSink`] subscribes to the engine, [`Runtime::export_metrics`]
 //! mirrors the runtime counters on completion, and the per-run snapshots
 //! are written alongside the results as `<out stem>.telemetry.json`,
-//! headed by the workload parameters and the source revision
-//! (`git describe`) so the artifact is interpretable on its own. The
+//! headed by the workload parameters, the source revision
+//! (`git describe`), and the process memory observables (peak RSS plus the
+//! counting allocator's totals — this binary installs
+//! [`cs_heap::CountingAlloc`]) so the artifact is interpretable on its
+//! own and comparable on memory across PRs. The
 //! Prometheus rendering of every snapshot is checked with
 //! [`validate_prometheus_text`] — the benchmark doubles as an end-to-end
 //! telemetry test.
@@ -46,6 +49,25 @@ use cs_telemetry::{
     validate_prometheus_text, Json, MetricsRegistry, MetricsSink, TelemetrySnapshot,
 };
 use cs_workloads::{run_concurrent_load, ConcurrentLoad, LoadReport};
+
+/// Opt-in heap observability: lets the telemetry sidecar stamp real
+/// process allocation totals (zeros would be stamped without this).
+#[global_allocator]
+static ALLOC: cs_heap::CountingAlloc = cs_heap::CountingAlloc;
+
+/// Process memory observables for the artifact headers: kernel-truth peak
+/// RSS plus the counting allocator's totals, so BENCH files are comparable
+/// on memory across PRs.
+fn process_memory_json() -> Json {
+    let account = cs_heap::process_account();
+    Json::object()
+        .field("peak_rss_bytes", cs_heap::peak_rss_bytes())
+        .field("counting_active", cs_heap::counting_active())
+        .field("alloc_count_total", account.alloc_count)
+        .field("alloc_bytes_total", account.alloc_bytes)
+        .field("dealloc_bytes_total", account.dealloc_bytes)
+        .field("live_bytes", account.live_bytes())
+}
 
 fn env_usize(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -251,6 +273,7 @@ fn main() {
     let telemetry_doc = Json::object()
         .field("bench", "runtime_sweep")
         .field("git", git_describe())
+        .field("process", process_memory_json())
         .field(
             "workload",
             Json::object()

@@ -169,6 +169,14 @@ impl<K: Kind> ContextCore<K> {
         self.sink.dropped()
     }
 
+    /// Attributed allocation churn `(events, bytes)` currently held in the
+    /// site's decayed workload history — the observable behind the
+    /// alloc-rate dimension, exported into snapshot profile summaries.
+    pub fn history_alloc(&self) -> (u64, u64) {
+        let history = self.history.lock();
+        (history.alloc_count(), history.alloc_bytes())
+    }
+
     /// Claims a monitoring slot for a new instance, returning the monitor
     /// payload if this instance should be sampled. Frozen contexts sample
     /// nothing.
@@ -358,6 +366,10 @@ impl<K: Kind> ContextCore<K> {
             current_contention_cost: explained.current_contention_cost,
             contention_ratio: explained.contention_ratio,
             contention_driven: explained.contention_driven,
+            current_alloc_cost: explained.current_alloc_cost,
+            current_energy_cost: explained.current_energy_cost,
+            alloc_bytes_per_op: explained.alloc_bytes_per_op,
+            alloc_driven: explained.alloc_driven,
             candidates: explained.candidates,
             winner: explained.selection.map(|s| s.kind.to_string()),
             winning_margin: explained

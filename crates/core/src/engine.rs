@@ -1243,11 +1243,17 @@ impl Switch {
             }
         }
         fn profile<K: Kind>(core: &ContextCore<K>) -> cs_state::ProfileSummaryRecord {
+            // The alloc keys are additive: summary records are key-value,
+            // so snapshots written before allocation observability (or by
+            // binaries without the counting allocator) load unchanged.
+            let (alloc_count, alloc_bytes) = core.history_alloc();
             cs_state::ProfileSummaryRecord {
                 site: core.name().to_owned(),
                 entries: vec![
                     ("profiles_ingested".to_owned(), core.profiles_pushed()),
                     ("profiles_dropped".to_owned(), core.profiles_dropped()),
+                    ("alloc_count".to_owned(), alloc_count),
+                    ("alloc_bytes".to_owned(), alloc_bytes),
                 ],
             }
         }

@@ -29,7 +29,7 @@ impl Monitor {
     }
 
     #[inline]
-    fn record(&mut self, op: OpKind, size: usize, nanos: u64) {
+    fn record(&mut self, op: OpKind, size: usize, nanos: u64, alloc: cs_heap::AllocDelta) {
         // Spans the monitoring bookkeeping only — the op body already ran.
         // Single-owner handles don't know their context id; the span is
         // site-anonymous (site 0), unlike the runtime's per-site op spans.
@@ -37,6 +37,9 @@ impl Monitor {
         self.recorder.record(op);
         self.recorder.observe_size(size);
         self.recorder.add_nanos(nanos);
+        if alloc.count > 0 {
+            self.recorder.add_alloc(alloc.count, alloc.bytes);
+        }
     }
 
     fn finish(self) {
@@ -46,19 +49,25 @@ impl Monitor {
 }
 
 /// Runs `$body`; when the instance is monitored, additionally measures the
-/// wall time spent in it and records `(op, size, nanos)`. The size
-/// expression is evaluated *after* the body so call sites can report
-/// post-operation length. Unmonitored instances execute the body alone —
-/// no clock read, preserving the near-zero unmonitored overhead.
+/// wall time and attributed allocation churn spent in it and records
+/// `(op, size, nanos, alloc)`. The size expression is evaluated *after* the
+/// body so call sites can report post-operation length. Unmonitored
+/// instances execute the body alone — no clock read, no guard, preserving
+/// the near-zero unmonitored overhead. The alloc guard closes before the
+/// recorder runs, so monitoring bookkeeping never pollutes the attribution
+/// window (guards are exclusion-exact, but keeping the window tight keeps
+/// the numbers honest about the *collection's* churn).
 macro_rules! timed {
     ($self:ident, $op:expr, $len:expr, $body:expr) => {{
         if $self.monitor.is_some() {
+            let __guard = cs_heap::AllocGuard::begin();
             let __start = std::time::Instant::now();
             let __out = $body;
             let __nanos = __start.elapsed().as_nanos() as u64;
+            let __alloc = __guard.finish();
             let __len = $len;
             if let Some(m) = $self.monitor.as_mut() {
-                m.record($op, __len, __nanos);
+                m.record($op, __len, __nanos, __alloc);
             }
             __out
         } else {

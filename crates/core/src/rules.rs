@@ -127,6 +127,21 @@ impl SelectionRule {
         SelectionRule::custom("R_energy", vec![Criterion::new(CostDimension::Energy, 0.8)])
     }
 
+    /// An allocation-*rate* rule: steady-state bytes/op < 0.8 with the same
+    /// 1.2× time cap as `R_alloc`. Unlike `R_alloc`, the primary dimension
+    /// carries no per-instance base term, so it targets long-lived churny
+    /// sites (where `cs-heap` attribution measures the rate live) rather
+    /// than many-tiny-instance workloads.
+    pub fn r_alloc_rate() -> Self {
+        SelectionRule::custom(
+            "R_alloc_rate",
+            vec![
+                Criterion::new(CostDimension::AllocRate, 0.8),
+                Criterion::new(CostDimension::Time, 1.2),
+            ],
+        )
+    }
+
     /// The paper's §5.3 overhead-evaluation rule: a required 1000×
     /// improvement that no candidate can meet, so the full monitoring and
     /// analysis pipeline runs but no transition ever fires.
@@ -188,6 +203,7 @@ impl FromStr for SelectionRule {
             "R_alloc" => return Ok(SelectionRule::r_alloc()),
             "R_footprint" => return Ok(SelectionRule::r_footprint()),
             "R_energy" => return Ok(SelectionRule::r_energy()),
+            "R_alloc_rate" => return Ok(SelectionRule::r_alloc_rate()),
             "R_impossible" => return Ok(SelectionRule::impossible()),
             _ => {}
         }
@@ -304,6 +320,21 @@ mod tests {
         assert_eq!(r.criteria().len(), 2);
         assert_eq!(r.primary().dimension, CostDimension::Alloc);
         assert!((r.criteria()[1].threshold - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_alloc_rate_targets_the_rate_dimension_with_a_time_cap() {
+        let r = SelectionRule::r_alloc_rate();
+        assert_eq!(r.primary().dimension, CostDimension::AllocRate);
+        assert!((r.primary().threshold - 0.8).abs() < 1e-12);
+        assert_eq!(r.criteria()[1].dimension, CostDimension::Time);
+        assert!((r.criteria()[1].threshold - 1.2).abs() < 1e-12);
+        assert_eq!(
+            "R_alloc_rate".parse::<SelectionRule>().unwrap(),
+            SelectionRule::r_alloc_rate()
+        );
+        let parsed: SelectionRule = "alloc_rate < 0.8, time < 1.2".parse().unwrap();
+        assert_eq!(parsed.primary().dimension, CostDimension::AllocRate);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The variant selection algorithm (paper §3.1.1–§3.1.2).
 
-use cs_model::PerformanceModel;
+use cs_model::{CostDimension, PerformanceModel};
 use cs_profile::ProfileHistogram;
 
 use crate::event::CandidateEstimate;
@@ -128,6 +128,25 @@ pub struct ExplainedSelection<K> {
     /// have beaten the current variant on the primary dimension. False
     /// whenever there is no winner.
     pub contention_driven: bool,
+    /// Estimated allocation-rate cost `TC_alloc_rate` of the current
+    /// variant over the history (0 when the model carries no alloc-rate
+    /// curves, or when the pass bailed).
+    pub current_alloc_cost: f64,
+    /// The current variant's calibrated energy proxy over the history:
+    /// `time_weight · TC_time + alloc_weight · TC_alloc_rate` with the
+    /// per-process [`cs_model::calibrated_weights`].
+    pub current_energy_cost: f64,
+    /// The measured allocation intensity of the history the pass evaluated:
+    /// attributed bytes per operation from the `cs-heap` per-site guards.
+    pub alloc_bytes_per_op: f64,
+    /// True when the allocation dimension decided this pass: the rule's
+    /// primary criterion *is* an allocation dimension (`alloc`,
+    /// `alloc_rate`), or the rule is energy-primary and the winner would
+    /// *not* have beaten the current variant on the time term alone (the
+    /// energy proxy is affine in time and alloc, so stripping the alloc
+    /// component from both sides reduces to a time comparison). False
+    /// whenever there is no winner.
+    pub alloc_driven: bool,
 }
 
 /// Like [`select_variant_filtered`], but also returns the decision audit
@@ -152,6 +171,10 @@ pub fn select_variant_explained<K: Kind>(
         current_contention_cost: 0.0,
         contention_ratio: 0.0,
         contention_driven: false,
+        current_alloc_cost: 0.0,
+        current_energy_cost: 0.0,
+        alloc_bytes_per_op: 0.0,
+        alloc_driven: false,
     };
     if history.total_ops() == 0 {
         return bail;
@@ -182,9 +205,18 @@ pub fn select_variant_explained<K: Kind>(
     let contention_ratio = history.contention_ratio();
     let current_contention_cost =
         model.contention_component(current, primary.dimension, history);
+    // Allocation and energy columns are part of every audit row regardless
+    // of the rule, so a reader can see what an alloc- or energy-primary
+    // rule *would* have decided.
+    let weights = cs_model::calibrated_weights();
+    let current_alloc_cost = current_cost(CostDimension::AllocRate);
+    let current_time_cost = current_cost(CostDimension::Time);
+    let current_energy_cost = weights.energy(current_time_cost, current_alloc_cost);
+    let alloc_bytes_per_op = history.alloc_bytes_per_op();
     let mut candidates = Vec::new();
     let mut best: Option<Selection<K>> = None;
     let mut best_contention_cost = 0.0;
+    let mut best_time_cost = 0.0;
     for &candidate in K::all() {
         if candidate == current {
             continue;
@@ -204,6 +236,8 @@ pub fn select_variant_explained<K: Kind>(
                 primary_cost: f64::NAN,
                 primary_ratio: f64::NAN,
                 contention_cost: f64::NAN,
+                alloc_cost: f64::NAN,
+                energy_cost: f64::NAN,
                 satisfied: false,
                 excluded: Some(reason),
             });
@@ -219,11 +253,16 @@ pub fn select_variant_explained<K: Kind>(
         let primary_cost = model.histogram_cost(candidate, primary.dimension, history);
         let primary_ratio = primary_cost / current_primary_cost;
         let contention_cost = model.contention_component(candidate, primary.dimension, history);
+        let alloc_cost = model.histogram_cost(candidate, CostDimension::AllocRate, history);
+        let time_cost = model.histogram_cost(candidate, CostDimension::Time, history);
+        let energy_cost = weights.energy(time_cost, alloc_cost);
         candidates.push(CandidateEstimate {
             variant: candidate.to_string(),
             primary_cost,
             primary_ratio,
             contention_cost,
+            alloc_cost,
+            energy_cost,
             satisfied,
             excluded: None,
         });
@@ -240,6 +279,7 @@ pub fn select_variant_explained<K: Kind>(
                 primary_ratio,
             });
             best_contention_cost = contention_cost;
+            best_time_cost = time_cost;
         }
     }
     // A switch is contention-driven when stripping the contention term from
@@ -250,6 +290,17 @@ pub fn select_variant_explained<K: Kind>(
         let winner_base = b.primary_ratio * current_primary_cost - best_contention_cost;
         winner_base >= current_primary_cost - current_contention_cost
     });
+    // A switch is alloc-driven when the allocation term carried it: either
+    // the rule optimizes an allocation dimension outright, or it optimizes
+    // the energy proxy and the winner is no faster on the time term alone
+    // (energy is affine in time and alloc, so removing the alloc component
+    // from both sides leaves a pure time comparison).
+    let alloc_driven = best.is_some()
+        && match primary.dimension {
+            CostDimension::Alloc | CostDimension::AllocRate => true,
+            CostDimension::Energy => best_time_cost >= current_time_cost,
+            _ => false,
+        };
     ExplainedSelection {
         selection: best,
         candidates,
@@ -257,6 +308,10 @@ pub fn select_variant_explained<K: Kind>(
         current_contention_cost,
         contention_ratio,
         contention_driven,
+        current_alloc_cost,
+        current_energy_cost,
+        alloc_bytes_per_op,
+        alloc_driven,
     }
 }
 
@@ -674,6 +729,92 @@ mod tests {
             |_| true,
         );
         assert!(explained.selection.is_none());
+    }
+
+    #[test]
+    fn alloc_rate_rule_switch_away_from_linked_is_alloc_driven() {
+        // A populate-heavy linked list churns ~40 modeled bytes/op against
+        // the array family's ~12: R_alloc_rate switches and the explanation
+        // must attribute the decision to the allocation dimension.
+        let w = profile(2_000, 0, 100, 0, 512);
+        let explained = select_variant_explained(
+            default_models::list_model(),
+            &SelectionRule::r_alloc_rate(),
+            ListKind::Linked,
+            &hist(&[w]),
+            |_| true,
+        );
+        let sel = explained.selection.expect("alloc-rate rule must switch");
+        assert_ne!(sel.kind, ListKind::Linked);
+        assert!(explained.alloc_driven, "primary dimension is alloc_rate");
+        assert!(explained.current_alloc_cost > 0.0);
+        assert!(explained.current_energy_cost > 0.0);
+        let row = explained
+            .candidates
+            .iter()
+            .find(|c| c.variant == sel.kind.to_string())
+            .unwrap();
+        assert!(row.alloc_cost > 0.0);
+        assert!(
+            row.alloc_cost < explained.current_alloc_cost / 2.0,
+            "the winner must at least halve the modeled churn: {} vs {}",
+            row.alloc_cost,
+            explained.current_alloc_cost,
+        );
+        assert!(row.energy_cost > 0.0);
+    }
+
+    #[test]
+    fn time_rule_switch_is_not_alloc_driven() {
+        let w = profile(500, 1_000, 0, 0, 500);
+        let explained = select_variant_explained(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Array,
+            &hist(&[w]),
+            |_| true,
+        );
+        assert!(explained.selection.is_some());
+        assert!(
+            !explained.alloc_driven,
+            "a time-primary win is never alloc-driven"
+        );
+        // The alloc and energy columns are still filled in for the audit.
+        assert!(explained.current_alloc_cost > 0.0);
+        for row in explained.candidates.iter().filter(|c| c.excluded.is_none()) {
+            assert!(row.alloc_cost.is_finite());
+            assert!(row.energy_cost.is_finite());
+        }
+    }
+
+    #[test]
+    fn alloc_rule_switch_is_alloc_driven() {
+        let profiles: Vec<WorkloadProfile> =
+            (0..20).map(|_| profile(8, 10, 0, 0, 8)).collect();
+        let explained = select_variant_explained(
+            default_models::set_model(),
+            &SelectionRule::r_alloc(),
+            SetKind::Chained,
+            &hist(&profiles),
+            |_| true,
+        );
+        assert!(explained.selection.is_some());
+        assert!(explained.alloc_driven, "R_alloc's primary is alloc");
+    }
+
+    #[test]
+    fn measured_alloc_bytes_per_op_flows_into_the_explanation() {
+        let mut ops = OpCounters::new();
+        ops.add(OpKind::Populate, 1_000);
+        let w = WorkloadProfile::new(ops, 128).with_alloc(500, 48_000);
+        let explained = select_variant_explained(
+            default_models::list_model(),
+            &SelectionRule::r_time(),
+            ListKind::Linked,
+            &hist(&[w]),
+            |_| true,
+        );
+        assert!((explained.alloc_bytes_per_op - 48.0).abs() < 1e-9);
     }
 
     #[test]

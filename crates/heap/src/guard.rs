@@ -1,0 +1,163 @@
+//! Scoped per-site allocation attribution.
+//!
+//! An [`AllocGuard`] brackets one monitored operation: it snapshots the
+//! calling thread's heap ledger on [`begin`](AllocGuard::begin) and returns
+//! the allocation delta on [`finish`](AllocGuard::finish). Guards nest
+//! correctly: a finished inner guard's attribution is *excluded* from every
+//! enclosing guard, so when sites call each other (a user `Hash` impl
+//! touching another monitored collection) no byte is ever attributed
+//! twice.
+//!
+//! ## The exclusion ledger
+//!
+//! A second thread-local monotonic pair `(count, bytes)` accumulates the
+//! *net* attribution of every finished guard. A guard's delta is
+//!
+//! ```text
+//! net = (ledger_now - ledger_at_begin) - (excluded_now - excluded_at_begin)
+//! ```
+//!
+//! and on finish the guard adds its own `net` to the exclusion ledger. By
+//! induction the exclusion growth inside any window equals the gross ledger
+//! growth of all *finished* inner guards, which yields the partition
+//! identity the attribution-exactness tests assert: over any sequence of
+//! non-overlapping outermost guards that cover all allocation, the sum of
+//! net deltas equals the thread's gross ledger delta exactly.
+//!
+//! Everything here is a handful of `Cell` reads and writes — the
+//! `no-alloc-in-heap-count-path` lint keeps both `begin` and `finish`
+//! allocation- and lock-free.
+
+use std::cell::Cell;
+
+use crate::counters::{counting_active, thread_account};
+
+thread_local! {
+    /// Monotonic (count, bytes) attributed by finished guards on this
+    /// thread — the exclusion ledger.
+    static EXCLUDED: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// The allocation delta one guard attributed to its site: allocation
+/// events and bytes that occurred inside the guard's window but not inside
+/// any nested guard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Allocation events attributed (alloc + alloc_zeroed + realloc).
+    pub count: u64,
+    /// Bytes attributed (requested sizes, the churn measure).
+    pub bytes: u64,
+}
+
+/// A scoped attribution window over the calling thread's heap ledger.
+/// Not `Clone`/`Copy`: each guard must be finished exactly once for the
+/// exclusion ledger to stay consistent. Dropping a guard without calling
+/// [`finish`](AllocGuard::finish) attributes nothing and excludes nothing —
+/// its window simply dissolves into the enclosing guard's.
+#[derive(Debug)]
+#[must_use = "an unfinished guard attributes nothing"]
+pub struct AllocGuard {
+    /// Whether the process was counting when the window opened. An inert
+    /// guard (no [`CountingAlloc`](crate::CountingAlloc) traffic yet) costs
+    /// one relaxed atomic load per end and never touches the thread-local
+    /// ledgers — monitored op paths pay for attribution only in processes
+    /// that opted in.
+    active: bool,
+    start_count: u64,
+    start_bytes: u64,
+    excluded_count: u64,
+    excluded_bytes: u64,
+}
+
+impl AllocGuard {
+    /// Opens an attribution window at the thread's current ledger
+    /// position. Costs two thread-local reads; allocation-free. When no
+    /// counting allocator has observed traffic, the guard is inert: one
+    /// atomic load, no thread-local access, zero delta on finish.
+    #[inline]
+    pub fn begin() -> AllocGuard {
+        if !counting_active() {
+            return AllocGuard {
+                active: false,
+                start_count: 0,
+                start_bytes: 0,
+                excluded_count: 0,
+                excluded_bytes: 0,
+            };
+        }
+        let ledger = thread_account();
+        let (excluded_count, excluded_bytes) = EXCLUDED.with(Cell::get);
+        AllocGuard {
+            active: true,
+            // Churn convention: allocation events only. The allocator's
+            // ledger already folds a realloc's allocating half into
+            // `alloc_*`, and dealloc traffic is deliberately not attributed
+            // — freeing is the consequence of an earlier allocation, and
+            // charging both ends would overstate churn by 2x.
+            start_count: ledger.alloc_count,
+            start_bytes: ledger.alloc_bytes,
+            excluded_count,
+            excluded_bytes,
+        }
+    }
+
+    /// Closes the window, returning the net attribution and excluding it
+    /// from every enclosing guard. Allocation-free.
+    ///
+    /// A guard that began inert stays inert even if counting started
+    /// inside its window (only possible for the process's very first
+    /// allocation): it neither attributes nor excludes, so the ledger
+    /// arithmetic of any guards opened after activation is untouched.
+    #[inline]
+    pub fn finish(self) -> AllocDelta {
+        if !self.active {
+            return AllocDelta::default();
+        }
+        let ledger = thread_account();
+        let gross_count = ledger.alloc_count.wrapping_sub(self.start_count);
+        let gross_bytes = ledger.alloc_bytes.wrapping_sub(self.start_bytes);
+        let (excl_count_now, excl_bytes_now) = EXCLUDED.with(Cell::get);
+        let inner_count = excl_count_now.wrapping_sub(self.excluded_count);
+        let inner_bytes = excl_bytes_now.wrapping_sub(self.excluded_bytes);
+        // Saturating, not wrapping: a guard that (incorrectly) outlives an
+        // overlapping sibling could otherwise underflow. Well-nested guards
+        // never hit the clamp.
+        let net = AllocDelta {
+            count: gross_count.saturating_sub(inner_count),
+            bytes: gross_bytes.saturating_sub(inner_bytes),
+        };
+        EXCLUDED.with(|e| {
+            let (c, b) = e.get();
+            e.set((c.wrapping_add(net.count), b.wrapping_add(net.bytes)));
+        });
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: no #[global_allocator] in unit tests (the library must never
+    // install one); deltas read zero here, and the arithmetic is what's
+    // under test. Real counting is exercised in tests/exactness.rs, which
+    // installs CountingAlloc for its own binary.
+
+    #[test]
+    fn uncounted_process_yields_zero_deltas() {
+        let g = AllocGuard::begin();
+        let _v: Vec<u8> = Vec::with_capacity(4096);
+        let d = g.finish();
+        assert_eq!(d, AllocDelta::default());
+    }
+
+    #[test]
+    fn nesting_arithmetic_is_consistent_without_traffic() {
+        let outer = AllocGuard::begin();
+        let inner = AllocGuard::begin();
+        let di = inner.finish();
+        let do_ = outer.finish();
+        assert_eq!(di, AllocDelta::default());
+        assert_eq!(do_, AllocDelta::default());
+    }
+}

@@ -1,0 +1,46 @@
+//! Guard-level churn shapes under a real counting allocator: a per-node
+//! boxed workload must attribute many more allocation events than an
+//! amortized-array workload of the same element count — the observable the
+//! LinkedList→ArrayList switch in `BENCH_alloc.json` rides on.
+//!
+//! Own test binary (not in `exactness.rs`): that test needs a quiescent
+//! process-account window, which a concurrently running sibling test would
+//! pollute.
+
+use cs_heap::{pin_thread, AllocGuard, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[test]
+fn guards_measure_real_churn_shapes() {
+    pin_thread();
+    let g = AllocGuard::begin();
+    let mut boxed: Vec<Box<u64>> = Vec::new();
+    for i in 0..256u64 {
+        boxed.push(Box::new(i));
+    }
+    let node_like = g.finish();
+
+    let g = AllocGuard::begin();
+    let mut arr: Vec<u64> = Vec::new();
+    for i in 0..256u64 {
+        arr.push(i);
+    }
+    let array_like = g.finish();
+
+    std::hint::black_box((&boxed, &arr));
+    assert!(
+        node_like.count > array_like.count * 4,
+        "per-node boxes ({}) vs amortized array ({}) events",
+        node_like.count,
+        array_like.count
+    );
+    assert!(node_like.bytes > 0 && array_like.bytes > 0);
+    assert!(
+        node_like.bytes > array_like.bytes,
+        "nodes carry pointer overhead: {} vs {}",
+        node_like.bytes,
+        array_like.bytes
+    );
+}

@@ -1,0 +1,124 @@
+//! Guard-nesting property test (ISSUE 8 satellite): inner site attribution
+//! never leaks into the outer site, at any nesting shape.
+//!
+//! Installs [`CountingAlloc`] and generates random guard trees; each node
+//! allocates a known payload at its own level — `boxes` 64-byte boxes plus
+//! one `boxes * 8`-byte holding buffer, both of *exactly known* requested
+//! size, so every node's net attribution is asserted with equality: its own
+//! payload, no more (no child leaked outward), no less (nothing of its own
+//! was stolen by a child). The root's subtree gross must also partition the
+//! thread's ledger delta exactly.
+
+use cs_heap::{pin_thread, AllocDelta, AllocGuard, CountingAlloc};
+use proptest::{proptest, Strategy};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// A guard tree: each node allocates its payload at its own level, with
+/// `children` evaluated between the two halves of the payload.
+#[derive(Debug, Clone)]
+struct Node {
+    boxes: usize,
+    children: Vec<Node>,
+}
+
+fn node_strategy(depth: u32) -> proptest::BoxedStrategy<Node> {
+    if depth == 0 {
+        (1usize..6)
+            .prop_map(|boxes| Node {
+                boxes,
+                children: Vec::new(),
+            })
+            .boxed()
+    } else {
+        (1usize..6, 0usize..4)
+            .prop_map(move |(boxes, n_children)| Node {
+                boxes,
+                children: (0..n_children)
+                    .map(|i| Node {
+                        boxes: 1 + (boxes + i) % 5,
+                        children: if depth > 1 && i % 2 == 0 {
+                            vec![Node {
+                                boxes: 1 + i,
+                                children: Vec::new(),
+                            }]
+                        } else {
+                            Vec::new()
+                        },
+                    })
+                    .collect(),
+            })
+            .boxed()
+    }
+}
+
+const BOX_BYTES: u64 = 64;
+const PTR_BYTES: u64 = 8;
+
+/// Runs the tree under guards, appending `(boxes, net)` per node in
+/// post-order, and returns the gross bytes of this subtree's window.
+/// `nets` is pre-allocated by the caller so its pushes never allocate
+/// inside a guard window.
+fn run(node: &Node, nets: &mut Vec<(usize, AllocDelta)>) -> u64 {
+    let g = AllocGuard::begin();
+    // Half the payload before the children, half after: leakage in either
+    // direction would show up.
+    let head = node.boxes / 2;
+    let mut held: Vec<Box<[u8; 64]>> = Vec::with_capacity(node.boxes);
+    for _ in 0..head {
+        held.push(Box::new([0u8; 64]));
+    }
+    let mut inner_gross = 0u64;
+    for child in &node.children {
+        inner_gross += run(child, nets);
+    }
+    for _ in head..node.boxes {
+        held.push(Box::new([0u8; 64]));
+    }
+    std::hint::black_box(&held);
+    drop(held);
+    let net = g.finish();
+    nets.push((node.boxes, net));
+    net.bytes + inner_gross
+}
+
+proptest! {
+    #[test]
+    fn inner_attribution_never_leaks_outward(tree in node_strategy(2)) {
+        pin_thread();
+        // Pre-size the harness's own bookkeeping so nothing it does
+        // allocates during the measurement window.
+        let mut nets: Vec<(usize, AllocDelta)> = Vec::with_capacity(256);
+        let before = cs_heap::thread_account();
+        let gross_claim = run(&tree, &mut nets);
+        let delta = cs_heap::thread_account().delta_since(&before);
+
+        // Partition identity: the nets of all guards sum to the thread's
+        // gross churn over the window — nothing lost, nothing counted
+        // twice, at any nesting shape.
+        assert_eq!(
+            gross_claim, delta.alloc_bytes,
+            "sum of nets must partition the thread's gross churn"
+        );
+
+        // Per-node exactness: each node attributes precisely its own
+        // payload — `boxes` 64-byte boxes plus its one `boxes * 8`-byte
+        // holding buffer — and precisely `boxes + 1` allocation events.
+        for (boxes, net) in &nets {
+            let b = *boxes as u64;
+            let own_bytes = b * BOX_BYTES + b * PTR_BYTES;
+            assert_eq!(
+                net.bytes, own_bytes,
+                "node with {boxes} boxes attributed {} bytes, own payload is {own_bytes}",
+                net.bytes
+            );
+            assert_eq!(
+                net.count,
+                b + 1,
+                "node with {boxes} boxes attributed {} events",
+                net.count
+            );
+        }
+    }
+}

@@ -98,6 +98,10 @@ fn build_variant(curves: &Curves) -> VariantCostModel {
             op,
             curve(move |s| t(s) + 0.05 * a(s), curves.brk),
         );
+        // Alloc *rate*: the same per-op churn curves as Alloc but with no
+        // per-instance base — it prices steady-state bytes/op, the
+        // observable cs-heap attribution measures live.
+        m.set_op_cost(CostDimension::AllocRate, op, curve(a, curves.brk));
     }
     let ai = curves.alloc_instance;
     m.set_instance_cost(CostDimension::Alloc, curve(ai, curves.brk));
@@ -690,6 +694,35 @@ mod tests {
         let a = v.op_cost(CostDimension::Alloc, OpKind::Populate, 100.0);
         let e = v.op_cost(CostDimension::Energy, OpKind::Populate, 100.0);
         assert!((e - (t + 0.05 * a)).abs() < 1.0);
+    }
+
+    #[test]
+    fn alloc_rate_is_alloc_without_the_instance_term() {
+        let m = map_model();
+        let v = m.variant(MapKind::Chained).unwrap();
+        // Per-op curves agree with the Alloc dimension…
+        for op in OpKind::ALL {
+            let a = v.op_cost(CostDimension::Alloc, op, 200.0);
+            let r = v.op_cost(CostDimension::AllocRate, op, 200.0);
+            assert!((a - r).abs() < 1e-9, "{op}: {a} vs {r}");
+        }
+        // …but the per-instance base allocation is not charged.
+        assert_eq!(v.instance_cost(CostDimension::AllocRate, 200.0), 0.0);
+        assert!(v.instance_cost(CostDimension::Alloc, 200.0) > 0.0);
+    }
+
+    #[test]
+    fn linked_list_alloc_rate_dwarfs_array() {
+        // The BENCH_alloc switch rides on this ordering: per-node churn
+        // (Linked) must price far above amortized-array churn on the
+        // alloc-rate dimension.
+        let m = list_model();
+        let rate = |k: ListKind| {
+            m.variant(k)
+                .unwrap()
+                .op_cost(CostDimension::AllocRate, OpKind::Populate, 100.0)
+        };
+        assert!(rate(ListKind::Linked) >= 2.0 * rate(ListKind::Array));
     }
 
     #[test]

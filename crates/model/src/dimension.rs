@@ -31,15 +31,23 @@ pub enum CostDimension {
     Footprint,
     /// Synthetic energy proxy (derived from time and allocation).
     Energy,
+    /// Allocation *rate*: bytes allocated per operation, with no
+    /// per-instance term. Where `Alloc` prices the total churn of a
+    /// workload (and so grows with instance count), `AllocRate` prices
+    /// steady-state churn intensity — the observable `cs-heap` attribution
+    /// measures live per site. Appended after `Energy` so persisted model
+    /// files indexed by the first four dimensions stay valid.
+    AllocRate,
 }
 
 impl CostDimension {
     /// All dimensions, in a fixed order usable for indexing.
-    pub const ALL: [CostDimension; 4] = [
+    pub const ALL: [CostDimension; 5] = [
         CostDimension::Time,
         CostDimension::Alloc,
         CostDimension::Footprint,
         CostDimension::Energy,
+        CostDimension::AllocRate,
     ];
 
     /// Stable index of this dimension in [`CostDimension::ALL`].
@@ -50,6 +58,7 @@ impl CostDimension {
             CostDimension::Alloc => 1,
             CostDimension::Footprint => 2,
             CostDimension::Energy => 3,
+            CostDimension::AllocRate => 4,
         }
     }
 }
@@ -61,6 +70,7 @@ impl fmt::Display for CostDimension {
             CostDimension::Alloc => "alloc",
             CostDimension::Footprint => "footprint",
             CostDimension::Energy => "energy",
+            CostDimension::AllocRate => "alloc_rate",
         };
         f.write_str(s)
     }
@@ -87,6 +97,7 @@ impl FromStr for CostDimension {
             "alloc" => Ok(CostDimension::Alloc),
             "footprint" => Ok(CostDimension::Footprint),
             "energy" => Ok(CostDimension::Energy),
+            "alloc_rate" => Ok(CostDimension::AllocRate),
             _ => Err(ParseDimensionError(s.to_owned())),
         }
     }
@@ -105,7 +116,7 @@ mod tests {
 
     #[test]
     fn indexes_cover_all() {
-        let mut seen = [false; 4];
+        let mut seen = [false; 5];
         for d in CostDimension::ALL {
             seen[d.index()] = true;
         }

@@ -1,0 +1,155 @@
+//! The calibrated energy proxy: a weighted combination of modeled op time
+//! and attributed allocation bytes.
+//!
+//! The paper names energy as its future-work cost dimension. Without a
+//! power meter, the best portable stand-in is a *proxy*: energy spent on a
+//! workload is dominated by (a) the time the CPU is busy executing its
+//! critical operations and (b) the memory traffic its allocation churn
+//! induces (allocator work now, GC/page pressure later). This module fits
+//! the two weights **once per process against wall time on this machine**,
+//! mirroring how `cs-trace` calibrates its tracer costs:
+//!
+//! * `time_weight` — measured ns per *modeled time unit*, fitted by timing
+//!   a populate loop whose modeled cost is known (`ArrayList` populate,
+//!   3 units/op in [`default_models`](crate::default_models)). On hardware
+//!   comparable to the models' assumptions this lands near 1.0.
+//! * `alloc_weight` — measured ns per *allocated byte*, fitted by timing a
+//!   boxed-allocation loop of known total size. This is the honest,
+//!   machine-specific replacement for the synthetic `0.05 ns/byte` the
+//!   shipped curves assume.
+//!
+//! The shipped [`default_models`](crate::default_models) keep their
+//! synthetic `time + 0.05·alloc` Energy curves — models are data, fitted
+//! once, and persisted files must not depend on the measuring machine. The
+//! calibrated weights apply *at evaluation time*: the selection layer prices
+//! each candidate's energy as
+//! `time_weight · tc_time + alloc_weight · tc_alloc_rate`, and benches
+//! honesty-check the result against measured wall time (the proxy must stay
+//! within one order of magnitude — see `alloc_sweep`).
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Modeled cost (time units per op) of the calibration workload: an
+/// amortized `ArrayList` append (`default_models` populate curve).
+const CAL_MODEL_UNITS_PER_OP: f64 = 3.0;
+/// Iterations of the calibration loops. Small enough to finish in well
+/// under a millisecond; large enough to amortize timer overhead.
+const CAL_ITERS: usize = 64 * 1024;
+/// Payload size of the allocation-calibration loop, bytes per allocation.
+const CAL_ALLOC_BYTES: usize = 64;
+
+/// Weights of the energy proxy `E = time_weight · t + alloc_weight · a`
+/// with `t` in modeled time units and `a` in allocated bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyWeights {
+    /// Energy (ns-equivalent) per modeled time unit.
+    pub time_weight: f64,
+    /// Energy (ns-equivalent) per allocated byte.
+    pub alloc_weight: f64,
+}
+
+/// The synthetic weights the shipped Energy curves assume
+/// (`time + 0.05 · alloc`), used wherever no calibration pass has run.
+pub const SYNTHETIC_WEIGHTS: EnergyWeights = EnergyWeights {
+    time_weight: 1.0,
+    alloc_weight: 0.05,
+};
+
+impl EnergyWeights {
+    /// The proxy: combined energy cost of `time_cost` modeled time units
+    /// plus `alloc_bytes` bytes of allocation churn.
+    #[inline]
+    pub fn energy(&self, time_cost: f64, alloc_bytes: f64) -> f64 {
+        self.time_weight * time_cost + self.alloc_weight * alloc_bytes
+    }
+
+    /// The allocation share of [`energy`](EnergyWeights::energy) — what the
+    /// `alloc_driven` explanation flag subtracts to decide whether the
+    /// allocation term decided an energy-ruled selection.
+    #[inline]
+    pub fn alloc_component(&self, alloc_bytes: f64) -> f64 {
+        self.alloc_weight * alloc_bytes
+    }
+}
+
+impl Default for EnergyWeights {
+    fn default() -> Self {
+        SYNTHETIC_WEIGHTS
+    }
+}
+
+fn measure_time_weight() -> f64 {
+    // Time CAL_ITERS amortized appends into a pre-grown Vec — the workload
+    // whose modeled cost per op is CAL_MODEL_UNITS_PER_OP.
+    let mut v: Vec<u64> = Vec::new();
+    let start = Instant::now();
+    for i in 0..CAL_ITERS as u64 {
+        v.push(i);
+    }
+    let nanos = start.elapsed().as_nanos() as f64;
+    std::hint::black_box(&v);
+    (nanos / CAL_ITERS as f64) / CAL_MODEL_UNITS_PER_OP
+}
+
+fn measure_alloc_weight() -> f64 {
+    // Time CAL_ITERS boxed allocations of CAL_ALLOC_BYTES each; the slope
+    // is ns per byte of allocation churn. Holding then dropping the boxes
+    // includes the free half of the churn, which is the honest per-byte
+    // price of a byte that does not stay live.
+    let mut held: Vec<Box<[u8; CAL_ALLOC_BYTES]>> = Vec::with_capacity(CAL_ITERS);
+    let start = Instant::now();
+    for _ in 0..CAL_ITERS {
+        held.push(Box::new([0u8; CAL_ALLOC_BYTES]));
+    }
+    drop(held);
+    let nanos = start.elapsed().as_nanos() as f64;
+    nanos / (CAL_ITERS * CAL_ALLOC_BYTES) as f64
+}
+
+/// Fits the energy weights against wall time, once per process, and caches
+/// the result (the cs-trace `TracerCosts` pattern). The fit is clamped to a
+/// sane band — a preempted calibration loop on a loaded CI box must not
+/// produce weights that invert every selection.
+pub fn calibrated_weights() -> EnergyWeights {
+    static WEIGHTS: OnceLock<EnergyWeights> = OnceLock::new();
+    *WEIGHTS.get_or_init(|| {
+        let time_weight = measure_time_weight().clamp(0.05, 20.0);
+        let alloc_weight = measure_alloc_weight().clamp(0.005, 5.0);
+        EnergyWeights {
+            time_weight,
+            alloc_weight,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_weights_match_the_shipped_energy_curves() {
+        // default_models builds Energy as time + 0.05·alloc; the synthetic
+        // weights must reproduce that combination exactly.
+        let e = SYNTHETIC_WEIGHTS.energy(100.0, 400.0);
+        assert!((e - (100.0 + 0.05 * 400.0)).abs() < 1e-12);
+        assert_eq!(SYNTHETIC_WEIGHTS.alloc_component(400.0), 20.0);
+        assert_eq!(EnergyWeights::default(), SYNTHETIC_WEIGHTS);
+    }
+
+    #[test]
+    fn calibration_is_cached_and_in_band() {
+        let a = calibrated_weights();
+        let b = calibrated_weights();
+        assert_eq!(a, b, "one fit per process");
+        assert!((0.05..=20.0).contains(&a.time_weight), "{a:?}");
+        assert!((0.005..=5.0).contains(&a.alloc_weight), "{a:?}");
+    }
+
+    #[test]
+    fn energy_is_monotone_in_both_terms() {
+        let w = calibrated_weights();
+        assert!(w.energy(10.0, 100.0) < w.energy(20.0, 100.0));
+        assert!(w.energy(10.0, 100.0) < w.energy(10.0, 200.0));
+    }
+}

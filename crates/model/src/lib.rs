@@ -54,6 +54,7 @@ pub mod builder;
 mod curve;
 pub mod default_models;
 mod dimension;
+pub mod energy;
 pub mod persist;
 mod perf;
 mod poly;
@@ -61,5 +62,6 @@ pub mod threshold;
 
 pub use curve::CostCurve;
 pub use dimension::CostDimension;
+pub use energy::{calibrated_weights, EnergyWeights, SYNTHETIC_WEIGHTS};
 pub use perf::{PerformanceModel, VariantCostModel};
 pub use poly::{FitError, Polynomial};

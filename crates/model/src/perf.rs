@@ -39,14 +39,14 @@ pub struct VariantCostModel {
     // Dense (dimension × op) storage: the analyzer evaluates these curves in
     // its inner loop, where a hash lookup per access would dominate the
     // sub-microsecond analysis budget (paper Fig. 7).
-    op_costs: [[Option<CostCurve>; 4]; 4],
-    instance_costs: [Option<CostCurve>; 4],
+    op_costs: [[Option<CostCurve>; 4]; 5],
+    instance_costs: [Option<CostCurve>; 5],
     // Per-dimension contention curves, evaluated at the *contention ratio*
     // r = contended/total_ops ∈ [0, 1] (not at the collection size) and
     // weighted by the total operation count. Sequential variants leave
     // these empty; the concurrency-strategy tier uses them to price lock
     // waits vs CAS retries.
-    contention_costs: [Option<CostCurve>; 4],
+    contention_costs: [Option<CostCurve>; 5],
 }
 
 impl VariantCostModel {

@@ -42,6 +42,8 @@ pub struct LocalWindowBuffer {
     nanos: u64,
     ops: u64,
     contended: u64,
+    alloc_count: u64,
+    alloc_bytes: u64,
 }
 
 impl LocalWindowBuffer {
@@ -82,6 +84,26 @@ impl LocalWindowBuffer {
         self.contended
     }
 
+    /// Adds measured (or sampled-and-scaled) heap churn attributed to
+    /// critical operations: allocation events and bytes requested.
+    #[inline]
+    pub fn add_alloc(&mut self, count: u64, bytes: u64) {
+        self.alloc_count = self.alloc_count.saturating_add(count);
+        self.alloc_bytes = self.alloc_bytes.saturating_add(bytes);
+    }
+
+    /// Allocation events buffered since the last drain.
+    #[inline]
+    pub fn alloc_count_buffered(&self) -> u64 {
+        self.alloc_count
+    }
+
+    /// Allocation bytes buffered since the last drain.
+    #[inline]
+    pub fn alloc_bytes_buffered(&self) -> u64 {
+        self.alloc_bytes
+    }
+
     /// Operations recorded since the last drain.
     #[inline]
     pub fn ops_buffered(&self) -> u64 {
@@ -91,7 +113,7 @@ impl LocalWindowBuffer {
     /// Returns `true` when nothing has been recorded since the last drain.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.ops == 0 && self.nanos == 0 && self.contended == 0
+        self.ops == 0 && self.nanos == 0 && self.contended == 0 && self.alloc_count == 0
     }
 
     /// Wall time buffered since the last drain.
@@ -107,13 +129,16 @@ impl LocalWindowBuffer {
         self.nanos = self.nanos.saturating_add(other.nanos);
         self.ops += other.ops;
         self.contended = self.contended.saturating_add(other.contended);
+        self.alloc_count = self.alloc_count.saturating_add(other.alloc_count);
+        self.alloc_bytes = self.alloc_bytes.saturating_add(other.alloc_bytes);
         *other = LocalWindowBuffer::default();
     }
 
     /// Empties the buffer into a [`WorkloadProfile`] (the epoch flush).
     pub fn drain(&mut self) -> WorkloadProfile {
         let out = WorkloadProfile::with_nanos(self.counters, self.max_size, self.nanos)
-            .with_contended(self.contended);
+            .with_contended(self.contended)
+            .with_alloc(self.alloc_count, self.alloc_bytes);
         *self = LocalWindowBuffer::default();
         out
     }
@@ -185,6 +210,29 @@ mod tests {
         let p = a.drain();
         assert_eq!(p.contended(), 3);
         assert_eq!(a.contended_buffered(), 0);
+    }
+
+    #[test]
+    fn alloc_flows_through_merge_and_drain() {
+        let mut a = LocalWindowBuffer::new();
+        a.record(OpKind::Populate, 1);
+        a.add_alloc(2, 128);
+        let mut b = LocalWindowBuffer::new();
+        b.record(OpKind::Populate, 1);
+        b.add_alloc(3, 512);
+        a.merge(&mut b);
+        assert_eq!(a.alloc_count_buffered(), 5);
+        assert_eq!(a.alloc_bytes_buffered(), 640);
+        assert_eq!(b.alloc_bytes_buffered(), 0);
+        let p = a.drain();
+        assert_eq!(p.alloc_count(), 5);
+        assert_eq!(p.alloc_bytes(), 640);
+        assert_eq!(a.alloc_count_buffered(), 0);
+        // alloc alone makes the buffer non-empty (a window can observe
+        // churn without sampling any op's timing).
+        let mut c = LocalWindowBuffer::new();
+        c.add_alloc(1, 8);
+        assert!(!c.is_empty());
     }
 
     #[test]

@@ -53,6 +53,8 @@ pub struct ProfileHistogram {
     totals: OpCounters,
     total_nanos: u64,
     contended: u64,
+    alloc_count: u64,
+    alloc_bytes: u64,
 }
 
 impl ProfileHistogram {
@@ -64,6 +66,8 @@ impl ProfileHistogram {
             totals: OpCounters::new(),
             total_nanos: 0,
             contended: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
         }
     }
 
@@ -105,6 +109,8 @@ impl ProfileHistogram {
         self.totals.merge(profile.counters());
         self.total_nanos = self.total_nanos.saturating_add(profile.elapsed_nanos());
         self.contended = self.contended.saturating_add(profile.contended());
+        self.alloc_count = self.alloc_count.saturating_add(profile.alloc_count());
+        self.alloc_bytes = self.alloc_bytes.saturating_add(profile.alloc_bytes());
     }
 
     /// Number of instances aggregated.
@@ -147,6 +153,28 @@ impl ProfileHistogram {
             0.0
         } else {
             self.contended.min(total) as f64 / total as f64
+        }
+    }
+
+    /// Total allocation events attributed over all aggregated instances.
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_count
+    }
+
+    /// Total allocation bytes attributed over all aggregated instances.
+    pub fn alloc_bytes(&self) -> u64 {
+        self.alloc_bytes
+    }
+
+    /// Mean attributed allocation bytes per aggregated operation; `0.0` for
+    /// an empty histogram. This is the `a` evaluated by the alloc-rate and
+    /// energy terms of the cost model.
+    pub fn alloc_bytes_per_op(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 {
+            0.0
+        } else {
+            self.alloc_bytes as f64 / total as f64
         }
     }
 
@@ -195,6 +223,8 @@ impl ProfileHistogram {
         self.totals = self.totals.scaled(factor);
         self.total_nanos = scale(self.total_nanos);
         self.contended = scale(self.contended);
+        self.alloc_count = scale(self.alloc_count);
+        self.alloc_bytes = scale(self.alloc_bytes);
     }
 
     /// Resets the histogram.
@@ -206,6 +236,8 @@ impl ProfileHistogram {
         self.totals = OpCounters::new();
         self.total_nanos = 0;
         self.contended = 0;
+        self.alloc_count = 0;
+        self.alloc_bytes = 0;
     }
 }
 
@@ -361,6 +393,24 @@ mod tests {
         h.clear();
         assert_eq!(h.contended(), 0);
         assert_eq!(h.contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn alloc_accumulates_decays_and_rates() {
+        let mut h = ProfileHistogram::new();
+        let mut c = OpCounters::new();
+        c.add(OpKind::Populate, 10);
+        h.add(&WorkloadProfile::new(c, 10).with_alloc(4, 240));
+        h.add(&WorkloadProfile::new(c, 10).with_alloc(6, 160));
+        assert_eq!(h.alloc_count(), 10);
+        assert_eq!(h.alloc_bytes(), 400);
+        assert_eq!(h.alloc_bytes_per_op(), 400.0 / 20.0);
+        h.decay(0.5);
+        assert_eq!(h.alloc_count(), 5);
+        assert_eq!(h.alloc_bytes(), 200);
+        h.clear();
+        assert_eq!(h.alloc_bytes(), 0);
+        assert_eq!(h.alloc_bytes_per_op(), 0.0);
     }
 
     #[test]

@@ -154,6 +154,8 @@ pub struct OpRecorder {
     counters: OpCounters,
     max_size: usize,
     elapsed_nanos: u64,
+    alloc_count: u64,
+    alloc_bytes: u64,
 }
 
 impl OpRecorder {
@@ -199,9 +201,29 @@ impl OpRecorder {
         self.elapsed_nanos
     }
 
+    /// Adds heap churn attributed to critical operations: allocation events
+    /// and requested bytes, measured per-site by `cs-heap` guards the same
+    /// way sampled wall time is measured for [`add_nanos`](OpRecorder::add_nanos).
+    #[inline]
+    pub fn add_alloc(&mut self, count: u64, bytes: u64) {
+        self.alloc_count = self.alloc_count.saturating_add(count);
+        self.alloc_bytes = self.alloc_bytes.saturating_add(bytes);
+    }
+
+    /// Allocation events accumulated via [`OpRecorder::add_alloc`].
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_count
+    }
+
+    /// Allocation bytes accumulated via [`OpRecorder::add_alloc`].
+    pub fn alloc_bytes(&self) -> u64 {
+        self.alloc_bytes
+    }
+
     /// Consumes the recorder into an immutable [`WorkloadProfile`](crate::WorkloadProfile).
     pub fn finish(self) -> crate::WorkloadProfile {
         crate::WorkloadProfile::with_nanos(self.counters, self.max_size, self.elapsed_nanos)
+            .with_alloc(self.alloc_count, self.alloc_bytes)
     }
 }
 
@@ -271,6 +293,19 @@ mod tests {
         let p = r.finish();
         assert_eq!(p.count(OpKind::Contains), 2);
         assert_eq!(p.max_size(), 4);
+    }
+
+    #[test]
+    fn alloc_accumulates_into_profile() {
+        let mut r = OpRecorder::new();
+        r.record(OpKind::Populate);
+        r.add_alloc(3, 96);
+        r.add_alloc(1, 32);
+        assert_eq!(r.alloc_count(), 4);
+        assert_eq!(r.alloc_bytes(), 128);
+        let p = r.finish();
+        assert_eq!(p.alloc_count(), 4);
+        assert_eq!(p.alloc_bytes(), 128);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub struct WorkloadProfile {
     max_size: usize,
     elapsed_nanos: u64,
     contended: u64,
+    alloc_count: u64,
+    alloc_bytes: u64,
 }
 
 impl WorkloadProfile {
@@ -33,6 +35,8 @@ impl WorkloadProfile {
             max_size,
             elapsed_nanos: 0,
             contended: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
         }
     }
 
@@ -44,6 +48,8 @@ impl WorkloadProfile {
             max_size,
             elapsed_nanos,
             contended: 0,
+            alloc_count: 0,
+            alloc_bytes: 0,
         }
     }
 
@@ -54,6 +60,40 @@ impl WorkloadProfile {
     pub fn with_contended(mut self, contended: u64) -> Self {
         self.contended = contended;
         self
+    }
+
+    /// Sets the heap churn attributed to this profile's operations —
+    /// allocation events and requested bytes, measured per-site by
+    /// `cs-heap` attribution guards — and returns `self`, builder style
+    /// like [`with_contended`](WorkloadProfile::with_contended).
+    pub fn with_alloc(mut self, alloc_count: u64, alloc_bytes: u64) -> Self {
+        self.alloc_count = alloc_count;
+        self.alloc_bytes = alloc_bytes;
+        self
+    }
+
+    /// Allocation events attributed to this profile's operations.
+    #[inline]
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_count
+    }
+
+    /// Allocation bytes attributed to this profile's operations (requested
+    /// sizes — the churn measure, not live footprint).
+    #[inline]
+    pub fn alloc_bytes(&self) -> u64 {
+        self.alloc_bytes
+    }
+
+    /// Mean allocation bytes per operation; `0.0` when the profile is
+    /// empty. The per-site gauge the alloc-rate dimension selects on.
+    pub fn alloc_bytes_per_op(&self) -> f64 {
+        let total = self.total_ops();
+        if total == 0 {
+            0.0
+        } else {
+            self.alloc_bytes as f64 / total as f64
+        }
     }
 
     /// Operations that observed contention. Always ≤ [`total_ops`]
@@ -118,6 +158,8 @@ impl WorkloadProfile {
         self.max_size = self.max_size.max(other.max_size);
         self.elapsed_nanos = self.elapsed_nanos.saturating_add(other.elapsed_nanos);
         self.contended = self.contended.saturating_add(other.contended);
+        self.alloc_count = self.alloc_count.saturating_add(other.alloc_count);
+        self.alloc_bytes = self.alloc_bytes.saturating_add(other.alloc_bytes);
     }
 }
 
@@ -168,6 +210,18 @@ mod tests {
         assert_eq!(a.contention_ratio(), 10.0 / 60.0);
         // Empty profile: ratio is defined as zero.
         assert_eq!(WorkloadProfile::default().contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn alloc_merges_and_rates() {
+        let mut a = profile(10, 10, 5).with_alloc(4, 400);
+        let b = profile(20, 20, 5).with_alloc(6, 800);
+        assert_eq!(a.alloc_bytes_per_op(), 20.0);
+        a.merge(&b);
+        assert_eq!(a.alloc_count(), 10);
+        assert_eq!(a.alloc_bytes(), 1200);
+        assert_eq!(a.alloc_bytes_per_op(), 20.0);
+        assert_eq!(WorkloadProfile::default().alloc_bytes_per_op(), 0.0);
     }
 
     #[test]

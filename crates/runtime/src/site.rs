@@ -111,6 +111,8 @@ pub struct SiteShared {
     max_size: AtomicUsize,
     flushes: AtomicU64,
     contended: AtomicU64,
+    alloc_count: AtomicU64,
+    alloc_bytes: AtomicU64,
 }
 
 impl SiteShared {
@@ -141,6 +143,8 @@ impl SiteShared {
             max_size: AtomicUsize::new(0),
             flushes: AtomicU64::new(0),
             contended: AtomicU64::new(0),
+            alloc_count: AtomicU64::new(0),
+            alloc_bytes: AtomicU64::new(0),
         }
     }
 
@@ -188,6 +192,12 @@ impl SiteShared {
             self.contended
                 .fetch_add(profile.contended(), Ordering::Relaxed);
         }
+        if profile.alloc_count() > 0 {
+            self.alloc_count
+                .fetch_add(profile.alloc_count(), Ordering::Relaxed);
+            self.alloc_bytes
+                .fetch_add(profile.alloc_bytes(), Ordering::Relaxed);
+        }
         self.max_size.fetch_max(profile.max_size(), Ordering::Relaxed);
         self.flushes.fetch_add(1, Ordering::Relaxed);
         if let Some(strategy) = &self.strategy {
@@ -224,6 +234,8 @@ impl SiteShared {
             max_size: self.max_size.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             contended: self.contended.load(Ordering::Relaxed),
+            alloc_count: self.alloc_count.load(Ordering::Relaxed),
+            alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed),
             rounds: core_stats.rounds,
             switches: core_stats.switches,
             rollbacks: core_stats.rollbacks,
@@ -257,12 +269,28 @@ pub struct SiteStats {
     pub flushes: u64,
     /// Contended shard-lock acquisitions.
     pub contended: u64,
+    /// Sampled-and-scaled allocation events attributed to critical ops.
+    pub alloc_count: u64,
+    /// Sampled-and-scaled allocation bytes attributed to critical ops.
+    pub alloc_bytes: u64,
     /// Engine analysis rounds completed for this site.
     pub rounds: u64,
     /// Variant switches the analyzer performed.
     pub switches: u64,
     /// Switches undone by post-switch verification.
     pub rollbacks: u64,
+}
+
+impl SiteStats {
+    /// Mean attributed allocation bytes per critical op; `0.0` before any
+    /// ops flushed. Sampled estimate under `sample_mask > 0`.
+    pub fn alloc_bytes_per_op(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.alloc_bytes as f64 / self.total_ops as f64
+        }
+    }
 }
 
 impl std::fmt::Display for SiteStats {

@@ -138,13 +138,20 @@ pub(crate) fn site_op_tracked<R>(
         v
     });
     let timed = tick & policy.sample_mask == 0;
-    let (result, size, contended, nanos) = if timed {
+    let (result, size, contended, nanos, alloc) = if timed {
+        // The sampled op is measured on both axes at once: wall time and
+        // heap churn. The attribution guard nests correctly, so a user
+        // `Hash` impl touching *another* monitored site never charges its
+        // allocations to this one.
+        let guard = cs_heap::AllocGuard::begin();
         let start = Instant::now();
         let (result, size, contended) = body();
-        (result, size, contended, start.elapsed().as_nanos() as u64)
+        let nanos = start.elapsed().as_nanos() as u64;
+        let alloc = guard.finish();
+        (result, size, contended, nanos, alloc)
     } else {
         let (result, size, contended) = body();
-        (result, size, contended, 0)
+        (result, size, contended, 0, cs_heap::AllocDelta::default())
     };
     // Spans only the monitoring bookkeeping below — the application op
     // itself (`body`) stays outside the framework's account. Sampled in
@@ -158,10 +165,15 @@ pub(crate) fn site_op_tracked<R>(
             entry.buf.note_contended();
         }
         if timed {
-            // Scale the sampled measurement back up to the full op stream.
-            entry
-                .buf
-                .add_nanos(nanos.saturating_mul(policy.sample_mask + 1));
+            // Scale the sampled measurements back up to the full op stream.
+            let scale = policy.sample_mask + 1;
+            entry.buf.add_nanos(nanos.saturating_mul(scale));
+            if alloc.count > 0 {
+                entry.buf.add_alloc(
+                    alloc.count.saturating_mul(scale),
+                    alloc.bytes.saturating_mul(scale),
+                );
+            }
         }
         let buffered = entry.buf.ops_buffered();
         if buffered >= policy.flush_ops {

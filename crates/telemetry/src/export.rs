@@ -218,6 +218,90 @@ pub fn export_state(
     }
 }
 
+/// Mirrors the process-wide `cs-heap` allocation account into `registry`
+/// under the `cs_heap_*` families: the exact alloc/dealloc/realloc ledgers
+/// (counts and bytes), derived live bytes, thread-block registry size, the
+/// counting-allocator activation flag, and the kernel's peak-RSS reading.
+///
+/// Binaries that never installed [`cs_heap::CountingAlloc`] still export a
+/// consistent view: every ledger reads zero, `cs_heap_counting_active` is 0,
+/// and `cs_heap_peak_rss_bytes` still reports the kernel's number (it comes
+/// from `/proc`, not the allocator). Idempotent, like every exporter here.
+pub fn export_heap(registry: &MetricsRegistry) {
+    let account = cs_heap::process_account();
+    let totals: [(&str, &str, u64); 6] = [
+        (
+            "cs_heap_alloc_total",
+            "Allocation events observed by the counting allocator (including realloc's allocating half).",
+            account.alloc_count,
+        ),
+        (
+            "cs_heap_alloc_bytes_total",
+            "Bytes requested by allocation events.",
+            account.alloc_bytes,
+        ),
+        (
+            "cs_heap_dealloc_total",
+            "Free events observed by the counting allocator (including realloc's freeing half).",
+            account.dealloc_count,
+        ),
+        (
+            "cs_heap_dealloc_bytes_total",
+            "Bytes released by free events.",
+            account.dealloc_bytes,
+        ),
+        (
+            "cs_heap_realloc_total",
+            "Realloc events (also counted in the alloc/dealloc ledgers).",
+            account.realloc_count,
+        ),
+        (
+            "cs_heap_realloc_bytes_total",
+            "Bytes requested as realloc new sizes.",
+            account.realloc_bytes,
+        ),
+    ];
+    for (name, help, value) in totals {
+        registry.counter(name, help, &[]).set_total(value);
+    }
+    registry
+        .gauge(
+            "cs_heap_live_bytes",
+            "Bytes currently live per the counting allocator's ledger (alloc - dealloc).",
+            &[],
+        )
+        .set(account.live_bytes() as i64);
+    let (blocks_total, blocks_live) = cs_heap::thread_blocks();
+    registry
+        .gauge(
+            "cs_heap_thread_blocks",
+            "Per-thread counter blocks ever registered.",
+            &[],
+        )
+        .set(blocks_total as i64);
+    registry
+        .gauge(
+            "cs_heap_thread_blocks_live",
+            "Per-thread counter blocks belonging to still-live threads.",
+            &[],
+        )
+        .set(blocks_live as i64);
+    registry
+        .gauge(
+            "cs_heap_counting_active",
+            "1 when a counting global allocator has observed traffic in this process.",
+            &[],
+        )
+        .set(i64::from(cs_heap::counting_active()));
+    registry
+        .gauge(
+            "cs_heap_peak_rss_bytes",
+            "Peak resident set size of the process per the kernel (VmHWM), in bytes.",
+            &[],
+        )
+        .set(cs_heap::peak_rss_bytes() as i64);
+}
+
 /// Mirrors a [`TraceSnapshot`] into `registry` under the `cs_trace_*`
 /// families: the self-overhead account (`cs_trace_overhead_ratio`,
 /// framework/app nano totals), per-phase span counts, and per-phase
@@ -422,6 +506,28 @@ mod tests {
         // Idempotent re-export, and the exposition stays well-formed.
         export_warm_start(&registry, &report);
         export_persister(&registry, &stats);
+        crate::validate_prometheus_text(&registry.snapshot().to_prometheus_text())
+            .expect("valid exposition");
+    }
+
+    #[test]
+    fn heap_export_is_consistent_without_a_counting_allocator() {
+        // This test binary does not install CountingAlloc, so every ledger
+        // must read zero while the export stays structurally complete and
+        // the exposition valid.
+        let registry = MetricsRegistry::new();
+        export_heap(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("cs_heap_alloc_total"), Some(0));
+        assert_eq!(snap.counter_value("cs_heap_alloc_bytes_total"), Some(0));
+        assert_eq!(snap.counter_value("cs_heap_realloc_total"), Some(0));
+        assert_eq!(snap.gauge_value("cs_heap_live_bytes"), Some(0));
+        assert_eq!(snap.gauge_value("cs_heap_counting_active"), Some(0));
+        // Peak RSS comes from the kernel, not the allocator: nonzero even
+        // without counting.
+        assert!(snap.gauge_value("cs_heap_peak_rss_bytes").unwrap_or(0) > 0);
+        // Idempotent re-export, and the exposition stays well-formed.
+        export_heap(&registry);
         crate::validate_prometheus_text(&registry.snapshot().to_prometheus_text())
             .expect("valid exposition");
     }

@@ -19,15 +19,20 @@
 //! | `rollback`          | `on_event`         | a [`RollbackEvent`](cs_core::RollbackEvent) |
 //! | `quarantine`        | `on_event`         | a [`QuarantineEvent`](cs_core::QuarantineEvent) |
 //! | `contention_switch` | `on_event`         | a switched [`SelectionExplanation`](cs_core::SelectionExplanation) with `contention_driven` set — the strategy tier changed locking discipline because of observed contention |
+//! | `alloc_switch`      | `on_event`         | a switched [`SelectionExplanation`](cs_core::SelectionExplanation) with `alloc_driven` set — the allocation dimension decided the switch |
 //! | `state_quarantine`  | `on_event`         | a [`WarmStartEvent`](cs_core::WarmStartEvent) with corrupt records quarantined |
 //! | `warm_start_reject` | `on_event`         | a [`WarmStartSiteEvent`](cs_core::WarmStartSiteEvent) whose record was rejected |
 //! | `overhead_budget`   | `on_analysis_pass` | overhead ratio crosses above the budget     |
 //! | `sink_disconnect`   | `on_analysis_pass` | the engine's sink-disconnect total grew     |
+//! | `alloc_spike`       | `on_analysis_pass` | process allocation bytes this pass exceed [`FlightRecorderConfig::alloc_spike_ratio`] × the trailing per-pass average (and the absolute floor) |
 //!
 //! The polled triggers are edge-detected (they fire on the crossing, not
 //! on every pass spent above the threshold), and total incidents are
 //! capped by [`FlightRecorderConfig::max_incidents`] so a flapping site
-//! cannot fill the sink's line budget with incident dumps.
+//! cannot fill the sink's line budget with incident dumps. Every incident
+//! additionally freezes the process-wide `cs-heap` account under a
+//! `"heap"` field — zeros in binaries that never installed the counting
+//! allocator.
 //!
 //! `on_event` itself stays allocation- and lock-free on the non-triggering
 //! path — it is on the engine's synchronous dispatch path — and hands off
@@ -61,6 +66,15 @@ pub struct FlightRecorderConfig {
     /// Attach a full metrics snapshot to each incident. Costly per
     /// incident; invaluable in post-mortems.
     pub include_telemetry: bool,
+    /// An `alloc_spike` fires when the bytes allocated since the previous
+    /// analysis pass exceed this multiple of the trailing per-pass average
+    /// (EWMA, 7/8 decay). Detection needs a warm baseline: the first two
+    /// passes only measure.
+    pub alloc_spike_ratio: f64,
+    /// Absolute floor for `alloc_spike`: a pass must allocate at least
+    /// this many bytes to fire, so an idle process's tiny wobbles (ratio
+    /// against a near-zero baseline) stay quiet.
+    pub alloc_spike_min_bytes: u64,
 }
 
 impl Default for FlightRecorderConfig {
@@ -70,6 +84,8 @@ impl Default for FlightRecorderConfig {
             overhead_budget: 0.05,
             max_incidents: 32,
             include_telemetry: true,
+            alloc_spike_ratio: 8.0,
+            alloc_spike_min_bytes: 1 << 20,
         }
     }
 }
@@ -111,6 +127,13 @@ pub struct FlightRecorder {
     // Edge-detection state for the polled triggers.
     last_disconnects: AtomicU64,
     over_budget: AtomicU64, // 0 = below budget, 1 = above (latched)
+    // Allocation-spike state: last process alloc_bytes reading, the EWMA
+    // of per-pass deltas, how many passes have been observed, and the
+    // spike latch.
+    last_alloc_bytes: AtomicU64,
+    alloc_trailing: AtomicU64,
+    alloc_passes: AtomicU64,
+    alloc_spiking: AtomicU64, // 0 = normal, 1 = spiking (latched)
 }
 
 impl FlightRecorder {
@@ -131,6 +154,10 @@ impl FlightRecorder {
             seq: AtomicU64::new(0),
             last_disconnects: AtomicU64::new(0),
             over_budget: AtomicU64::new(0),
+            last_alloc_bytes: AtomicU64::new(0),
+            alloc_trailing: AtomicU64::new(0),
+            alloc_passes: AtomicU64::new(0),
+            alloc_spiking: AtomicU64::new(0),
         }
     }
 
@@ -197,6 +224,7 @@ impl FlightRecorder {
                     .field("pipeline_ratio", overhead.pipeline_ratio()),
             )
             .field("spans", Json::Array(spans))
+            .field("heap", heap_to_json(&cs_heap::process_account()))
             .field(
                 "telemetry",
                 match (&self.registry, self.config.include_telemetry) {
@@ -208,6 +236,18 @@ impl FlightRecorder {
             self.incidents.fetch_add(1, Ordering::Relaxed);
         }
     }
+}
+
+/// The process heap account frozen into each incident record.
+fn heap_to_json(a: &cs_heap::HeapAccount) -> Json {
+    Json::object()
+        .field("alloc_count", a.alloc_count)
+        .field("alloc_bytes", a.alloc_bytes)
+        .field("dealloc_count", a.dealloc_count)
+        .field("dealloc_bytes", a.dealloc_bytes)
+        .field("realloc_count", a.realloc_count)
+        .field("realloc_bytes", a.realloc_bytes)
+        .field("live_bytes", a.live_bytes())
 }
 
 impl EngineEventSink for FlightRecorder {
@@ -222,6 +262,14 @@ impl EngineEventSink for FlightRecorder {
                 if s.outcome == cs_core::SelectionOutcome::Switched && s.contention_driven =>
             {
                 "contention_switch"
+            }
+            // A switch the allocation dimension decided: the incident
+            // preserves the alloc/energy cost columns and the measured
+            // bytes-per-op that justified trading time for churn.
+            EngineEvent::Selection(s)
+                if s.outcome == cs_core::SelectionOutcome::Switched && s.alloc_driven =>
+            {
+                "alloc_switch"
             }
             // Corruption survived a restart: the snapshot loaded, but some
             // records were quarantined. The incident preserves the salvage
@@ -258,6 +306,31 @@ impl EngineEventSink for FlightRecorder {
             let before = self.last_disconnects.swap(disconnects, Ordering::Relaxed);
             if disconnects > before {
                 self.record_incident("sink_disconnect", None);
+            }
+        }
+        // Allocation-spike detection against the process-wide counting
+        // ledger. Pass 0 establishes the byte baseline, pass 1 seeds the
+        // trailing average with the first measured delta; judgment starts
+        // at pass 2. The trailing EWMA folds the spike in *after* judging
+        // it, so one burst cannot lift its own baseline — and the latch
+        // releases only once a pass comes back under the ratio.
+        let alloc_now = cs_heap::process_account().alloc_bytes;
+        let prev = self.last_alloc_bytes.swap(alloc_now, Ordering::Relaxed);
+        let passes = self.alloc_passes.fetch_add(1, Ordering::Relaxed);
+        let delta = alloc_now.saturating_sub(prev);
+        match passes {
+            0 => {}
+            1 => self.alloc_trailing.store(delta, Ordering::Relaxed),
+            _ => {
+                let trailing = self.alloc_trailing.load(Ordering::Relaxed);
+                let spiking = delta >= self.config.alloc_spike_min_bytes
+                    && delta as f64 > self.config.alloc_spike_ratio * (trailing as f64).max(1.0);
+                let was = self.alloc_spiking.swap(u64::from(spiking), Ordering::Relaxed) == 1;
+                if spiking && !was {
+                    self.record_incident("alloc_spike", None);
+                }
+                let next = ((trailing as u128 * 7 + delta as u128) / 8) as u64;
+                self.alloc_trailing.store(next, Ordering::Relaxed);
             }
         }
     }
@@ -317,6 +390,11 @@ mod tests {
         assert!(doc.get("spans").and_then(Json::as_array).is_some());
         // No engine attached: explanation degrades to null, nothing panics.
         assert_eq!(doc.get("explanation"), Some(&Json::Null));
+        // Every incident freezes the heap account; this binary never
+        // installed the counting allocator, so the ledgers read zero.
+        let heap = doc.get("heap").expect("heap account attached");
+        assert_eq!(heap.get("alloc_bytes").and_then(Json::as_u64), Some(0));
+        assert_eq!(heap.get("live_bytes").and_then(Json::as_u64), Some(0));
         std::fs::remove_file(&path).ok();
     }
 
@@ -438,6 +516,10 @@ mod tests {
             current_contention_cost: 45_000.0,
             contention_ratio: 0.5,
             contention_driven: true,
+            current_alloc_cost: 0.0,
+            current_energy_cost: 0.0,
+            alloc_bytes_per_op: 0.0,
+            alloc_driven: false,
             candidates: vec![],
             winner: Some("lockfree".into()),
             winning_margin: 0.37,
@@ -471,6 +553,76 @@ mod tests {
             "the incident must preserve the contention inputs: {event:?}"
         );
         assert_eq!(event.get("contention_ratio"), Some(&Json::from(0.5)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn alloc_driven_switch_records_an_alloc_switch_incident() {
+        let path = tmp("allocswitch");
+        let rec = recorder(
+            &path,
+            FlightRecorderConfig {
+                include_telemetry: false,
+                ..FlightRecorderConfig::default()
+            },
+        );
+        let explanation = cs_core::SelectionExplanation {
+            context_id: 5,
+            context_name: "event-log#buffer".into(),
+            abstraction: cs_collections::Abstraction::List,
+            rule: "R_alloc_rate".into(),
+            round: 7,
+            current: "linked".into(),
+            current_primary_cost: 40_000.0,
+            current_contention_cost: 0.0,
+            contention_ratio: 0.0,
+            contention_driven: false,
+            current_alloc_cost: 40_000.0,
+            current_energy_cost: 52_000.0,
+            alloc_bytes_per_op: 41.5,
+            alloc_driven: true,
+            candidates: vec![],
+            winner: Some("array".into()),
+            winning_margin: 0.7,
+            outcome: cs_core::SelectionOutcome::Switched,
+        };
+        // A time-driven switch is routine adaptation.
+        rec.on_event(&EngineEvent::Selection(cs_core::SelectionExplanation {
+            alloc_driven: false,
+            ..explanation.clone()
+        }));
+        assert_eq!(rec.incidents_recorded(), 0);
+        rec.on_event(&EngineEvent::Selection(explanation));
+        rec.sink().flush().unwrap();
+        assert_eq!(rec.incidents_recorded(), 1);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(content.lines().next().unwrap()).expect("valid incident");
+        assert_eq!(doc.get("trigger").and_then(Json::as_str), Some("alloc_switch"));
+        let event = doc.get("event").expect("event attached");
+        assert_eq!(event.get("alloc_driven"), Some(&Json::Bool(true)));
+        assert_eq!(event.get("alloc_bytes_per_op").and_then(Json::as_f64), Some(41.5));
+        assert_eq!(event.get("current_alloc_cost").and_then(Json::as_f64), Some(40_000.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn alloc_spike_stays_quiet_without_a_counting_allocator() {
+        // This binary has no counting allocator: every per-pass delta reads
+        // zero, so no amount of polling may fire an alloc_spike (the real
+        // firing path is exercised by the alloc_spike example binary).
+        let path = tmp("allocspike");
+        let rec = recorder(
+            &path,
+            FlightRecorderConfig {
+                include_telemetry: false,
+                alloc_spike_min_bytes: 0,
+                ..FlightRecorderConfig::default()
+            },
+        );
+        for _ in 0..6 {
+            rec.on_analysis_pass(Duration::from_micros(1));
+        }
+        assert_eq!(rec.incidents_recorded(), 0);
         std::fs::remove_file(&path).ok();
     }
 

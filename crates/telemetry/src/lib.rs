@@ -69,8 +69,8 @@ mod prometheus;
 mod sinks;
 
 pub use export::{
-    export_engine, export_engine_health, export_persister, export_state, export_trace,
-    export_warm_start,
+    export_engine, export_engine_health, export_heap, export_persister, export_state,
+    export_trace, export_warm_start,
 };
 pub use flight::{FlightRecorder, FlightRecorderConfig};
 pub use json::{event_to_json, explanation_to_json, Json, JsonParseError};

@@ -1,0 +1,187 @@
+//! Allocation-spike detection, end to end: provoke a real `alloc_spike`
+//! incident and validate the record it freezes.
+//!
+//! ```text
+//! cargo run --release --example alloc_spike
+//! ```
+//!
+//! Installs the opt-in [`CountingAlloc`] global allocator (without it the
+//! process ledger reads zero and the detector stays structurally quiet),
+//! wires a [`FlightRecorder`] to an engine, and drives analysis passes with
+//! a steady, small allocation rate so the recorder's trailing per-pass
+//! average warms up. Then one pass allocates a multi-megabyte burst — the
+//! detector must fire exactly one `alloc_spike` incident (the latch holds
+//! through the spike; calm passes afterwards release it without re-firing).
+//! The example then re-reads the shared JSONL stream and validates it with
+//! [`Json::parse`]:
+//!
+//! * every line in the stream parses,
+//! * exactly one record has `kind: "incident"` with `trigger: "alloc_spike"`,
+//! * the incident carries the frozen process heap account (`heap`) with a
+//!   live allocation ledger — nonzero alloc counts/bytes and a `live_bytes`
+//!   balance — plus the tracer's self-overhead account.
+//!
+//! This example is CI's alloc-spike check: it exits nonzero on any missing
+//! or malformed piece, so running it IS the validation.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use collection_switch::telemetry::{FlightRecorder, FlightRecorderConfig, Json};
+use collection_switch::prelude::*;
+
+/// Opt-in heap observability: the spike detector compares passes on the
+/// counting ledger, which only moves when this allocator is installed.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Steady-state churn per calm pass; the burst must dwarf `ratio ×` this.
+const CALM_BYTES: usize = 16 * 1024;
+/// One-pass burst; ≫ `alloc_spike_ratio × CALM_BYTES` and ≫ the floor.
+const BURST_BYTES: usize = 8 * 1024 * 1024;
+
+fn fail(why: &str) -> ! {
+    eprintln!("alloc_spike: FAILED: {why}");
+    std::process::exit(1);
+}
+
+fn expect<'a>(doc: &'a Json, field: &str) -> &'a Json {
+    doc.get(field)
+        .unwrap_or_else(|| fail(&format!("incident record is missing {field:?}")))
+}
+
+/// Allocate (and immediately release) about `bytes` in 1 KiB chunks, so a
+/// pass's delta is dominated by intentional churn, not harness noise.
+fn churn(bytes: usize) {
+    for _ in 0..bytes / 1024 {
+        black_box(vec![0u8; 1024]);
+    }
+}
+
+fn main() {
+    if !collection_switch::heap::counting_active() {
+        fail("the counting allocator did not install — the ledger is dead");
+    }
+
+    // -- Wire the pipeline -------------------------------------------------
+    let registry = MetricsRegistry::new();
+    let stream_path = std::env::temp_dir().join("cs_alloc_spike.jsonl");
+    let jsonl = Arc::new(
+        JsonlSink::create(&stream_path, 10_000).unwrap_or_else(|e| fail(&e.to_string())),
+    );
+    let recorder = Arc::new(FlightRecorder::new(
+        Arc::clone(&jsonl),
+        registry.clone(),
+        FlightRecorderConfig {
+            // Scaled for an example process: the default 1 MiB floor is
+            // sized for services; the 8 MiB burst clears both either way.
+            alloc_spike_min_bytes: 64 * 1024,
+            ..FlightRecorderConfig::default()
+        },
+    ));
+    let engine = Switch::builder()
+        .event_sink(Arc::new(MetricsSink::new(registry.clone())))
+        .event_sink(jsonl.clone())
+        .event_sink(recorder.clone())
+        .build();
+    recorder.attach(&engine);
+
+    // -- Warm the trailing average, then burst ------------------------------
+    // Pass 0 sets the byte baseline, pass 1 seeds the trailing average, and
+    // from pass 2 on the detector judges each delta. Three calm passes make
+    // the steady state unmistakable before the burst.
+    for _ in 0..3 {
+        churn(CALM_BYTES);
+        engine.analyze_now();
+    }
+    if recorder.incidents_recorded() != 0 {
+        fail("an incident fired during calm passes — the baseline is broken");
+    }
+
+    churn(BURST_BYTES);
+    engine.analyze_now(); // the burst pass: delta ≈ 8 MiB vs ~16 KiB trailing
+    if recorder.incidents_recorded() == 0 {
+        fail("the allocation burst did not fire an alloc_spike incident");
+    }
+
+    // The latch must release on a calm pass without re-firing, and a second
+    // burst after release is a *new* anomaly and must fire again — proving
+    // the detector is edge-triggered, not a one-shot. The first burst folded
+    // into the trailing average (one EWMA step: ≈ 1 MiB), so this burst is
+    // 4× the first to clear the lifted baseline decisively.
+    churn(CALM_BYTES);
+    engine.analyze_now();
+    churn(4 * BURST_BYTES);
+    engine.analyze_now();
+    let incidents = recorder.incidents_recorded();
+    if incidents != 2 {
+        fail(&format!(
+            "expected exactly 2 alloc_spike incidents (burst, release, burst), got {incidents}"
+        ));
+    }
+    jsonl.flush().unwrap_or_else(|e| fail(&e.to_string()));
+
+    // -- Re-read and validate the stream ------------------------------------
+    let content =
+        std::fs::read_to_string(&stream_path).unwrap_or_else(|e| fail(&e.to_string()));
+    let mut spikes = Vec::new();
+    for (n, line) in content.lines().enumerate() {
+        let doc = Json::parse(line)
+            .unwrap_or_else(|e| fail(&format!("line {} is not valid JSON: {e}", n + 1)));
+        if doc.get("kind").and_then(Json::as_str) == Some("incident") {
+            if doc.get("trigger").and_then(Json::as_str) != Some("alloc_spike") {
+                fail("a non-alloc_spike incident appeared in this workload");
+            }
+            spikes.push(doc);
+        }
+    }
+    println!(
+        "stream: {} lines, {} alloc_spike incident(s)",
+        content.lines().count(),
+        spikes.len()
+    );
+    if spikes.len() != 2 {
+        fail(&format!(
+            "counted {} alloc_spike records in the stream, expected 2",
+            spikes.len()
+        ));
+    }
+
+    for incident in &spikes {
+        // The frozen process heap account is the incident's payload: the
+        // post-mortem reads the ledger the detector judged.
+        let heap = expect(incident, "heap");
+        let alloc_bytes = expect(heap, "alloc_bytes")
+            .as_u64()
+            .unwrap_or_else(|| fail("heap.alloc_bytes is not an integer"));
+        if alloc_bytes < BURST_BYTES as u64 {
+            fail("frozen heap account predates the burst it should explain");
+        }
+        for field in [
+            "alloc_count",
+            "dealloc_count",
+            "dealloc_bytes",
+            "realloc_count",
+            "realloc_bytes",
+            "live_bytes",
+        ] {
+            let _ = expect(heap, field);
+        }
+        // No engine event triggered this — the detector watched the ledger.
+        if expect(incident, "event") != &Json::Null {
+            fail("alloc_spike embeds an engine event but none triggered it");
+        }
+        let overhead = expect(incident, "overhead");
+        for field in ["framework_nanos", "tracer_nanos", "app_nanos", "app_ops"] {
+            let _ = expect(overhead, field);
+        }
+    }
+
+    println!(
+        "incidents seq {} and {} validated: trigger=alloc_spike, ledger frozen",
+        expect(&spikes[0], "seq").render(),
+        expect(&spikes[1], "seq").render(),
+    );
+    std::fs::remove_file(&stream_path).ok();
+    println!("alloc_spike: OK");
+}

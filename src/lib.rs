@@ -20,6 +20,9 @@
 //! * [`state`] — crash-safe snapshot store for learned selection state:
 //!   atomic writes, per-record checksums, lenient corruption-quarantining
 //!   loads ([`cs_state`]).
+//! * [`heap`] — allocation observability: the opt-in counting global
+//!   allocator, scoped per-site attribution guards, and process heap/RSS
+//!   observables ([`cs_heap`]).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@
 pub use cs_analyzer as analyzer;
 pub use cs_collections as collections;
 pub use cs_core as core;
+pub use cs_heap as heap;
 pub use cs_lockfree as lockfree;
 pub use cs_model as model;
 pub use cs_profile as profile;
@@ -63,6 +67,7 @@ pub mod prelude {
     pub use cs_collections::{
         AnyList, AnyMap, AnySet, ConcKind, ListKind, ListOps, MapKind, MapOps, SetKind, SetOps,
     };
+    pub use cs_heap::{AllocGuard, CountingAlloc, HeapAccount};
     pub use cs_lockfree::LockFreeMap;
     pub use cs_core::{
         EngineEvent, GuardrailConfig, ListContext, MapContext, SelectionRule, SetContext,
