@@ -22,7 +22,67 @@
 
 use cs_core::SiteManifestEntry;
 
+use crate::advise::SiteAdvice;
 use crate::extract::{SiteCategory, StaticSite};
+
+/// Coarse allocation-rate classes: the granularity at which a synthetic
+/// model prediction and a hardware measurement can honestly be compared.
+/// Bytes-per-op magnitudes differ between model units and real allocators;
+/// *classes* (order-of-magnitude bands) transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocClass {
+    /// ≤ 0 bytes/op — steady state allocates nothing.
+    Negligible,
+    /// (0, 8) bytes/op — sub-word churn.
+    Low,
+    /// [8, 48) bytes/op — roughly one small allocation per few ops.
+    Moderate,
+    /// ≥ 48 bytes/op — allocation-dominated.
+    High,
+}
+
+impl std::fmt::Display for AllocClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AllocClass::Negligible => "negligible",
+            AllocClass::Low => "low",
+            AllocClass::Moderate => "moderate",
+            AllocClass::High => "high",
+        })
+    }
+}
+
+/// Buckets a bytes-per-op figure into its [`AllocClass`].
+pub fn classify_alloc(bytes_per_op: f64) -> AllocClass {
+    if bytes_per_op <= 0.0 {
+        AllocClass::Negligible
+    } else if bytes_per_op < 8.0 {
+        AllocClass::Low
+    } else if bytes_per_op < 48.0 {
+        AllocClass::Moderate
+    } else {
+        AllocClass::High
+    }
+}
+
+/// One anchored site's static-vs-measured allocation comparison.
+#[derive(Debug, Clone)]
+pub struct AllocDrift {
+    /// The runtime site name.
+    pub runtime_name: String,
+    /// The anchored static fingerprint.
+    pub fingerprint: String,
+    /// The advisor's predicted `alloc_bytes_per_op` for the declared kind.
+    pub predicted_bytes_per_op: f64,
+    /// The manifest's measured `alloc_bytes_per_op`.
+    pub measured_bytes_per_op: f64,
+    /// Class of the prediction.
+    pub predicted_class: AllocClass,
+    /// Class of the measurement.
+    pub measured_class: AllocClass,
+    /// The classes agree.
+    pub agree: bool,
+}
 
 /// The outcome of one drift comparison.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +95,12 @@ pub struct DriftReport {
     pub unanchored: Vec<String>,
     /// Static context/runtime sites that never registered (informational).
     pub unexercised: Vec<String>,
+    /// Static-vs-measured allocation-class comparisons for anchored sites
+    /// where both sides exist (advice carried a prediction, the manifest
+    /// measured nonzero traffic). Disagreement is a warning, not a
+    /// failure: synthetic profiles are fictions and the class check is a
+    /// smoke alarm, not a gate.
+    pub alloc_drift: Vec<AllocDrift>,
 }
 
 impl DriftReport {
@@ -66,6 +132,17 @@ impl DriftReport {
         }
         for fp in &self.unexercised {
             out.push_str(&format!("  unexercised {fp} (static site never registered)\n"));
+        }
+        for d in &self.alloc_drift {
+            let verdict = if d.agree { "alloc-ok   " } else { "ALLOC-DRIFT" };
+            out.push_str(&format!(
+                "  {verdict} {name} predicted {p:.1} B/op ({pc}) vs measured {m:.1} B/op ({mc})\n",
+                name = d.runtime_name,
+                p = d.predicted_bytes_per_op,
+                pc = d.predicted_class,
+                m = d.measured_bytes_per_op,
+                mc = d.measured_class,
+            ));
         }
         out
     }
@@ -122,6 +199,49 @@ pub fn check_drift(static_sites: &[StaticSite], runtime: &[SiteManifestEntry]) -
     report
 }
 
+/// Compares *advised* static sites against a runtime manifest: the same
+/// anchoring as [`check_drift`], plus — for every anchored pair where the
+/// advisor predicted an allocation rate and the manifest measured nonzero
+/// traffic — a static-vs-measured [`AllocClass`] comparison. The pass
+/// criterion is unchanged (unanchored named sites fail); class drift is a
+/// warning surfaced in the report and render.
+pub fn check_drift_with_advice(
+    advice: &[SiteAdvice],
+    runtime: &[SiteManifestEntry],
+) -> DriftReport {
+    let static_sites: Vec<StaticSite> = advice.iter().map(|a| a.site.clone()).collect();
+    let mut report = check_drift(&static_sites, runtime);
+    for (runtime_name, fingerprint) in report.matched.clone() {
+        let Some(advised) = advice.iter().find(|a| a.site.fingerprint() == fingerprint) else {
+            continue;
+        };
+        let Some(predicted) = advised.predicted_alloc_bytes_per_op else {
+            continue;
+        };
+        let Some(entry) = runtime.iter().find(|e| e.name == runtime_name) else {
+            continue;
+        };
+        if entry.alloc_bytes_per_op <= 0.0 {
+            // Nothing measured: no allocator instrumentation, or the site
+            // genuinely never allocated. Either way there is no evidence to
+            // compare against.
+            continue;
+        }
+        let predicted_class = classify_alloc(predicted);
+        let measured_class = classify_alloc(entry.alloc_bytes_per_op);
+        report.alloc_drift.push(AllocDrift {
+            runtime_name,
+            fingerprint,
+            predicted_bytes_per_op: predicted,
+            measured_bytes_per_op: entry.alloc_bytes_per_op,
+            predicted_class,
+            measured_class,
+            agree: predicted_class == measured_class,
+        });
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +255,18 @@ mod tests {
             abstraction,
             default_kind: "array".to_owned(),
             current_kind: "array".to_owned(),
+            alloc_bytes_per_op: 0.0,
+        }
+    }
+
+    fn entry_with_alloc(
+        name: &str,
+        abstraction: Abstraction,
+        alloc_bytes_per_op: f64,
+    ) -> SiteManifestEntry {
+        SiteManifestEntry {
+            alloc_bytes_per_op,
+            ..entry(name, abstraction)
         }
     }
 
@@ -192,6 +324,72 @@ fn wire(engine: &Switch) {
         assert!(!report.passes());
         assert_eq!(report.unanchored, vec!["ghost-cache"]);
         assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn alloc_classes_bucket_on_stable_boundaries() {
+        assert_eq!(classify_alloc(0.0), AllocClass::Negligible);
+        assert_eq!(classify_alloc(-1.0), AllocClass::Negligible);
+        assert_eq!(classify_alloc(0.5), AllocClass::Low);
+        assert_eq!(classify_alloc(8.0), AllocClass::Moderate);
+        assert_eq!(classify_alloc(47.9), AllocClass::Moderate);
+        assert_eq!(classify_alloc(48.0), AllocClass::High);
+    }
+
+    fn advised_sites() -> Vec<SiteAdvice> {
+        use crate::advise::{advise_file_with_dataflow, AdviseOptions};
+        use crate::dataflow::dataflow_file;
+        use crate::extract::{extract, ExtractOptions};
+        let src = r#"
+fn ingest(engine: &Switch, xs: &[u64]) {
+    let log = engine.named_list_context::<u64>(ListKind::Array, "hot-log");
+    for x in xs {
+        log.push(*x);
+    }
+}
+"#;
+        let analysis = extract("src/ingest.rs", src, ExtractOptions::default());
+        let flows = dataflow_file(src, &analysis, ExtractOptions::default());
+        advise_file_with_dataflow(&analysis, &flows, AdviseOptions::default())
+    }
+
+    #[test]
+    fn alloc_classes_cross_check_when_both_sides_measured() {
+        let advice = advised_sites();
+        let predicted = advice[0]
+            .predicted_alloc_bytes_per_op
+            .expect("push-heavy array list predicts an alloc rate");
+        // Measured in the same class as predicted: agreement.
+        let same = check_drift_with_advice(
+            &advice,
+            &[entry_with_alloc("hot-log", Abstraction::List, predicted)],
+        );
+        assert!(same.passes());
+        assert_eq!(same.alloc_drift.len(), 1);
+        assert!(same.alloc_drift[0].agree);
+        assert!(same.render().contains("alloc-ok"));
+
+        // Measured far outside the predicted class: drift, but still a
+        // warning — the anchoring pass criterion is unchanged.
+        let off = check_drift_with_advice(
+            &advice,
+            &[entry_with_alloc("hot-log", Abstraction::List, 4096.0)],
+        );
+        assert!(off.passes());
+        assert_eq!(off.alloc_drift.len(), 1);
+        assert!(!off.alloc_drift[0].agree);
+        assert_eq!(off.alloc_drift[0].measured_class, AllocClass::High);
+        assert!(off.render().contains("ALLOC-DRIFT"));
+    }
+
+    #[test]
+    fn unmeasured_sites_skip_the_alloc_comparison() {
+        let advice = advised_sites();
+        let report =
+            check_drift_with_advice(&advice, &[entry("hot-log", Abstraction::List)]);
+        assert!(report.passes());
+        assert_eq!(report.matched.len(), 1);
+        assert!(report.alloc_drift.is_empty());
     }
 
     #[test]

@@ -243,6 +243,12 @@ struct Scanner<'a> {
     loops: Vec<u32>,
     /// `let` binding awaiting its initializer (cleared at `;` / `=` use).
     pending_let: Option<String>,
+    /// Recognized collection type from the binding's `: Type` ascription,
+    /// so `let xs: Vec<u64> = … .collect();` anchors a site at the
+    /// `collect` even without a turbofish. Cleared at `;` and whenever a
+    /// site is pushed (the ascription describes that site's value — a
+    /// second `collect` in the same statement must not double-count).
+    pending_let_ty: Option<(DeclaredVariant, SiteCategory)>,
     /// `#[cfg(test)]` seen; applies to the next item at this depth.
     pending_test_attr: bool,
     /// Item keyword seen; its name, waiting for the opening `{`.
@@ -449,6 +455,7 @@ impl<'a> Scanner<'a> {
             in_test: self.in_test(),
         };
         self.out.sites.push(site);
+        self.pending_let_ty = None;
     }
 
     fn scan(&mut self) {
@@ -495,6 +502,7 @@ impl<'a> Scanner<'a> {
             }
             b';' => {
                 self.pending_let = None;
+                self.pending_let_ty = None;
                 self.pending_item = None;
                 self.pending_test_attr = false;
             }
@@ -616,6 +624,7 @@ impl<'a> Scanner<'a> {
             "let" => {
                 if let Some(name) = self.let_binding_name() {
                     self.pending_let = Some(name);
+                    self.pending_let_ty = self.let_ascription_type();
                 }
                 self.pos += 1;
             }
@@ -645,6 +654,81 @@ impl<'a> Scanner<'a> {
             }
             _ => None,
         }
+    }
+
+    /// With `self.pos` at a `collect` ident: the declared variant this
+    /// collect materializes plus the index of its call paren, when the
+    /// target type is recognizable. Turbofish wins over the pending `let`
+    /// ascription (it is syntactically closer to the call).
+    fn collect_site_type(
+        &self,
+    ) -> Option<((DeclaredVariant, SiteCategory), usize)> {
+        // `collect ::< Type … > (`
+        if self.is_path_sep(self.pos + 1)
+            && self.tok(self.pos + 3).is_some_and(|t| t.is_punct('<'))
+        {
+            let paren = self.skip_generics(self.pos + 3);
+            if !self.tok(paren).is_some_and(|t| t.is_punct('(')) {
+                return None;
+            }
+            // Head type: last path ident before the nested `<` (or the
+            // closing `>` for non-generic spellings).
+            let mut i = self.pos + 4;
+            let mut head: Option<&str> = None;
+            while let Some(t) = self.tok(i) {
+                if t.is_punct('<') || t.is_punct('>') {
+                    break;
+                }
+                if t.kind == TokenKind::Ident {
+                    head = Some(t.text.as_str());
+                }
+                i += 1;
+            }
+            return head.and_then(type_table).map(|d| (d, paren));
+        }
+        // Plain `collect()` with a recognized `let … : Type =` ascription.
+        if self.tok(self.pos + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(decl) = self.pending_let_ty {
+                return Some((decl, self.pos + 1));
+            }
+        }
+        None
+    }
+
+    /// With `self.pos` at `let`: the recognized collection type of the
+    /// binding's `: Type` ascription, if any. Takes the head type ident
+    /// before the first `<` (`Vec<Vec<u64>>` → `Vec`,
+    /// `std::collections::HashMap<K, V>` → `HashMap`); wrappers like
+    /// `Option<Vec<_>>` head at the wrapper and stay unrecognized, which is
+    /// the conservative answer.
+    fn let_ascription_type(&self) -> Option<(DeclaredVariant, SiteCategory)> {
+        let mut i = self.pos + 1;
+        if self.tok(i).is_some_and(|t| t.is_ident("mut")) {
+            i += 1;
+        }
+        i += 1; // past the binding name
+        if !self.tok(i).is_some_and(|t| t.is_punct(':')) || self.is_path_sep(i) {
+            return None;
+        }
+        i += 1;
+        let mut head = None;
+        let mut guard = 0;
+        while let Some(t) = self.tok(i) {
+            if t.is_punct('<') || t.is_punct('=') || t.is_punct(';') {
+                break;
+            }
+            if t.kind == TokenKind::Ident {
+                head = Some(t.text.as_str());
+            } else if !t.is_punct(':') {
+                return None; // `&[u64]`, `(A, B)`, … — not a plain path
+            }
+            i += 1;
+            guard += 1;
+            if guard > 16 {
+                return None;
+            }
+        }
+        head.and_then(type_table)
     }
 
     /// Records `for x in <receiver>` iteration facts (receiver is the last
@@ -718,6 +802,23 @@ impl<'a> Scanner<'a> {
                     self.pos = paren + 1;
                     return;
                 }
+            }
+        }
+
+        // Pattern 1.5: a typed `collect` materializes a collection just
+        // like a constructor. Two spellings carry the type: a turbofish
+        // (`….collect::<Vec<u64>>()`) and a `let` ascription
+        // (`let xs: Vec<u64> = ….collect();`). A bare, untyped `collect()`
+        // in expression position stays invisible — there is nothing to
+        // advise without knowing what it builds.
+        if t.text == "collect" {
+            if let Some((declared, paren)) = self.collect_site_type() {
+                // The site category mirrors the constructor table, but the
+                // spelling is always `collect` so reports distinguish
+                // materialized iterators from explicit constructors.
+                self.push_site(t, "collect".to_owned(), declared.0, declared.1, None, None);
+                self.pos = paren + 1;
+                return;
             }
         }
 
@@ -805,6 +906,7 @@ pub fn extract(path: &str, src: &str, opts: ExtractOptions) -> FileAnalysis {
         items: Vec::new(),
         loops: Vec::new(),
         pending_let: None,
+        pending_let_ty: None,
         pending_test_attr: false,
         pending_item: None,
         pending_loop: false,
@@ -855,6 +957,63 @@ fn other() {
         // inside `<…>` must not be mistaken for constructors.
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].constructor, "Vec::new");
+        assert_eq!(found[0].binding.as_deref(), Some("v"));
+    }
+
+    #[test]
+    fn typed_collect_is_a_site_in_both_spellings() {
+        let src = r#"
+fn f(xs: &[u64]) {
+    let squares: Vec<u64> = xs.iter().map(|x| x * x).collect();
+    let keys = xs.iter().map(|x| (*x, ())).collect::<HashMap<u64, ()>>();
+    squares.len();
+    keys.len();
+}
+"#;
+        let found = sites(src);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].constructor, "collect");
+        assert_eq!(found[0].declared, DeclaredVariant::List(ListKind::Array));
+        assert_eq!(found[0].binding.as_deref(), Some("squares"));
+        assert_eq!(found[1].declared, DeclaredVariant::Map(MapKind::Chained));
+        assert_eq!(found[1].binding.as_deref(), Some("keys"));
+    }
+
+    #[test]
+    fn untyped_or_unrecognized_collect_stays_invisible() {
+        let src = r#"
+fn f(xs: &[u64]) -> usize {
+    let pairs: BTreeSet<u64> = xs.iter().copied().collect();
+    xs.iter().map(|x| x + 1).collect::<Vec<u64>>().len()
+}
+fn g(xs: &[u64]) -> String {
+    xs.iter().map(|x| x.to_string()).collect()
+}
+"#;
+        let found = sites(src);
+        // The BTreeSet ascription is recognized-but-unmodeled; the bare
+        // turbofish in `f` is a real site even without a binding; the
+        // String collect in `g` is not a collection at all.
+        assert_eq!(found.len(), 2);
+        assert_eq!(
+            found[0].declared,
+            DeclaredVariant::Unmodeled(Abstraction::Set)
+        );
+        assert_eq!(found[1].constructor, "collect");
+        assert_eq!(found[1].binding, None);
+        assert!(found.iter().all(|s| s.item != "g"));
+    }
+
+    #[test]
+    fn first_site_consumes_the_let_ascription() {
+        // The ascription describes one materialization; once a site is
+        // pushed for the statement, a second plain `collect()` further
+        // down the chain must not double-count against the same `let`.
+        let src = "fn f(xs: &[u64]) { let v: Vec<u64> = xs.iter().copied()\
+                   .collect::<Vec<u64>>().into_iter().map(|x| x + 1).collect(); }";
+        let found = sites(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].constructor, "collect");
         assert_eq!(found[0].binding.as_deref(), Some("v"));
     }
 

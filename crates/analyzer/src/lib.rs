@@ -49,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod advise;
+pub mod dataflow;
 pub mod drift;
 pub mod extract;
 pub mod lexer;
@@ -56,8 +57,17 @@ pub mod lint;
 pub mod report;
 pub mod usage;
 
-pub use advise::{advise_file, AdviseOptions, Recommendation, SiteAdvice};
-pub use drift::{check_drift, is_auto_generated_name, DriftReport};
+pub use advise::{
+    advise_file, advise_file_with_dataflow, AdviseOptions, DimensionCost, Recommendation,
+    SiteAdvice,
+};
+pub use dataflow::{
+    dataflow_file, CapacityBound, CapacityFacts, CloneFacts, EscapeFacts, SiteFacts,
+};
+pub use drift::{
+    check_drift, check_drift_with_advice, classify_alloc, is_auto_generated_name, AllocClass,
+    AllocDrift, DriftReport,
+};
 pub use extract::{
     extract, DeclaredVariant, ExtractOptions, FileAnalysis, MethodFact, SiteCategory, StaticSite,
 };
@@ -65,13 +75,16 @@ pub use lexer::{lex, Token, TokenKind};
 pub use lint::{
     diff_against_baseline, lint_file, Diagnostic, RULE_NO_ALLOC_SPAN_PATH,
     RULE_NO_DISPATCH_UNDER_LOCK, RULE_NO_RAW_PERSIST_WRITE, RULE_NO_UNBOUNDED_RING,
-    RULE_NO_UNWRAP,
+    RULE_NO_UNWRAP, RULE_SHARED_WITHOUT_SYNC,
 };
 pub use report::{
     advice_report_to_json, advice_to_json, baseline_keys, baseline_to_json, diagnostic_to_json,
-    drift_to_json, manifest_to_json, runtime_manifest_to_json, site_to_json, SCHEMA_VERSION,
+    drift_to_json, facts_to_json, manifest_to_json, runtime_manifest_to_json, site_to_json,
+    SCHEMA_VERSION,
 };
-pub use usage::{classify_method, summarize, UsageSummary, DEFAULT_MAX_SIZE, LOOP_WEIGHT};
+pub use usage::{
+    classify_method, summarize, summarize_with_facts, UsageSummary, DEFAULT_MAX_SIZE, LOOP_WEIGHT,
+};
 
 use std::fs;
 use std::io;
@@ -132,15 +145,19 @@ pub fn scan_tree(root: &Path, opts: ExtractOptions) -> io::Result<Vec<(String, F
     Ok(out)
 }
 
-/// Scans and advises every Rust file under `root`.
+/// Scans, dataflow-analyzes, and advises every Rust file under `root`.
 pub fn advise_tree(
     root: &Path,
     extract_opts: ExtractOptions,
     advise_opts: AdviseOptions,
 ) -> io::Result<Vec<SiteAdvice>> {
     let mut out = Vec::new();
-    for (_, analysis) in scan_tree(root, extract_opts)? {
-        out.extend(advise_file(&analysis, advise_opts));
+    for file in collect_rust_files(root)? {
+        let src = fs::read_to_string(&file)?;
+        let label = site_label(&file);
+        let analysis = extract(&label, &src, extract_opts);
+        let flows = dataflow_file(&src, &analysis, extract_opts);
+        out.extend(advise_file_with_dataflow(&analysis, &flows, advise_opts));
     }
     Ok(out)
 }

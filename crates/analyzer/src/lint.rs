@@ -1,8 +1,10 @@
 //! Workspace self-lint: rules the generic clippy pass cannot express
 //! because they encode *this* codebase's invariants.
 //!
-//! Seven rules, all token-level heuristics over the [lexed](crate::lexer)
-//! stream with the same item/`#[cfg(test)]` tracking the extractor uses:
+//! Seven token-level rules over the [lexed](crate::lexer) stream with the
+//! same item/`#[cfg(test)]` tracking the extractor uses, plus one
+//! dataflow-fed rule ([`RULE_SHARED_WITHOUT_SYNC`]) driven by the
+//! [escape facts](crate::dataflow::EscapeFacts) of the dataflow pass:
 //!
 //! * [`RULE_NO_UNWRAP`] — no `.unwrap()` / `.expect(` in `cs-core`'s
 //!   engine/select/guard hot paths. A panic inside the selection engine
@@ -50,6 +52,14 @@
 //!   cost model and the progress guarantee at once. The crate root
 //!   (docs and re-exports — the cold module) and `#[cfg(test)]` harnesses
 //!   are exempt.
+//! * [`RULE_SHARED_WITHOUT_SYNC`] — a collection binding captured by a
+//!   `spawn(…)` closure with no `Arc`/`Mutex` wrapper in sight *and* still
+//!   used on the spawning thread afterwards. That shape is race-adjacent:
+//!   either the capture was a move (and the later use is of a stale
+//!   shadow), or sharing was intended and the synchronization is missing.
+//!   Scoped to library sources: engine/runtime context handles (which are
+//!   internally synchronized), test modules, and `tests/`/`examples/`/
+//!   `benches/` trees are exempt.
 //!
 //! Findings diff against a committed baseline keyed by
 //! `(rule, path, item, message)` — line numbers drift with every edit and
@@ -73,6 +83,8 @@ pub const RULE_NO_ALLOC_HEAP_COUNT: &str = "no-alloc-in-heap-count-path";
 pub const RULE_NO_RAW_PERSIST_WRITE: &str = "no-raw-persist-write";
 /// Rule id: blocking lock primitives inside the lock-free tier.
 pub const RULE_NO_LOCK_IN_LOCKFREE: &str = "no-lock-in-lockfree-path";
+/// Rule id: a plain collection crossing a thread boundary bare.
+pub const RULE_SHARED_WITHOUT_SYNC: &str = "shared-without-sync";
 
 /// Paths (workspace-relative, forward slashes) subject to the unwrap rule.
 /// The engine, selection, and guard modules are the in-process hot path of
@@ -658,6 +670,50 @@ impl<'a> Linter<'a> {
     }
 }
 
+/// Paths subject to the shared-without-sync rule: library sources only.
+/// Integration tests, examples, and benches spawn-and-join with channels
+/// or scoped threads as a matter of course; the race-shaped pattern only
+/// warrants a finding where host applications inherit the code.
+fn shared_sync_rule_applies(path: &str) -> bool {
+    path.starts_with("crates/")
+        && path.contains("/src/")
+        && !path.contains("/tests/")
+        && !path.contains("/examples/")
+        && !path.contains("/benches/")
+}
+
+/// The dataflow-fed rule: extract the file's sites, run the escape
+/// analysis, and flag bindings that cross a thread boundary bare (spawned,
+/// no `Arc`/`Mutex`, and still used on the spawning thread afterwards).
+fn lint_shared_without_sync(path: &str, src: &str, out: &mut Vec<Diagnostic>) {
+    if !shared_sync_rule_applies(path) {
+        return;
+    }
+    let opts = crate::extract::ExtractOptions::default();
+    let analysis = crate::extract::extract(path, src, opts);
+    let flows = crate::dataflow::dataflow_file(src, &analysis, opts);
+    for (site, facts) in analysis.sites.iter().zip(&flows) {
+        // Engine/runtime context handles are internally synchronized —
+        // crossing threads is what they are for.
+        if matches!(site.category, crate::extract::SiteCategory::Context | crate::extract::SiteCategory::Runtime) {
+            continue;
+        }
+        if site.in_test || !facts.escape.shared_without_sync() {
+            continue;
+        }
+        let binding = site.binding.as_deref().unwrap_or("<anonymous>");
+        out.push(Diagnostic {
+            rule: RULE_SHARED_WITHOUT_SYNC.to_owned(),
+            path: path.to_owned(),
+            line: site.line,
+            item: site.item.clone(),
+            message: format!(
+                "`{binding}` is captured by spawn(…) without Arc/Mutex and used afterwards — race-shaped sharing"
+            ),
+        });
+    }
+}
+
 /// Lints one source file; `path` decides which rules apply.
 pub fn lint_file(path: &str, src: &str) -> Vec<Diagnostic> {
     let toks = lex(src);
@@ -675,7 +731,9 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Diagnostic> {
         out: Vec::new(),
     };
     linter.scan();
-    linter.out
+    let mut out = linter.out;
+    lint_shared_without_sync(path, src, &mut out);
+    out
 }
 
 /// Splits `current` findings into `(new, fixed)` relative to a baseline of
@@ -1020,6 +1078,68 @@ mod tests {
         let src = "fn f() { let m = parking_lot::Mutex::new(0u64); }";
         assert!(lint_file("crates/lockfree/src/lib.rs", src).is_empty());
         assert!(lint_file("crates/runtime/src/map.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_spawn_capture_with_later_use_is_flagged() {
+        let src = r#"
+fn fan_out(xs: &[u64]) -> usize {
+    let mut shared = Vec::new();
+    std::thread::spawn(move || shared.push(1));
+    shared.len()
+}
+"#;
+        let d = lint_file("crates/workloads/src/fan.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_SHARED_WITHOUT_SYNC);
+        assert_eq!(d[0].item, "fan_out");
+        assert!(d[0].message.contains("`shared`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn synchronized_or_unshared_collections_are_fine() {
+        // Arc+Mutex wrapping is the sanctioned sharing shape.
+        let wrapped = r#"
+fn fan_out(xs: &[u64]) {
+    let shared = Arc::new(Mutex::new(Vec::new()));
+    std::thread::spawn(move || shared.lock());
+}
+"#;
+        assert!(lint_file("crates/workloads/src/fan.rs", wrapped).is_empty());
+        // Spawned but never touched again on this thread: a plain move.
+        let moved = r#"
+fn hand_off() {
+    let work = Vec::new();
+    std::thread::spawn(move || work.len());
+}
+"#;
+        assert!(lint_file("crates/workloads/src/fan.rs", moved).is_empty());
+    }
+
+    #[test]
+    fn shared_sync_rule_is_scoped_to_library_sources() {
+        let src = r#"
+fn fan_out(xs: &[u64]) -> usize {
+    let mut shared = Vec::new();
+    std::thread::spawn(move || shared.push(1));
+    shared.len()
+}
+"#;
+        // Integration tests, examples, benches, and the workspace-level
+        // examples tree spawn-and-join freely.
+        assert!(lint_file("crates/runtime/tests/stress.rs", src).is_empty());
+        assert!(lint_file("crates/workloads/examples/demo.rs", src).is_empty());
+        assert!(lint_file("crates/bench/benches/sweep.rs", src).is_empty());
+        assert!(lint_file("examples/advisor_demo.rs", src).is_empty());
+        // Engine context handles are internally synchronized.
+        let ctx = r#"
+fn wire(engine: &Switch) -> usize {
+    let log = engine.named_list_context::<u64>(ListKind::Array, "hot-log");
+    std::thread::spawn(move || log.push(1));
+    log.len()
+}
+"#;
+        assert!(lint_file("crates/core/src/wire.rs", ctx).is_empty());
     }
 
     #[test]

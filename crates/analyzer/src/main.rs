@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! cs-analyzer scan   <path> [--json] [--include-tests]   site manifest
-//! cs-analyzer advise <path> [--json] [--min-speedup X]   variant advisor
+//! cs-analyzer advise <path> [--json] [--min-speedup X]
+//!                    [--dimension D] [--calibrated]      variant advisor
 //! cs-analyzer lint   <path> [--json]                     self-lint findings
 //! cs-analyzer check  <path> --baseline FILE [--update]   lint vs baseline (CI)
 //! cs-analyzer drift  <path> --manifest FILE [--json]     static vs runtime
 //! ```
+//!
+//! `--dimension` selects the cost dimension recommendations optimize
+//! (`time` | `alloc` | `footprint` | `energy` | `alloc_rate`; default
+//! `time`). `--calibrated` prices the energy proxy with this machine's
+//! measured time/alloc weights instead of the portable synthetic ones —
+//! never use it when the output is diffed against committed goldens.
 //!
 //! Exit codes: 0 clean, 1 findings (new lint diagnostics, failed drift),
 //! 2 usage or I/O error.
@@ -15,16 +22,18 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cs_analyzer::{
-    advise_tree, baseline_keys, check_drift, diff_against_baseline, lint_tree, scan_tree,
-    AdviseOptions, ExtractOptions,
+    advise_tree, baseline_keys, check_drift_with_advice, diff_against_baseline, lint_tree,
+    scan_tree, AdviseOptions, ExtractOptions,
 };
 use cs_core::SiteManifestEntry;
+use cs_model::{calibrated_weights, CostDimension};
 use cs_telemetry::Json;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cs-analyzer <scan|advise|lint|check|drift> <path> \
          [--json] [--include-tests] [--min-speedup X] \
+         [--dimension time|alloc|footprint|energy|alloc_rate] [--calibrated] \
          [--baseline FILE [--update]] [--manifest FILE]"
     );
     ExitCode::from(2)
@@ -36,6 +45,8 @@ struct Args {
     json: bool,
     include_tests: bool,
     min_speedup: Option<f64>,
+    dimension: Option<CostDimension>,
+    calibrated: bool,
     baseline: Option<PathBuf>,
     manifest: Option<PathBuf>,
     update: bool,
@@ -50,6 +61,8 @@ fn parse_args(argv: &[String]) -> Option<Args> {
         json: false,
         include_tests: false,
         min_speedup: None,
+        dimension: None,
+        calibrated: false,
         baseline: None,
         manifest: None,
         update: false,
@@ -60,7 +73,12 @@ fn parse_args(argv: &[String]) -> Option<Args> {
             "--json" => args.json = true,
             "--include-tests" => args.include_tests = true,
             "--update" => args.update = true,
+            "--calibrated" => args.calibrated = true,
             "--min-speedup" => args.min_speedup = it.next()?.parse().ok(),
+            "--dimension" => args.dimension = it.next()?.parse().ok().or_else(|| {
+                eprintln!("cs-analyzer: unknown cost dimension");
+                None
+            }),
             "--baseline" => args.baseline = Some(PathBuf::from(it.next()?)),
             "--manifest" => args.manifest = Some(PathBuf::from(it.next()?)),
             other if !other.starts_with('-') && target.is_none() => {
@@ -115,11 +133,22 @@ fn cmd_scan(args: &Args) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_advise(args: &Args) -> Result<ExitCode, String> {
+fn advise_opts(args: &Args) -> AdviseOptions {
     let mut opts = AdviseOptions::default();
     if let Some(s) = args.min_speedup {
         opts.min_speedup = s;
     }
+    if let Some(d) = args.dimension {
+        opts.dimension = d;
+    }
+    if args.calibrated {
+        opts.weights = calibrated_weights();
+    }
+    opts
+}
+
+fn cmd_advise(args: &Args) -> Result<ExitCode, String> {
+    let opts = advise_opts(args);
     let advice =
         advise_tree(&args.target, extract_opts(args), opts).map_err(|e| e.to_string())?;
     if args.json {
@@ -231,6 +260,11 @@ fn parse_runtime_manifest(doc: &Json) -> Result<Vec<SiteManifestEntry>, String> 
                 abstraction,
                 default_kind: field("default_kind")?,
                 current_kind: field("current_kind")?,
+                // Absent in pre-v2 manifests: treat as unmeasured.
+                alloc_bytes_per_op: row
+                    .get("alloc_bytes_per_op")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
             })
         })
         .collect()
@@ -246,12 +280,11 @@ fn cmd_drift(args: &Args) -> Result<ExitCode, String> {
     let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", manifest_path.display()))?;
     let runtime = parse_runtime_manifest(&doc)?;
 
-    let scanned = scan_tree(&args.target, extract_opts(args)).map_err(|e| e.to_string())?;
-    let sites: Vec<_> = scanned
-        .into_iter()
-        .flat_map(|(_, analysis)| analysis.sites)
-        .collect();
-    let report = check_drift(&sites, &runtime);
+    // Advise (rather than just scan) so anchored sites carry a predicted
+    // alloc class and the report can cross-check it against measurement.
+    let advice = advise_tree(&args.target, extract_opts(args), advise_opts(args))
+        .map_err(|e| e.to_string())?;
+    let report = check_drift_with_advice(&advice, &runtime);
     if args.json {
         print!("{}", cs_analyzer::drift_to_json(&report).render_pretty());
     } else {

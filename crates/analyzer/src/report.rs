@@ -6,12 +6,19 @@
 use cs_telemetry::Json;
 
 use crate::advise::SiteAdvice;
+use crate::dataflow::{CapacityBound, SiteFacts};
 use crate::drift::DriftReport;
 use crate::extract::StaticSite;
 use crate::lint::Diagnostic;
 
 /// Schema version stamped on every document this module emits.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: dataflow facts (`facts`), per-dimension recommendation columns
+/// (`dimensions`), energy proxies, `alloc_driven`/`escape_driven`
+/// rationale, advice strings, `predicted_alloc_bytes_per_op`, runtime
+/// manifests carry `alloc_bytes_per_op`, drift reports carry
+/// `alloc_drift`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One site as JSON (shared by the manifest and advice documents).
 pub fn site_to_json(site: &StaticSite) -> Json {
@@ -41,6 +48,44 @@ pub fn manifest_to_json(root: &str, sites: &[StaticSite]) -> Json {
         .field("sites", Json::Array(sites.iter().map(site_to_json).collect()))
 }
 
+/// Dataflow facts for one site as JSON (shared by the advice document and
+/// the dataflow goldens).
+pub fn facts_to_json(facts: &SiteFacts) -> Json {
+    let capacity_bound = match &facts.capacity.bound {
+        Some(CapacityBound::Exact(n)) => Json::object().field("exact", *n),
+        Some(CapacityBound::LenOf(src)) => Json::object().field("len_of", src.as_str()),
+        None => Json::Null,
+    };
+    Json::object()
+        .field(
+            "escape",
+            Json::object()
+                .field("spawn", facts.escape.spawn)
+                .field("arc", facts.escape.arc)
+                .field("mutex", facts.escape.mutex)
+                .field("static_sink", facts.escape.static_sink)
+                .field("returned", facts.escape.returned)
+                .field("used_after_spawn", facts.escape.used_after_spawn)
+                .field("concurrent", facts.escape.escapes_concurrently())
+                .field("shared_without_sync", facts.escape.shared_without_sync()),
+        )
+        .field(
+            "capacity",
+            Json::object()
+                .field("bound", capacity_bound)
+                .field("bounded_pushes", facts.capacity.bounded_pushes),
+        )
+        .field(
+            "clones",
+            Json::object()
+                .field("count", u64::from(facts.clones.count))
+                .field("in_loop", facts.clones.in_loop)
+                .field("max_live_versions", u64::from(facts.clones.max_live_versions))
+                .field("persistent_candidate", facts.persistent_candidate()),
+        )
+        .field("aliases", facts.aliases.clone())
+}
+
 /// One advisor verdict as JSON.
 pub fn advice_to_json(advice: &SiteAdvice) -> Json {
     let mut doc = site_to_json(&advice.site)
@@ -60,7 +105,25 @@ pub fn advice_to_json(advice: &SiteAdvice) -> Json {
                     .field("dimension", r.dimension.to_string())
                     .field("declared_cost", r.declared_cost)
                     .field("recommended_cost", r.recommended_cost)
-                    .field("speedup", r.speedup),
+                    .field("speedup", r.speedup)
+                    .field("alloc_driven", r.alloc_driven)
+                    .field("declared_energy_proxy", r.declared_energy_proxy)
+                    .field("recommended_energy_proxy", r.recommended_energy_proxy)
+                    .field(
+                        "dimensions",
+                        Json::Array(
+                            r.dimension_costs
+                                .iter()
+                                .map(|dc| {
+                                    Json::object()
+                                        .field("dimension", dc.dimension.to_string())
+                                        .field("declared", dc.declared)
+                                        .field("recommended", dc.recommended)
+                                        .field("ratio", dc.ratio)
+                                })
+                                .collect(),
+                        ),
+                    ),
             );
         }
         None => {
@@ -69,7 +132,18 @@ pub fn advice_to_json(advice: &SiteAdvice) -> Json {
                 .field("skip_reason", advice.skip_reason);
         }
     }
-    doc
+    doc.field(
+        "facts",
+        advice.facts.as_ref().map(facts_to_json).unwrap_or(Json::Null),
+    )
+    .field("escape_driven", advice.escape_driven)
+    .field("escape_advice", advice.escape_advice.clone())
+    .field("capacity_advice", advice.capacity_advice.clone())
+    .field("persistence_advice", advice.persistence_advice.clone())
+    .field(
+        "predicted_alloc_bytes_per_op",
+        advice.predicted_alloc_bytes_per_op,
+    )
 }
 
 /// The advisor report: `{schema, root, advised, sites: [...]}`.
@@ -143,6 +217,7 @@ pub fn runtime_manifest_to_json(entries: &[cs_core::SiteManifestEntry]) -> Json 
                             .field("abstraction", e.abstraction.to_string())
                             .field("default_kind", e.default_kind.as_str())
                             .field("current_kind", e.current_kind.as_str())
+                            .field("alloc_bytes_per_op", e.alloc_bytes_per_op)
                     })
                     .collect(),
             ),
@@ -172,6 +247,25 @@ pub fn drift_to_json(report: &DriftReport) -> Json {
         .field("anonymous", report.anonymous.clone())
         .field("unanchored", report.unanchored.clone())
         .field("unexercised", report.unexercised.clone())
+        .field(
+            "alloc_drift",
+            Json::Array(
+                report
+                    .alloc_drift
+                    .iter()
+                    .map(|d| {
+                        Json::object()
+                            .field("runtime_name", d.runtime_name.as_str())
+                            .field("fingerprint", d.fingerprint.as_str())
+                            .field("predicted_bytes_per_op", d.predicted_bytes_per_op)
+                            .field("measured_bytes_per_op", d.measured_bytes_per_op)
+                            .field("predicted_class", d.predicted_class.to_string())
+                            .field("measured_class", d.measured_class.to_string())
+                            .field("agree", d.agree)
+                    })
+                    .collect(),
+            ),
+        )
 }
 
 #[cfg(test)]

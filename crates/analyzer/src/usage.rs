@@ -16,6 +16,7 @@
 use cs_collections::Abstraction;
 use cs_profile::{OpCounters, OpKind, WorkloadProfile};
 
+use crate::dataflow::SiteFacts;
 use crate::extract::{MethodFact, StaticSite};
 
 /// Amplification per loop-nest level: a call at depth *d* counts as
@@ -143,14 +144,36 @@ fn amplified(depth: u32) -> u64 {
 /// track dataflow across functions, and pretending otherwise would
 /// misattribute unrelated bindings that happen to share a name.
 pub fn summarize(site: &StaticSite, facts: &[MethodFact]) -> UsageSummary {
+    summarize_with_facts(site, facts, None)
+}
+
+/// [`summarize`], refined with the dataflow pass's [`SiteFacts`] when
+/// available:
+///
+/// * facts attribute through the whole **alias set** (moves, borrows,
+///   clones, `create_*` handle returns), not just the declared binding —
+///   a `let list = ctx.create_list();` handle finally feeds its context
+///   site's evidence;
+/// * a dataflow-derived **exact capacity bound** beats populate-count
+///   guesswork for the assumed size (an explicit `with_capacity` hint
+///   still wins — the author asserted it).
+pub fn summarize_with_facts(
+    site: &StaticSite,
+    facts: &[MethodFact],
+    flow: Option<&SiteFacts>,
+) -> UsageSummary {
     let mut summary = UsageSummary::default();
-    let Some(binding) = site.binding.as_deref() else {
+    let receivers: Vec<&str> = match flow {
+        Some(f) if !f.aliases.is_empty() => f.aliases.iter().map(String::as_str).collect(),
+        _ => site.binding.as_deref().into_iter().collect(),
+    };
+    if receivers.is_empty() {
         summary.assumed_max_size = site.capacity_hint.unwrap_or(0) as usize;
         return summary;
-    };
+    }
     let abstraction = site.declared.abstraction();
     for fact in facts {
-        if fact.receiver != binding || fact.item != site.item {
+        if !receivers.iter().any(|r| *r == fact.receiver) || fact.item != site.item {
             continue;
         }
         summary.matched_facts += 1;
@@ -160,12 +183,15 @@ pub fn summarize(site: &StaticSite, facts: &[MethodFact]) -> UsageSummary {
                 summary.op_weights[op.index()].saturating_add(amplified(fact.loop_depth));
         }
     }
-    // Size: an explicit capacity is the strongest signal; otherwise assume
-    // the structure grows to its amplified populate count, floored at 1 and
-    // capped at the default so a depth-4 loop does not imply 16M elements.
+    // Size: an explicit capacity is the strongest signal, then a dataflow
+    // bound (known-length collect, literal loop trips); otherwise assume
+    // the structure grows to its amplified populate count, capped at the
+    // default so a depth-4 loop does not imply 16M elements.
     let populate = summary.op_weights[OpKind::Populate.index()];
-    summary.assumed_max_size = match site.capacity_hint {
-        Some(c) if c > 0 => c as usize,
+    let flow_bound = flow.and_then(|f| f.capacity.exact()).filter(|&n| n > 0);
+    summary.assumed_max_size = match (site.capacity_hint, flow_bound) {
+        (Some(c), _) if c > 0 => c as usize,
+        (_, Some(n)) => (n as usize).min(DEFAULT_MAX_SIZE * 16),
         _ if populate > 0 => (populate as usize).min(DEFAULT_MAX_SIZE * 16),
         _ => DEFAULT_MAX_SIZE,
     };
@@ -264,6 +290,35 @@ fn f(grid: &[Vec<u64>]) {
         assert_eq!(
             s.op_weights[OpKind::Contains.index()],
             LOOP_WEIGHT * LOOP_WEIGHT
+        );
+    }
+
+    #[test]
+    fn aliases_route_facts_and_flow_bounds_refine_size() {
+        let src = r#"
+fn f(xs: &[u64]) {
+    let journal = Vec::new();
+    let mut log = journal;
+    for _ in 0..96 {
+        log.push(1u64);
+    }
+    log.contains(&1u64);
+}
+"#;
+        let (sites, facts) = analyze(src);
+        let a = extract("t.rs", src, ExtractOptions::default());
+        let flow = crate::dataflow::dataflow_file(src, &a, ExtractOptions::default());
+        let without = summarize(&sites[0], &facts);
+        assert_eq!(
+            without.matched_facts, 0,
+            "binding-only matching misses the moved `log`"
+        );
+        let with = summarize_with_facts(&sites[0], &facts, Some(&flow[0]));
+        assert_eq!(with.matched_facts, 2);
+        assert_eq!(with.dominant_op(), Some(OpKind::Populate));
+        assert_eq!(
+            with.assumed_max_size, 96,
+            "the literal loop trip beats the amplified populate guess"
         );
     }
 

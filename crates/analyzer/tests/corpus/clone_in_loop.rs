@@ -1,0 +1,38 @@
+//! Dataflow corpus: clone pressure on collection bindings.
+//!
+//! Clone-in-loop and many-live-versions mark a site as a persistent-tier
+//! candidate; a single out-of-loop clone must not.
+
+/// Snapshot-per-tick journal: `clone()` inside the loop keeps whole
+/// back-versions alive every iteration — the persistent-tier specimen.
+fn snapshot_journal(ticks: usize) -> usize {
+    let mut journal = Vec::with_capacity(64);
+    let mut total = 0;
+    for t in 0..ticks {
+        journal.push(t as u64);
+        let snap = journal.clone();
+        total += snap.len();
+    }
+    total
+}
+
+/// Multi-version fan-out: three clones of the index live at once, which
+/// also crosses the persistent-candidate threshold without any loop.
+fn multi_version(names: &[u64]) -> usize {
+    let mut index = Vec::new();
+    for n in names {
+        index.push(*n);
+    }
+    let v1 = index.clone();
+    let v2 = index.clone();
+    let v3 = index.clone();
+    v1.len() + v2.len() + v3.len()
+}
+
+/// One defensive copy outside any loop: ordinary, not a candidate.
+fn single_clone() -> usize {
+    let mut seed = Vec::new();
+    seed.push(1u64);
+    let copy = seed.clone();
+    copy.len()
+}

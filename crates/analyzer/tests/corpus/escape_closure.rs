@@ -1,0 +1,44 @@
+//! Dataflow corpus: collections escaping through spawned closures.
+//!
+//! Three shapes the escape lattice must separate: sanctioned sharing
+//! (`Arc<Mutex<…>>` before the spawn), race-shaped sharing (bare capture
+//! with a later use), and thread-local construction inside the closure
+//! body (no escape at all).
+
+use std::sync::{Arc, Mutex};
+
+/// Sanctioned sharing: the queue is wrapped before the spawn, so it
+/// escapes concurrently (`spawn+arc+mutex`) but is *not* race-shaped.
+fn synchronized_queue() -> usize {
+    let queue = Arc::new(Mutex::new(Vec::new()));
+    let worker = Arc::clone(&queue);
+    let handle = std::thread::spawn(move || {
+        worker.lock().unwrap().push(1u64);
+    });
+    handle.join().unwrap();
+    let held = queue.lock().unwrap().len();
+    held
+}
+
+/// Race-shaped sharing: the staging buffer is captured by the spawn with
+/// no synchronization wrapper and the parent keeps using it afterwards.
+fn bare_capture() -> usize {
+    let mut staging = Vec::new();
+    staging.push(7u64);
+    std::thread::spawn(move || {
+        drop(staging);
+    });
+    staging.len()
+}
+
+/// Thread-local construction: the scratch vector is born inside the
+/// closure body and never leaves the spawned thread — not an escape.
+fn thread_local_scratch() -> std::thread::JoinHandle<usize> {
+    std::thread::spawn(|| {
+        let mut scratch = Vec::new();
+        for i in 0..16u64 {
+            scratch.push(i);
+        }
+        scratch.len()
+    })
+}

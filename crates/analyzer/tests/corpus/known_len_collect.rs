@@ -1,0 +1,30 @@
+//! Dataflow corpus: statically known capacity bounds.
+//!
+//! Known-length `(a..b).map(..).collect()` chains bound a site exactly,
+//! `extend(xs)` records a length-of dependence, and literal nested loops
+//! multiply out into an exact push bound — the inputs behind
+//! `with_capacity` advice.
+
+/// Known-length collect: 32 squares, bounded exactly at the collect site.
+fn collect_known() -> Vec<u64> {
+    let squares: Vec<u64> = (0..32).map(|x| x * x).collect();
+    squares
+}
+
+/// Length-of dependence: the mirror grows to `xs.len()`, whatever that is.
+fn extend_len_of(xs: &[u64]) -> usize {
+    let mut mirror = Vec::new();
+    mirror.extend(xs);
+    mirror.len()
+}
+
+/// Literal nested loops: 8 × 16 pushes, an exact bound of 128.
+fn bounded_loop_pushes() -> usize {
+    let mut grid = Vec::new();
+    for r in 0..8u64 {
+        for c in 0..16u64 {
+            grid.push(r * c);
+        }
+    }
+    grid.len()
+}

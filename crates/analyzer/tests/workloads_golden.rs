@@ -7,8 +7,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use cs_analyzer::{
-    advice_report_to_json, advise_file, collect_rust_files, extract, AdviseOptions,
-    ExtractOptions, SiteAdvice,
+    advice_report_to_json, advise_file_with_dataflow, collect_rust_files, dataflow_file, extract,
+    AdviseOptions, ExtractOptions, SiteAdvice,
 };
 
 fn repo_root() -> PathBuf {
@@ -34,8 +34,10 @@ fn advise_workloads() -> Vec<(String, String, Vec<SiteAdvice>)> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        let analysis = extract(&label, &src, ExtractOptions::default());
-        let advice = advise_file(&analysis, AdviseOptions::default());
+        let opts = ExtractOptions::default();
+        let analysis = extract(&label, &src, opts);
+        let flows = dataflow_file(&src, &analysis, opts);
+        let advice = advise_file_with_dataflow(&analysis, &flows, AdviseOptions::default());
         out.push((label, src, advice));
     }
     out

@@ -177,6 +177,15 @@ impl<K: Kind> ContextCore<K> {
         (history.alloc_count(), history.alloc_bytes())
     }
 
+    /// Mean attributed allocation bytes per aggregated operation in the
+    /// site's workload history; `0.0` before any monitored instance landed.
+    /// Exported on [`SiteManifestEntry`](crate::SiteManifestEntry) rows so
+    /// the static analyzer's drift check can compare its predicted
+    /// allocation class against the measured one.
+    pub fn history_alloc_per_op(&self) -> f64 {
+        self.history.lock().alloc_bytes_per_op()
+    }
+
     /// Claims a monitoring slot for a new instance, returning the monitor
     /// payload if this instance should be sampled. Frozen contexts sample
     /// nothing.

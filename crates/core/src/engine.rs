@@ -1383,6 +1383,7 @@ impl Switch {
                 abstraction: K::ABSTRACTION,
                 default_kind: core.default_kind().to_string(),
                 current_kind: core.current_kind().to_string(),
+                alloc_bytes_per_op: core.history_alloc_per_op(),
             }
         }
         out.extend(registry.lists.iter().map(|c| entry(c)));
@@ -1395,7 +1396,7 @@ impl Switch {
 
 /// One row of [`Switch::site_manifest`]: the identity of a registered
 /// allocation site, without the activity counters of [`ContextSummary`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SiteManifestEntry {
     /// Engine-assigned site id (monotone per engine).
     pub id: u64,
@@ -1407,6 +1408,11 @@ pub struct SiteManifestEntry {
     pub default_kind: String,
     /// Variant currently instantiated.
     pub current_kind: String,
+    /// Mean attributed allocation bytes per op in the site's workload
+    /// history; `0.0` when nothing flushed (or no allocator instrumentation
+    /// is installed). The measured side of the analyzer's alloc-class
+    /// drift check.
+    pub alloc_bytes_per_op: f64,
 }
 
 /// Liveness summary returned by [`Switch::health`].

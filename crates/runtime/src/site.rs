@@ -164,12 +164,21 @@ impl SiteShared {
 
     /// This site's row in [`Runtime::site_manifest`](crate::Runtime::site_manifest).
     pub fn manifest_entry(&self) -> cs_core::SiteManifestEntry {
+        let total_ops: u64 = (0..4)
+            .map(|i| self.op_totals[i].load(Ordering::Relaxed))
+            .sum();
+        let alloc_bytes = self.alloc_bytes.load(Ordering::Relaxed);
         cs_core::SiteManifestEntry {
             id: self.id,
             name: self.name.clone(),
             abstraction: self.core.abstraction(),
             default_kind: self.core.default_kind(),
             current_kind: self.core.current_kind(),
+            alloc_bytes_per_op: if total_ops == 0 {
+                0.0
+            } else {
+                alloc_bytes as f64 / total_ops as f64
+            },
         }
     }
 
