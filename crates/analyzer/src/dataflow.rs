@@ -1,10 +1,10 @@
 //! Intraprocedural dataflow over collection bindings: the CFG-lite second
 //! pass behind the advisor's escape, capacity, and clone facts.
 //!
-//! The [extractor](crate::extract) answers *where* a collection is born and
+//! The [extractor](crate::extract()) answers *where* a collection is born and
 //! *which methods* its binding receives. This pass answers where the value
 //! **goes**: it re-walks the token stream with the same item/loop stack,
-//! seeds an alias map from the extracted [`StaticSite`]s, and tracks each
+//! seeds an alias map from the extracted [`StaticSite`](crate::StaticSite)s, and tracks each
 //! site's value through
 //!
 //! * **moves** — `let log = journal;` transfers the site to `log` and kills
@@ -126,7 +126,7 @@ pub struct CloneFacts {
     pub max_live_versions: u32,
 }
 
-/// Everything the dataflow pass derived for one [`StaticSite`], parallel to
+/// Everything the dataflow pass derived for one [`StaticSite`](crate::StaticSite), parallel to
 /// [`FileAnalysis::sites`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SiteFacts {

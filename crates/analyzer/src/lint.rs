@@ -1,7 +1,7 @@
 //! Workspace self-lint: rules the generic clippy pass cannot express
 //! because they encode *this* codebase's invariants.
 //!
-//! Seven token-level rules over the [lexed](crate::lexer) stream with the
+//! Eight token-level rules over the [lexed](crate::lexer) stream with the
 //! same item/`#[cfg(test)]` tracking the extractor uses, plus one
 //! dataflow-fed rule ([`RULE_SHARED_WITHOUT_SYNC`]) driven by the
 //! [escape facts](crate::dataflow::EscapeFacts) of the dataflow pass:
@@ -52,6 +52,15 @@
 //!   cost model and the progress guarantee at once. The crate root
 //!   (docs and re-exports — the cold module) and `#[cfg(test)]` harnesses
 //!   are exempt.
+//! * [`RULE_NO_BLOCKING_IO_SAMPLER`] — no filesystem or socket tokens
+//!   (`fs`/`File`/`OpenOptions`, `TcpStream`/`TcpListener`/`UdpSocket`)
+//!   in cs-obs's sampler-path modules (`sampler.rs`, `window.rs`,
+//!   `drift.rs`). The sampler thread ticks on a period and its published
+//!   `cs_obs_sampler_overhead_ratio` assumes each tick is pure in-memory
+//!   work; a procfs read or a socket call on that path turns a bounded
+//!   tick into an unbounded one and quietly falsifies the overhead claim.
+//!   All blocking I/O belongs in `http.rs` (the designated I/O module,
+//!   exempt) or behind the scrape-time `export` path.
 //! * [`RULE_SHARED_WITHOUT_SYNC`] — a collection binding captured by a
 //!   `spawn(…)` closure with no `Arc`/`Mutex` wrapper in sight *and* still
 //!   used on the spawning thread afterwards. That shape is race-adjacent:
@@ -83,6 +92,8 @@ pub const RULE_NO_ALLOC_HEAP_COUNT: &str = "no-alloc-in-heap-count-path";
 pub const RULE_NO_RAW_PERSIST_WRITE: &str = "no-raw-persist-write";
 /// Rule id: blocking lock primitives inside the lock-free tier.
 pub const RULE_NO_LOCK_IN_LOCKFREE: &str = "no-lock-in-lockfree-path";
+/// Rule id: blocking I/O tokens on cs-obs's sampler path.
+pub const RULE_NO_BLOCKING_IO_SAMPLER: &str = "no-blocking-io-in-sampler-path";
 /// Rule id: a plain collection crossing a thread boundary bare.
 pub const RULE_SHARED_WITHOUT_SYNC: &str = "shared-without-sync";
 
@@ -102,6 +113,7 @@ fn stack_rule_applies(path: &str) -> bool {
     path.starts_with("crates/core/")
         || path.starts_with("crates/runtime/")
         || path.starts_with("crates/telemetry/")
+        || path.starts_with("crates/obs/")
 }
 
 /// Persistence-path files subject to the raw-write rule: everywhere the
@@ -126,6 +138,21 @@ fn persist_rule_applies(path: &str) -> bool {
 /// are guarded by default — opting one out is an explicit edit here.
 fn lockfree_rule_applies(path: &str) -> bool {
     path.starts_with("crates/lockfree/src/") && path != "crates/lockfree/src/lib.rs"
+}
+
+/// The sampler-path modules of cs-obs: everything the periodic sampler
+/// tick touches (sampling, the frame window, drift scoring). `http.rs` is
+/// the designated I/O module and `lib.rs` only wires — both exempt. New
+/// modules added to the crate are unguarded until listed here, the
+/// inverse default of the lock-free rule, because a new obs module is more
+/// likely an endpoint (I/O by design) than a new tick stage.
+fn sampler_rule_applies(path: &str) -> bool {
+    [
+        "crates/obs/src/sampler.rs",
+        "crates/obs/src/window.rs",
+        "crates/obs/src/drift.rs",
+    ]
+    .contains(&path)
 }
 
 /// Files containing the tracer's span fast path.
@@ -625,6 +652,18 @@ impl<'a> Linter<'a> {
                 }
                 self.pos += 1;
             }
+            // Any socket token on the sampler path — type position,
+            // constructor, or `use` — is blocking I/O inside the periodic
+            // tick; like the lock-free rule, the token is the finding.
+            "TcpStream" | "TcpListener" | "UdpSocket" if sampler_rule_applies(self.path) => {
+                let msg = format!(
+                    "`{}` on the obs sampler path — socket I/O makes the tick unbounded \
+                     and falsifies `cs_obs_sampler_overhead_ratio`; sockets live in http.rs",
+                    t.text
+                );
+                self.emit(RULE_NO_BLOCKING_IO_SAMPLER, t.line, msg);
+                self.pos += 1;
+            }
             // Any appearance of a blocking primitive — type position,
             // constructor, or `use` — violates the lock-free tier's
             // progress guarantee; the token itself is the finding.
@@ -641,6 +680,19 @@ impl<'a> Linter<'a> {
             // the `fs` inside `std::fs::write(`), `File::create(` (also the
             // `File` inside `fs::File::create(`), and `OpenOptions::new(`.
             "fs" | "File" | "OpenOptions" => {
+                // On the obs sampler path any filesystem token at all is a
+                // finding (a procfs read blocks the tick as surely as a
+                // write would); elsewhere only the raw-persist-write
+                // constructor shapes below matter.
+                if sampler_rule_applies(self.path) {
+                    let msg = format!(
+                        "`{}` on the obs sampler path — filesystem I/O makes the tick \
+                         unbounded and falsifies `cs_obs_sampler_overhead_ratio`; \
+                         procfs reads belong on the scrape-time export path",
+                        t.text
+                    );
+                    self.emit(RULE_NO_BLOCKING_IO_SAMPLER, t.line, msg);
+                }
                 let ctor = match t.text.as_str() {
                     "fs" => "write",
                     "File" => "create",
@@ -1078,6 +1130,50 @@ mod tests {
         let src = "fn f() { let m = parking_lot::Mutex::new(0u64); }";
         assert!(lint_file("crates/lockfree/src/lib.rs", src).is_empty());
         assert!(lint_file("crates/runtime/src/map.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_io_on_the_sampler_path_is_flagged() {
+        // A procfs read inside a tick stage: the fs token is the finding.
+        let fs_src = r#"
+fn tick(core: &ObsCore) {
+    let stat = std::fs::read_to_string("/proc/self/stat");
+}
+"#;
+        let d = lint_file("crates/obs/src/sampler.rs", fs_src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_NO_BLOCKING_IO_SAMPLER);
+        assert_eq!(d[0].item, "tick");
+        assert!(d[0].message.contains("overhead_ratio"), "{}", d[0].message);
+
+        // A socket anywhere in drift scoring, even just a type mention.
+        let sock_src = "fn observe(s: &TcpStream) {}";
+        let d = lint_file("crates/obs/src/drift.rs", sock_src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_NO_BLOCKING_IO_SAMPLER);
+
+        let file_src = "fn push(&mut self) { let f = File::open(\"x\"); }";
+        assert_eq!(lint_file("crates/obs/src/window.rs", file_src).len(), 1);
+    }
+
+    #[test]
+    fn sampler_rule_exempts_http_tests_and_other_crates() {
+        // http.rs is the designated I/O module; sockets are its job.
+        let src = "fn accept_loop(l: &TcpListener) { let s = TcpStream::connect(a); }";
+        assert!(lint_file("crates/obs/src/http.rs", src).is_empty());
+        // lib.rs wires but does not tick.
+        assert!(lint_file("crates/obs/src/lib.rs", src).is_empty());
+        // Test harnesses scrape themselves over real sockets on purpose.
+        let test_src = r#"
+#[cfg(test)]
+mod tests {
+    fn get() { let s = TcpStream::connect(addr); }
+}
+"#;
+        assert!(lint_file("crates/obs/src/sampler.rs", test_src).is_empty());
+        // The rest of the workspace reads procfs and opens sockets freely.
+        let fs_src = "fn peak_rss() { let s = std::fs::read_to_string(\"/proc/self/status\"); }";
+        assert!(lint_file("crates/heap/src/lib.rs", fs_src).is_empty());
     }
 
     #[test]

@@ -253,6 +253,9 @@ struct Shared {
     /// Monotone sequence stamped into snapshots by [`Switch::save_state`]
     /// (seeded past the imported snapshot's sequence on warm start).
     snapshot_seq: AtomicU64,
+    /// When this engine was built — the anchor for [`Switch::uptime`],
+    /// shared by every clone and weak upgrade.
+    created_at: Instant,
 }
 
 impl Shared {
@@ -647,6 +650,7 @@ impl SwitchBuilder {
             failpoint: self.failpoint,
             warm,
             snapshot_seq: AtomicU64::new(next_snapshot_seq),
+            created_at: Instant::now(),
         });
         shared.record_and_dispatch(startup_events);
         let analyzer = if self.background {
@@ -1115,6 +1119,14 @@ impl Switch {
     /// Cumulative wall-clock time spent inside analysis passes.
     pub fn analysis_time_total(&self) -> std::time::Duration {
         std::time::Duration::from_nanos(self.shared.pass_nanos_total.load(Ordering::Relaxed))
+    }
+
+    /// How long this engine has existed. Shared by every clone and weak
+    /// upgrade (the anchor is in the shared state, not the handle), so the
+    /// `/health` endpoint reports one consistent engine age no matter which
+    /// handle serves the request.
+    pub fn uptime(&self) -> std::time::Duration {
+        self.shared.created_at.elapsed()
     }
 
     /// One-stop liveness summary for dashboards and fault triage: is the

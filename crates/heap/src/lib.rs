@@ -135,9 +135,71 @@ pub fn peak_rss_bytes() -> u64 {
     }
 }
 
+/// How long this process has been alive.
+///
+/// On Linux this is kernel truth: the process start time from field 22 of
+/// `/proc/self/stat` (clock ticks since boot) subtracted from
+/// `/proc/uptime` — correct even for code that loads this crate long after
+/// `main` started. Elsewhere (or under restricted procfs) it degrades to
+/// time since this function was first called, which still yields a
+/// monotone, strictly increasing uptime gauge.
+pub fn process_uptime() -> std::time::Duration {
+    #[cfg(target_os = "linux")]
+    {
+        if let Some(d) = proc_uptime() {
+            return d;
+        }
+    }
+    fallback_uptime()
+}
+
+#[cfg(target_os = "linux")]
+fn proc_uptime() -> Option<std::time::Duration> {
+    // /proc/uptime: "<seconds since boot> <idle seconds>".
+    let boot_secs: f64 = std::fs::read_to_string("/proc/uptime")
+        .ok()?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()?;
+    // /proc/self/stat field 22 (1-based) is starttime in clock ticks since
+    // boot. The comm field (2) can contain spaces but is parenthesized, so
+    // split after the last ')': field 22 overall is index 19 of the tail.
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    let tail = &stat[stat.rfind(')')? + 1..];
+    let start_ticks: f64 = tail.split_whitespace().nth(19)?.parse().ok()?;
+    // USER_HZ is fixed at 100 on every Linux ABI this repo targets; reading
+    // it portably needs sysconf, which would drag in libc for one constant.
+    let start_secs = start_ticks / 100.0;
+    let up = boot_secs - start_secs;
+    if up.is_finite() && up >= 0.0 {
+        Some(std::time::Duration::from_secs_f64(up))
+    } else {
+        None
+    }
+}
+
+fn fallback_uptime() -> std::time::Duration {
+    use std::sync::OnceLock;
+    static FIRST_SEEN: OnceLock<std::time::Instant> = OnceLock::new();
+    FIRST_SEEN.get_or_init(std::time::Instant::now).elapsed()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn process_uptime_is_positive_and_monotone() {
+        // Both /proc sources tick at 10ms granularity, so a freshly
+        // started process can legitimately read zero — sample, wait past
+        // a tick, and require the clock to have advanced.
+        let a = process_uptime();
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        let b = process_uptime();
+        assert!(b > std::time::Duration::ZERO, "uptime must be positive");
+        assert!(b > a, "uptime must advance: {a:?} -> {b:?}");
+    }
 
     #[test]
     fn accounts_default_to_zero_without_installation() {

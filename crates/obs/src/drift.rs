@@ -1,0 +1,339 @@
+//! The phase-shift detector: EWMA bands over each site's op-mix and
+//! allocation rate, fired as `phase_shift` incidents.
+//!
+//! The paper's core premise is that workloads have *phases* — the
+//! collection that wins during a load phase loses during a lookup phase —
+//! and the engine re-selects when the observed profile moves. This module
+//! is the operational mirror of that premise: it watches the same
+//! observables the selector consumes (op-mix fractions and allocation
+//! bytes per op, per site) and raises an incident the moment a site's
+//! behaviour breaks out of its recent band, so an operator sees the phase
+//! change at the same time the engine does — or sees one the engine's
+//! round cadence has not reacted to yet.
+//!
+//! Mechanics, per site and per dimension: an EWMA of the value and an EWMA
+//! of its absolute deviation. A frame whose value lands further than
+//! `max(band_k × deviation, floor)` from the mean fires once
+//! (edge-latched); while breached the band keeps absorbing observations,
+//! so it re-converges onto the new regime and re-arms — a second genuine
+//! shift can fire again, but a sustained new normal cannot ring forever.
+//! Frames with fewer than `min_frame_ops` new ops are accumulated rather
+//! than scored, so idle sites neither fire nor decay their bands.
+//!
+//! This module is on the sampler path and is covered by the analyzer's
+//! `no-blocking-io-in-sampler-path` lint: no filesystem or socket tokens
+//! may appear here.
+
+use std::collections::HashMap;
+
+use crate::window::{trend_point, SiteSample};
+
+/// The banded dimensions, in reporting order: the four op-mix fractions
+/// (`OpKind::index()` order) then the allocation rate.
+pub const DRIFT_DIMENSIONS: [&str; 5] = [
+    "populate_fraction",
+    "contains_fraction",
+    "iterate_fraction",
+    "middle_fraction",
+    "alloc_bytes_per_op",
+];
+
+/// Tuning for the [`DriftDetector`].
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Scored frames a site must accumulate before its bands arm. Below
+    /// this the detector only learns.
+    pub warmup_frames: u32,
+    /// Band half-width as a multiple of the EWMA mean absolute deviation.
+    pub band_k: f64,
+    /// Minimum new ops for a frame to be scored; smaller deltas accumulate
+    /// into the next frame instead.
+    pub min_frame_ops: u64,
+    /// Absolute band floor for the op-mix fractions, so a near-constant
+    /// mix (deviation ~0) does not fire on measurement jitter.
+    pub min_band: f64,
+    /// Absolute band floor for `alloc_bytes_per_op`, in bytes.
+    pub alloc_min_band: f64,
+    /// EWMA smoothing factor in `(0, 1]`; higher adapts faster.
+    pub alpha: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            warmup_frames: 8,
+            band_k: 6.0,
+            min_frame_ops: 64,
+            min_band: 0.10,
+            alloc_min_band: 32.0,
+            alpha: 0.2,
+        }
+    }
+}
+
+/// One fired drift: site, dimension, and the evidence (observed value vs
+/// the band it escaped). This is the `detail` payload of the
+/// `phase_shift` flight-recorder incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftEvent {
+    /// Engine-assigned site id.
+    pub site_id: u64,
+    /// Site label.
+    pub site: String,
+    /// Which dimension broke band (one of [`DRIFT_DIMENSIONS`]).
+    pub dimension: &'static str,
+    /// The value that escaped.
+    pub observed: f64,
+    /// The band centre at firing time.
+    pub mean: f64,
+    /// The band half-width at firing time.
+    pub band: f64,
+    /// Ops in the scored frame.
+    pub ops_in_frame: u64,
+}
+
+/// EWMA mean + EWMA mean-absolute-deviation with an edge latch.
+#[derive(Debug, Clone, Default)]
+struct Band {
+    mean: f64,
+    dev: f64,
+    scored: u32,
+    breached: bool,
+}
+
+impl Band {
+    /// Scores one observation; returns `Some((mean, half_width))` exactly
+    /// when the value *newly* crosses out of band.
+    fn observe(&mut self, x: f64, cfg: &DriftConfig, floor: f64) -> Option<(f64, f64)> {
+        if self.scored == 0 {
+            self.mean = x;
+        }
+        let fired = if self.scored >= cfg.warmup_frames {
+            let half = (cfg.band_k * self.dev).max(floor);
+            let out = (x - self.mean).abs() > half;
+            let newly = out && !self.breached;
+            self.breached = out;
+            newly.then_some((self.mean, half))
+        } else {
+            None
+        };
+        // Absorb after scoring, so the band fired against is the one the
+        // value actually escaped; absorbing while breached re-converges
+        // the band onto the new regime and re-arms the latch.
+        self.dev = (1.0 - cfg.alpha) * self.dev + cfg.alpha * (x - self.mean).abs();
+        self.mean = (1.0 - cfg.alpha) * self.mean + cfg.alpha * x;
+        self.scored += 1;
+        fired
+    }
+}
+
+#[derive(Debug, Default)]
+struct SiteState {
+    /// The cumulative sample the next scored frame deltas against. Only
+    /// replaced when a frame is scored, so sub-threshold deltas accumulate.
+    basis: Option<SiteSample>,
+    bands: [Band; 5],
+    name: String,
+}
+
+/// Per-site, per-dimension drift detection over cumulative site samples.
+#[derive(Debug)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    sites: HashMap<u64, SiteState>,
+    fired_total: u64,
+}
+
+impl DriftDetector {
+    /// Creates a detector with the given tuning.
+    pub fn new(cfg: DriftConfig) -> DriftDetector {
+        DriftDetector {
+            cfg,
+            sites: HashMap::new(),
+            fired_total: 0,
+        }
+    }
+
+    /// Drift events fired over this detector's lifetime.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+
+    /// Scores one sampler tick's worth of cumulative site samples and
+    /// returns every newly fired drift.
+    pub fn observe(&mut self, samples: &[SiteSample]) -> Vec<DriftEvent> {
+        let mut events = Vec::new();
+        for sample in samples {
+            let state = self.sites.entry(sample.id).or_default();
+            state.name = sample.name.clone();
+            let Some(basis) = &state.basis else {
+                state.basis = Some(sample.clone());
+                continue;
+            };
+            let point = trend_point(0, basis, sample);
+            if point.ops_in_frame < self.cfg.min_frame_ops {
+                continue;
+            }
+            let values = [
+                point.mix[0],
+                point.mix[1],
+                point.mix[2],
+                point.mix[3],
+                point.alloc_bytes_per_op,
+            ];
+            for (dim, (band, value)) in state.bands.iter_mut().zip(values).enumerate() {
+                let floor = if dim < 4 {
+                    self.cfg.min_band
+                } else {
+                    self.cfg.alloc_min_band
+                };
+                if let Some((mean, half)) = band.observe(value, &self.cfg, floor) {
+                    events.push(DriftEvent {
+                        site_id: sample.id,
+                        site: state.name.clone(),
+                        dimension: DRIFT_DIMENSIONS[dim],
+                        observed: value,
+                        mean,
+                        band: half,
+                        ops_in_frame: point.ops_in_frame,
+                    });
+                }
+            }
+            state.basis = Some(sample.clone());
+        }
+        self.fired_total += events.len() as u64;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64, ops: [u64; 4], alloc_bytes: u64) -> SiteSample {
+        SiteSample {
+            id,
+            name: format!("s{id}"),
+            ops,
+            total_ops: ops.iter().sum(),
+            alloc_bytes,
+        }
+    }
+
+    fn cfg() -> DriftConfig {
+        DriftConfig {
+            warmup_frames: 4,
+            min_frame_ops: 10,
+            ..DriftConfig::default()
+        }
+    }
+
+    /// Feeds `n` frames of a steady 90/10 populate/contains mix.
+    fn warm_up(d: &mut DriftDetector, n: u32, start: &mut [u64; 4]) {
+        for _ in 0..n {
+            start[0] += 90;
+            start[1] += 10;
+            let fired = d.observe(&[sample(1, *start, 0)]);
+            assert!(fired.is_empty(), "steady mix must not fire: {fired:?}");
+        }
+    }
+
+    #[test]
+    fn op_mix_flip_fires_once_and_relatches() {
+        let mut d = DriftDetector::new(cfg());
+        let mut ops = [0u64; 4];
+        warm_up(&mut d, 8, &mut ops);
+
+        // Phase flip: the same site goes read-heavy.
+        ops[0] += 10;
+        ops[1] += 90;
+        let fired = d.observe(&[sample(1, ops, 0)]);
+        let dims: Vec<&str> = fired.iter().map(|e| e.dimension).collect();
+        assert!(
+            dims.contains(&"populate_fraction") && dims.contains(&"contains_fraction"),
+            "flip breaks both mix bands: {fired:?}"
+        );
+        assert_eq!(fired[0].site, "s1");
+        assert!(fired[0].observed < fired[0].mean, "populate fraction fell");
+
+        // Sustained new regime: latched, no re-fire while out of band.
+        ops[0] += 10;
+        ops[1] += 90;
+        assert!(d.observe(&[sample(1, ops, 0)]).is_empty(), "latched");
+        assert_eq!(d.fired_total(), dims.len() as u64);
+    }
+
+    #[test]
+    fn detector_rearms_after_reconverging_then_fires_on_next_shift() {
+        let mut d = DriftDetector::new(cfg());
+        let mut ops = [0u64; 4];
+        warm_up(&mut d, 8, &mut ops);
+        ops[0] += 10;
+        ops[1] += 90;
+        assert!(!d.observe(&[sample(1, ops, 0)]).is_empty(), "first shift");
+        // Hold the new regime long enough for the EWMA to re-centre.
+        for _ in 0..30 {
+            ops[0] += 10;
+            ops[1] += 90;
+            d.observe(&[sample(1, ops, 0)]);
+        }
+        // Shift back: must fire again (the latch re-armed in between).
+        ops[0] += 90;
+        ops[1] += 10;
+        let fired = d.observe(&[sample(1, ops, 0)]);
+        assert!(!fired.is_empty(), "re-armed detector fires on the way back");
+    }
+
+    #[test]
+    fn alloc_rate_spike_fires_the_alloc_dimension() {
+        let mut d = DriftDetector::new(cfg());
+        let mut ops = [0u64; 4];
+        let mut bytes = 0u64;
+        for _ in 0..8 {
+            ops[0] += 100;
+            bytes += 800; // steady 8 B/op
+            assert!(d.observe(&[sample(1, ops, bytes)]).is_empty());
+        }
+        ops[0] += 100;
+        bytes += 80_000; // 800 B/op
+        let fired = d.observe(&[sample(1, ops, bytes)]);
+        assert_eq!(fired.len(), 1, "{fired:?}");
+        assert_eq!(fired[0].dimension, "alloc_bytes_per_op");
+        assert!((fired[0].observed - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_threshold_frames_accumulate_instead_of_scoring() {
+        let mut d = DriftDetector::new(cfg());
+        let mut ops = [0u64; 4];
+        warm_up(&mut d, 8, &mut ops);
+        // Nine tiny flipped frames: each below min_frame_ops, none scored…
+        for _ in 0..9 {
+            ops[1] += 1;
+            assert!(d.observe(&[sample(1, ops, 0)]).is_empty());
+        }
+        // …until the accumulated delta crosses the threshold and the
+        // flipped mix (10 contains, 0 populate) is scored at once.
+        ops[1] += 1;
+        let fired = d.observe(&[sample(1, ops, 0)]);
+        assert!(!fired.is_empty(), "accumulated flip scored: {fired:?}");
+    }
+
+    #[test]
+    fn sites_are_banded_independently() {
+        let mut d = DriftDetector::new(cfg());
+        let mut a = [0u64; 4];
+        let mut b = [0u64; 4];
+        for _ in 0..8 {
+            a[0] += 100;
+            b[1] += 100;
+            assert!(d.observe(&[sample(1, a, 0), sample(2, b, 0)]).is_empty());
+        }
+        // Only site 2 flips.
+        a[0] += 100;
+        b[0] += 100;
+        let fired = d.observe(&[sample(1, a, 0), sample(2, b, 0)]);
+        assert!(!fired.is_empty());
+        assert!(fired.iter().all(|e| e.site_id == 2), "{fired:?}");
+    }
+}

@@ -9,7 +9,7 @@
 //! telemetry JSON snapshot all share one serializer.
 
 use cs_profile::OpKind;
-use cs_telemetry::{export_engine, Json, MetricsRegistry};
+use cs_telemetry::{export_engine, export_process, Json, MetricsRegistry};
 
 use crate::runtime::Runtime;
 use crate::site::SiteStats;
@@ -58,9 +58,22 @@ fn contention_ratio(stats: &SiteStats) -> f64 {
 impl Runtime {
     /// Mirrors every runtime site's counters into `registry` under the
     /// `cs_runtime_*` families (labelled by site name), plus the wrapped
-    /// engine's `cs_engine_*` state via [`export_engine`]. Idempotent:
+    /// engine's `cs_engine_*` state via [`export_engine`] and the
+    /// process-level gauges via [`export_process`] (uptime, peak RSS — so
+    /// a runtime scrape is useful before any site traffic). Idempotent:
     /// call on every scrape, values overwrite.
     pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        self.export_site_metrics(registry);
+        export_engine(registry, self.engine());
+        export_process(registry);
+    }
+
+    /// The in-memory subset of [`Runtime::export_metrics`]: per-site
+    /// counters only, read straight from the runtime's atomics — no
+    /// `/proc` reads, no syscalls beyond memory. This is what the `cs-obs`
+    /// sampler thread calls on every tick; the process-level gauges (which
+    /// do touch procfs) are refreshed only on the scrape path.
+    pub fn export_site_metrics(&self, registry: &MetricsRegistry) {
         let sites = self.sites();
         registry
             .gauge("cs_runtime_sites", "Registered runtime sites.", &[])
@@ -148,7 +161,6 @@ impl Runtime {
                 )
                 .set(stats.alloc_bytes_per_op());
         }
-        export_engine(registry, self.engine());
     }
 }
 

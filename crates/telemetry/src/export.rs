@@ -302,6 +302,30 @@ pub fn export_heap(registry: &MetricsRegistry) {
         .set(cs_heap::peak_rss_bytes() as i64);
 }
 
+/// Writes the process-level gauges into `registry`: how long this process
+/// has been alive (`cs_process_uptime_seconds`, kernel truth from `/proc`
+/// on Linux) and its peak resident set size (`cs_process_peak_rss_bytes`,
+/// via [`cs_heap::peak_rss_bytes`]). These make a bare `/metrics` scrape
+/// useful even before any site has seen traffic — a scraper can alert on
+/// restarts and memory ceilings with no engine wiring at all. Idempotent,
+/// like every exporter here.
+pub fn export_process(registry: &MetricsRegistry) {
+    registry
+        .float_gauge(
+            "cs_process_uptime_seconds",
+            "Seconds since this process started, per the kernel where available.",
+            &[],
+        )
+        .set(cs_heap::process_uptime().as_secs_f64());
+    registry
+        .gauge(
+            "cs_process_peak_rss_bytes",
+            "Peak resident set size of the process per the kernel (VmHWM), in bytes.",
+            &[],
+        )
+        .set(cs_heap::peak_rss_bytes() as i64);
+}
+
 /// Mirrors a [`TraceSnapshot`] into `registry` under the `cs_trace_*`
 /// families: the self-overhead account (`cs_trace_overhead_ratio`,
 /// framework/app nano totals), per-phase span counts, and per-phase
@@ -529,6 +553,35 @@ mod tests {
         // Idempotent re-export, and the exposition stays well-formed.
         export_heap(&registry);
         crate::validate_prometheus_text(&registry.snapshot().to_prometheus_text())
+            .expect("valid exposition");
+    }
+
+    #[test]
+    fn process_export_is_useful_before_any_traffic() {
+        use crate::metrics::ValueSnapshot;
+
+        let registry = MetricsRegistry::new();
+        // Both /proc uptime sources tick at 10 ms granularity, so a freshly
+        // started test process can legitimately read zero — wait past a
+        // tick before exporting.
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        export_process(&registry);
+        let snap = registry.snapshot();
+        let uptime = snap
+            .family("cs_process_uptime_seconds")
+            .and_then(|f| f.series.first())
+            .map(|s| match s.value {
+                ValueSnapshot::FloatGauge(v) => v,
+                _ => panic!("uptime must be a float gauge"),
+            })
+            .expect("uptime exported");
+        assert!(uptime > 0.0, "uptime {uptime}");
+        assert!(snap.gauge_value("cs_process_peak_rss_bytes").unwrap_or(0) > 0);
+        // Idempotent re-export advances (or holds) the gauge and the
+        // exposition stays well-formed.
+        export_process(&registry);
+        let again = registry.snapshot();
+        crate::validate_prometheus_text(&again.to_prometheus_text())
             .expect("valid exposition");
     }
 

@@ -25,6 +25,7 @@
 //! | `overhead_budget`   | `on_analysis_pass` | overhead ratio crosses above the budget     |
 //! | `sink_disconnect`   | `on_analysis_pass` | the engine's sink-disconnect total grew     |
 //! | `alloc_spike`       | `on_analysis_pass` | process allocation bytes this pass exceed [`FlightRecorderConfig::alloc_spike_ratio`] × the trailing per-pass average (and the absolute floor) |
+//! | `phase_shift`       | external ([`FlightRecorder::record_external`]) | `cs-obs`'s EWMA drift detector saw a site's op-mix or alloc-rate trend break band |
 //!
 //! The polled triggers are edge-detected (they fire on the crossing, not
 //! on every pass spent above the threshold), and total incidents are
@@ -75,6 +76,11 @@ pub struct FlightRecorderConfig {
     /// this many bytes to fire, so an idle process's tiny wobbles (ratio
     /// against a near-zero baseline) stay quiet.
     pub alloc_spike_min_bytes: u64,
+    /// How many of the most recent incident records to keep in memory for
+    /// live queries ([`FlightRecorder::recent_incidents`], served by
+    /// `cs-obs` as `/incidents`). Bounded by construction: the ring
+    /// allocates its full capacity up front and evicts oldest-first.
+    pub ring_capacity: usize,
 }
 
 impl Default for FlightRecorderConfig {
@@ -86,6 +92,7 @@ impl Default for FlightRecorderConfig {
             include_telemetry: true,
             alloc_spike_ratio: 8.0,
             alloc_spike_min_bytes: 1 << 20,
+            ring_capacity: 64,
         }
     }
 }
@@ -134,6 +141,10 @@ pub struct FlightRecorder {
     alloc_trailing: AtomicU64,
     alloc_passes: AtomicU64,
     alloc_spiking: AtomicU64, // 0 = normal, 1 = spiking (latched)
+    // The most recent rendered incident lines, oldest first — the live
+    // complement to the JSONL sink, bounded at ring_capacity (allocated up
+    // front; eviction is pop_front).
+    ring: Mutex<std::collections::VecDeque<String>>,
 }
 
 impl FlightRecorder {
@@ -145,6 +156,9 @@ impl FlightRecorder {
         registry: MetricsRegistry,
         config: FlightRecorderConfig,
     ) -> FlightRecorder {
+        let ring = Mutex::new(std::collections::VecDeque::with_capacity(
+            config.ring_capacity,
+        ));
         FlightRecorder {
             sink,
             registry: Some(registry),
@@ -158,6 +172,7 @@ impl FlightRecorder {
             alloc_trailing: AtomicU64::new(0),
             alloc_passes: AtomicU64::new(0),
             alloc_spiking: AtomicU64::new(0),
+            ring,
         }
     }
 
@@ -177,9 +192,36 @@ impl FlightRecorder {
         &self.sink
     }
 
+    /// The most recent incident records as rendered JSON lines, oldest
+    /// first — at most [`FlightRecorderConfig::ring_capacity`] of them.
+    /// This is what `cs-obs` serves as `/incidents`: the live in-memory
+    /// complement to the JSONL sink on disk.
+    pub fn recent_incidents(&self) -> Vec<String> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Records an incident fired by an *external* detector — a trigger the
+    /// recorder cannot see from engine events alone. The `cs-obs` drift
+    /// detector uses this for `phase_shift` incidents, attaching its
+    /// evidence (site, dimension, observed value, EWMA band) as `detail`.
+    /// Subject to the same [`FlightRecorderConfig::max_incidents`] cap as
+    /// every internal trigger.
+    pub fn record_external(&self, trigger: &str, detail: Json) {
+        self.record_incident_with_detail(trigger, None, Some(detail));
+    }
+
     /// Serializes and writes one incident. Heavyweight by design; only
     /// called once a trigger has fired.
     fn record_incident(&self, trigger: &str, event: Option<&EngineEvent>) {
+        self.record_incident_with_detail(trigger, event, None);
+    }
+
+    fn record_incident_with_detail(
+        &self,
+        trigger: &str,
+        event: Option<&EngineEvent>,
+        detail: Option<Json>,
+    ) {
         if self.incidents.load(Ordering::Relaxed) >= self.config.max_incidents {
             return;
         }
@@ -212,6 +254,7 @@ impl FlightRecorder {
             .field("trigger", trigger)
             .field("t_ns", snap.taken_ns)
             .field("event", event.map(event_to_json))
+            .field("detail", detail)
             .field("explanation", explanation.as_ref().map(explanation_to_json))
             .field(
                 "overhead",
@@ -232,6 +275,16 @@ impl FlightRecorder {
                     _ => Json::Null,
                 },
             );
+        // The live ring keeps the incident even if the sink's disk write
+        // fails — an operator scraping /incidents should not go blind
+        // because the JSONL file did.
+        if self.config.ring_capacity > 0 {
+            let mut ring = self.ring.lock();
+            if ring.len() == self.config.ring_capacity {
+                ring.pop_front();
+            }
+            ring.push_back(doc.render());
+        }
         if self.sink.write_json(&doc) {
             self.incidents.fetch_add(1, Ordering::Relaxed);
         }
@@ -624,6 +677,84 @@ mod tests {
         }
         assert_eq!(rec.incidents_recorded(), 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn external_phase_shift_incident_carries_detail_and_lands_in_the_ring() {
+        let path = tmp("phase");
+        let rec = recorder(
+            &path,
+            FlightRecorderConfig {
+                include_telemetry: false,
+                ..FlightRecorderConfig::default()
+            },
+        );
+        rec.record_external(
+            "phase_shift",
+            Json::object()
+                .field("site", "session-cache")
+                .field("dimension", "read_fraction")
+                .field("value", 0.2)
+                .field("mean", 0.9),
+        );
+        rec.sink().flush().unwrap();
+        assert_eq!(rec.incidents_recorded(), 1);
+        let ring = rec.recent_incidents();
+        assert_eq!(ring.len(), 1);
+        let doc = Json::parse(&ring[0]).expect("ring line is valid JSON");
+        assert_eq!(doc.get("trigger").and_then(Json::as_str), Some("phase_shift"));
+        let detail = doc.get("detail").expect("detail attached");
+        assert_eq!(detail.get("site").and_then(Json::as_str), Some("session-cache"));
+        assert_eq!(detail.get("value").and_then(Json::as_f64), Some(0.2));
+        // The same record also reached the sink on disk.
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().next(), Some(ring[0].as_str()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn incident_ring_is_bounded_and_evicts_oldest_first() {
+        let path = tmp("ring");
+        let rec = recorder(
+            &path,
+            FlightRecorderConfig {
+                include_telemetry: false,
+                max_incidents: 100,
+                ring_capacity: 3,
+                ..FlightRecorderConfig::default()
+            },
+        );
+        for i in 0..5u64 {
+            rec.record_external("phase_shift", Json::object().field("n", i));
+        }
+        let ring = rec.recent_incidents();
+        assert_eq!(ring.len(), 3, "ring holds only the newest 3");
+        let ns: Vec<u64> = ring
+            .iter()
+            .map(|l| {
+                Json::parse(l)
+                    .unwrap()
+                    .get("detail")
+                    .and_then(|d| d.get("n"))
+                    .and_then(Json::as_u64)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(ns, [2, 3, 4], "oldest evicted first");
+        // The external path honours the incident cap too.
+        let capped = recorder(
+            &tmp("ringcap"),
+            FlightRecorderConfig {
+                include_telemetry: false,
+                max_incidents: 1,
+                ..FlightRecorderConfig::default()
+            },
+        );
+        capped.record_external("phase_shift", Json::object());
+        capped.record_external("phase_shift", Json::object());
+        assert_eq!(capped.incidents_recorded(), 1);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(tmp("ringcap")).ok();
     }
 
     #[test]

@@ -466,6 +466,14 @@ impl Json {
         }
     }
 
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as `&str`, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -573,6 +581,34 @@ pub fn explanation_to_json(e: &SelectionExplanation) -> Json {
         .field("winner", e.winner.as_deref())
         .field("winning_margin", e.winning_margin)
         .field("outcome", e.outcome.to_string())
+}
+
+/// Serializes an [`EngineHealth`](cs_core::EngineHealth) — the liveness
+/// summary behind `cs-obs`'s `/health` endpoint — field for field.
+pub fn health_to_json(h: &cs_core::EngineHealth) -> Json {
+    Json::object()
+        .field("degraded", h.degraded)
+        .field("contexts", h.contexts as u64)
+        .field("analysis_passes", h.analysis_passes)
+        .field("transitions_used", h.transitions_used)
+        .field("events_recorded", h.events_recorded)
+        .field("events_dropped", h.events_dropped)
+        .field("profiles_ingested", h.profiles_ingested)
+        .field("profiles_dropped", h.profiles_dropped)
+        .field("analyzer_panics", h.analyzer_panics)
+        .field("sink_disconnects", h.sink_disconnects)
+}
+
+/// Serializes a [`SiteManifestEntry`](cs_core::SiteManifestEntry) — one row
+/// of `cs-obs`'s `/sites` endpoint and of the drift tooling's manifests.
+pub fn manifest_entry_to_json(e: &cs_core::SiteManifestEntry) -> Json {
+    Json::object()
+        .field("id", e.id)
+        .field("name", e.name.as_str())
+        .field("abstraction", e.abstraction.to_string())
+        .field("default_kind", e.default_kind.as_str())
+        .field("current_kind", e.current_kind.as_str())
+        .field("alloc_bytes_per_op", e.alloc_bytes_per_op)
 }
 
 /// Serializes any [`EngineEvent`] as a self-describing object whose `"event"`

@@ -69,11 +69,14 @@ mod prometheus;
 mod sinks;
 
 pub use export::{
-    export_engine, export_engine_health, export_heap, export_persister, export_state,
-    export_trace, export_warm_start,
+    export_engine, export_engine_health, export_heap, export_persister, export_process,
+    export_state, export_trace, export_warm_start,
 };
 pub use flight::{FlightRecorder, FlightRecorderConfig};
-pub use json::{event_to_json, explanation_to_json, Json, JsonParseError};
+pub use json::{
+    event_to_json, explanation_to_json, health_to_json, manifest_entry_to_json, Json,
+    JsonParseError,
+};
 pub use metrics::{
     Counter, FamilySnapshot, FloatGauge, Gauge, Histogram, HistogramSnapshot, MetricKind,
     MetricsRegistry, SeriesSnapshot, TelemetrySnapshot, ValueSnapshot,

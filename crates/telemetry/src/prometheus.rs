@@ -7,7 +7,10 @@
 //! cumulative `_bucket{le=…}` series plus `_sum` and `_count`. The
 //! validator re-parses that grammar from scratch — shared code would
 //! let one bug hide another — and is wired into CI so a malformed
-//! exposition fails the build, not the scrape.
+//! exposition fails the build, not the scrape. Metadata is mandatory:
+//! every sampled family must carry both `# HELP` and `# TYPE`, so the
+//! renderer emits a HELP line even for families registered with empty
+//! help text.
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -69,13 +72,16 @@ fn format_bound(bound: f64) -> String {
 }
 
 fn render_family(out: &mut String, family: &FamilySnapshot) {
+    // HELP is unconditional: the validator requires metadata for every
+    // sampled family, so a family registered with empty help still gets
+    // its (bare) HELP line.
+    out.push_str("# HELP ");
+    out.push_str(&family.name);
     if !family.help.is_empty() {
-        out.push_str("# HELP ");
-        out.push_str(&family.name);
         out.push(' ');
         write_help_escaped(out, &family.help);
-        out.push('\n');
     }
+    out.push('\n');
     let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
     for series in &family.series {
         match &series.value {
@@ -135,13 +141,15 @@ impl TelemetrySnapshot {
 
 /// Validates a Prometheus text exposition: comment structure, metric and
 /// label grammar, parseable sample values, `# TYPE` at most once per family
-/// and before that family's samples, no duplicate `(name, labelset)`
-/// series, and — for every declared histogram that has samples — complete
-/// child sets: each labelset must carry an `le="+Inf"` bucket, a `_sum`,
-/// and a `_count` (a scraper quietly computes garbage rates from a
-/// histogram missing any of them). Returns every violation with its
-/// 1-based line number (completeness violations, detectable only at end
-/// of input, carry the family instead).
+/// and before that family's samples, **required metadata** (every sampled
+/// family must be declared with both `# TYPE` and `# HELP` — an untyped
+/// exposition makes a scraper guess at rate semantics), no duplicate
+/// `(name, labelset)` series, and — for every declared histogram that has
+/// samples — complete child sets: each labelset must carry an
+/// `le="+Inf"` bucket, a `_sum`, and a `_count` (a scraper quietly
+/// computes garbage rates from a histogram missing any of them). Returns
+/// every violation with its 1-based line number (metadata and completeness
+/// violations, detectable only at end of input, carry the family instead).
 ///
 /// # Errors
 ///
@@ -152,14 +160,24 @@ impl TelemetrySnapshot {
 /// ```
 /// use cs_telemetry::validate_prometheus_text;
 ///
-/// assert!(validate_prometheus_text("# TYPE cs_up gauge\ncs_up 1\n").is_ok());
+/// let text = concat!(
+///     "# HELP cs_up Whether the engine is up.\n",
+///     "# TYPE cs_up gauge\n",
+///     "cs_up 1\n",
+/// );
+/// assert!(validate_prometheus_text(text).is_ok());
+/// // Metadata is mandatory: a bare sample is rejected.
+/// assert!(validate_prometheus_text("cs_up 1\n").is_err());
 /// assert!(validate_prometheus_text("2bad_name 1\n").is_err());
 /// ```
 pub fn validate_prometheus_text(text: &str) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
     let mut typed: HashSet<String> = HashSet::new();
+    let mut helped: HashSet<String> = HashSet::new();
     let mut histogram_families: HashSet<String> = HashSet::new();
-    let mut sampled: HashSet<String> = HashSet::new();
+    // BTreeSet so the end-of-input metadata errors come out in
+    // deterministic order.
+    let mut sampled: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     let mut seen_series: HashSet<String> = HashSet::new();
     // Histogram children observed so far, keyed by (family, labelset
     // without `le`): [saw +Inf bucket, saw _sum, saw _count]. BTreeMap so
@@ -203,6 +221,8 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), Vec<String>> {
                 let name = rest.split(' ').next().unwrap_or("");
                 if !is_metric_name(name) {
                     errors.push(format!("line {lineno}: HELP for invalid name {name:?}"));
+                } else {
+                    helped.insert(name.to_owned());
                 }
             }
             // Other comments are free-form and always legal.
@@ -233,6 +253,17 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), Vec<String>> {
                 }
             }
             Err(why) => errors.push(format!("line {lineno}: {why}")),
+        }
+    }
+    // Metadata requirement, judged at end of input: every family that had
+    // samples must have declared both TYPE and HELP somewhere in the
+    // exposition (TYPE placement relative to samples is checked above).
+    for family in &sampled {
+        if !typed.contains(family) {
+            errors.push(format!("family {family} has samples but no # TYPE metadata"));
+        }
+        if !helped.contains(family) {
+            errors.push(format!("family {family} has samples but no # HELP metadata"));
         }
     }
     for ((family, labels), &[saw_inf, saw_sum, saw_count]) in &hist_children {
@@ -457,12 +488,47 @@ mod tests {
 
     #[test]
     fn validator_accepts_inf_and_timestamps() {
-        assert!(validate_prometheus_text("x_bucket{le=\"+Inf\"} 4 1700000000\n").is_ok());
+        let text = "# HELP x_bucket Raw bucket counter.\n\
+                    # TYPE x_bucket counter\n\
+                    x_bucket{le=\"+Inf\"} 4 1700000000\n";
+        assert!(validate_prometheus_text(text).is_ok());
+    }
+
+    #[test]
+    fn validator_requires_type_and_help_metadata() {
+        // A bare sample is no longer a legal exposition.
+        let errors = validate_prometheus_text("cs_x 1\n").unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("no # TYPE")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("no # HELP")), "{errors:?}");
+        // TYPE alone is not enough...
+        let errors = validate_prometheus_text("# TYPE cs_x counter\ncs_x 1\n").unwrap_err();
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("no # HELP"), "{errors:?}");
+        // ...nor is HELP alone...
+        let errors = validate_prometheus_text("# HELP cs_x X.\ncs_x 1\n").unwrap_err();
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("no # TYPE"), "{errors:?}");
+        // ...but both together are.
+        let ok = "# HELP cs_x X.\n# TYPE cs_x counter\ncs_x 1\n";
+        assert!(validate_prometheus_text(ok).is_ok());
+        // A declared-but-never-sampled family needs no metadata pairing.
+        let declared_only = "# TYPE cs_idle gauge\n# HELP cs_x X.\n# TYPE cs_x counter\ncs_x 1\n";
+        assert!(validate_prometheus_text(declared_only).is_ok());
+    }
+
+    #[test]
+    fn empty_help_still_renders_a_help_line() {
+        let registry = MetricsRegistry::new();
+        registry.counter("cs_bare_total", "", &[]).inc();
+        let text = registry.snapshot().to_prometheus_text();
+        assert!(text.contains("# HELP cs_bare_total\n"), "{text}");
+        validate_prometheus_text(&text).expect("valid exposition");
     }
 
     #[test]
     fn validator_rejects_histogram_missing_inf_bucket() {
-        let text = "# TYPE h histogram\n\
+        let text = "# HELP h H.\n\
+                    # TYPE h histogram\n\
                     h_bucket{le=\"0.1\"} 1\n\
                     h_sum 0.05\n\
                     h_count 1\n";
@@ -473,12 +539,12 @@ mod tests {
 
     #[test]
     fn validator_rejects_histogram_missing_sum_or_count() {
-        let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\n";
+        let text = "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\n";
         let errors = validate_prometheus_text(text).unwrap_err();
         assert!(errors.iter().any(|e| e.contains("missing h_sum")), "{errors:?}");
         assert!(errors.iter().any(|e| e.contains("missing h_count")), "{errors:?}");
 
-        let no_count = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1.5\n";
+        let no_count = "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1.5\n";
         let errors = validate_prometheus_text(no_count).unwrap_err();
         assert_eq!(errors.len(), 1, "{errors:?}");
         assert!(errors[0].contains("missing h_count"));
@@ -488,7 +554,8 @@ mod tests {
     fn histogram_completeness_is_per_labelset() {
         // The "a" labelset is complete; "b" lacks its +Inf bucket and
         // must be called out on its own.
-        let text = "# TYPE h histogram\n\
+        let text = "# HELP h H.\n\
+                    # TYPE h histogram\n\
                     h_bucket{site=\"a\",le=\"+Inf\"} 2\n\
                     h_sum{site=\"a\"} 1.0\n\
                     h_count{site=\"a\"} 2\n\
@@ -504,11 +571,14 @@ mod tests {
     #[test]
     fn undeclared_bucket_samples_are_not_histogram_children() {
         // Without a `# TYPE x histogram` declaration the suffix match is
-        // meaningless — `x_bucket` is just a metric with an odd name.
-        assert!(validate_prometheus_text("x_bucket{le=\"0.5\"} 1\n").is_ok());
-        assert!(
-            validate_prometheus_text("# TYPE x_sum counter\nx_sum 3\n").is_ok()
-        );
+        // meaningless — `x_bucket` is just a metric with an odd name, and
+        // no histogram-completeness demand applies.
+        let text = "# HELP x_bucket X.\n# TYPE x_bucket gauge\nx_bucket{le=\"0.5\"} 1\n";
+        assert!(validate_prometheus_text(text).is_ok());
+        assert!(validate_prometheus_text(
+            "# HELP x_sum X.\n# TYPE x_sum counter\nx_sum 3\n"
+        )
+        .is_ok());
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`heap`] — allocation observability: the opt-in counting global
 //!   allocator, scoped per-site attribution guards, and process heap/RSS
 //!   observables ([`cs_heap`]).
+//! * [`obs`] — the live operational plane: embedded scrape/debug HTTP
+//!   server, windowed time-series over the metrics registry, and op-mix
+//!   drift detection ([`cs_obs`]).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@ pub use cs_core as core;
 pub use cs_heap as heap;
 pub use cs_lockfree as lockfree;
 pub use cs_model as model;
+pub use cs_obs as obs;
 pub use cs_profile as profile;
 pub use cs_runtime as runtime;
 pub use cs_state as state;
@@ -74,6 +78,7 @@ pub mod prelude {
         SnapshotPolicy, StatePersister, Switch, SwitchList, SwitchMap, SwitchSet, WarmStartReport,
     };
     pub use cs_model::{CostDimension, PerformanceModel};
+    pub use cs_obs::{ObsBuilder, ObsHandle, RuntimeObsExt, SwitchObsExt};
     pub use cs_runtime::{ConcurrentMap, ConcurrentSet, Runtime, RuntimeConfig};
     pub use cs_telemetry::{
         validate_prometheus_text, JsonlSink, MetricsRegistry, MetricsSink, TelemetrySnapshot,
